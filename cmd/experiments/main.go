@@ -1,0 +1,59 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation section (plus the ablations and extensions documented in
+// DESIGN.md) and prints them as text tables.
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -list        # list experiment IDs
+//	experiments -exp fig5b   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipesim/internal/sweep"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "run a single experiment by ID (default: all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		csv  = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+		plot = flag.Bool("plot", false, "draw ASCII charts instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sweep.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := sweep.Experiments()
+	if *exp != "" {
+		e, ok := sweep.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run = []sweep.Experiment{e}
+	}
+	for _, e := range run {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *csv:
+			fmt.Printf("# %s\n%s\n", res.Title, res.CSV())
+		case *plot:
+			fmt.Println(res.Plot())
+		default:
+			fmt.Println(res.Format())
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command llgen inspects the generated Livermore-loop benchmark workload:
+// it prints Table I (inner-loop sizes and iteration counts), the exact
+// instruction accounting that reaches the paper's 150,575 total, and
+// optionally the disassembly.
+//
+//	llgen             # print the accounting table
+//	llgen -dis        # also dump the disassembled program
+//	llgen -kernel 5   # disassemble a single loop's standalone program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipesim/internal/kernels"
+)
+
+func main() {
+	var (
+		dis    = flag.Bool("dis", false, "dump the full benchmark disassembly")
+		kernel = flag.Int("kernel", 0, "disassemble one loop's standalone program (1..14)")
+	)
+	flag.Parse()
+
+	if *kernel != 0 {
+		img, err := kernels.KernelProgram(*kernel)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(img.Disassemble())
+		return
+	}
+
+	img, counts, err := kernels.Program()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-5s %-22s %10s %10s %10s %10s %12s\n",
+		"loop", "kernel", "inner(B)", "iters", "prologue", "epilogue", "executed")
+	info := kernels.TableI()
+	for i, kc := range counts.PerKernel {
+		fmt.Printf("%-5d %-22s %10d %10d %10d %10d %12d\n",
+			kc.Index, info[i].Name, kc.Body*4, kc.Iterations, kc.Prologue, kc.Epilogue, kc.Executed())
+	}
+	fmt.Printf("filler NOPs: %d\n", counts.Filler)
+	fmt.Printf("total executed instructions: %d (paper: %d)\n", counts.Total, kernels.TotalInstructions)
+	fmt.Printf("static text: %d instructions, data: %d words\n", len(img.Text), len(img.Data))
+	if *dis {
+		fmt.Print(img.Disassemble())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "llgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Command pipeasm assembles PIPE assembly and prints the disassembled
+// image (addresses, encodings and mnemonics), or just validates it.
+//
+//	pipeasm prog.s            # assemble and disassemble
+//	pipeasm -check prog.s     # assemble, report errors only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipesim"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate only; print nothing on success")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pipeasm [-check] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipeasm: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := pipesim.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipeasm: %v\n", err)
+		os.Exit(1)
+	}
+	if !*check {
+		fmt.Print(prog.Disassemble())
+	}
+}

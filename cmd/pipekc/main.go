@@ -1,0 +1,70 @@
+// Command pipekc compiles the kernel-description language to PIPE programs
+// and optionally runs them, playing the role of the paper's Fortran
+// compiler for custom workloads.
+//
+//	pipekc kernel.kl            # compile, print the disassembly
+//	pipekc -run kernel.kl       # compile and simulate (default machine)
+//	pipekc -run -access 6 -bus 8 kernel.kl
+//
+// Language summary (see the library documentation for details):
+//
+//	const q = 1.25
+//	array x[500]
+//	array y[500] = linear(0.25, 0.001)
+//	loop 400 {
+//	  x[k] = q + y[k] * (q * x[k+10])
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipesim"
+)
+
+func main() {
+	var (
+		run    = flag.Bool("run", false, "simulate the compiled program and print measurements")
+		access = flag.Int("access", 1, "memory access time (with -run)")
+		bus    = flag.Int("bus", 4, "input bus width in bytes (with -run)")
+		cache  = flag.Int("cache", 128, "instruction cache size (with -run)")
+		native = flag.Bool("native", false, "run in the native 16/32-bit instruction format (with -run)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pipekc [-run] file.kl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	compiled, err := pipesim.CompileKernel(string(src))
+	if err != nil {
+		fail(err)
+	}
+	if !*run {
+		fmt.Print(compiled.Program.Disassemble())
+		return
+	}
+	cfg := pipesim.DefaultConfig()
+	cfg.MemAccessTime = *access
+	cfg.BusWidthBytes = *bus
+	cfg.CacheBytes = *cache
+	cfg.NativeFormat = *native
+	res, err := pipesim.Run(cfg, compiled.Program)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("CPI           %.3f\n", res.CPI())
+	fmt.Printf("fpu ops       %d\n", res.FPUOps)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pipekc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command pipesim runs one simulation of the PIPE processor and prints the
+// measurements.
+//
+// With no -asm flag it runs the paper's Livermore-loop benchmark:
+//
+//	pipesim -strategy pipe -cache 128 -line 16 -iq 16 -iqb 16 -access 6 -bus 8
+//	pipesim -strategy conventional -cache 512 -access 1 -bus 4
+//	pipesim -asm prog.s -strategy pipe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pipesim"
+)
+
+func main() {
+	var (
+		strategy  = flag.String("strategy", "pipe", "fetch strategy: pipe, conventional or tib")
+		cache     = flag.Int("cache", 128, "instruction cache size in bytes")
+		line      = flag.Int("line", 16, "cache line size in bytes")
+		iq        = flag.Int("iq", 16, "PIPE instruction queue size in bytes")
+		iqb       = flag.Int("iqb", 16, "PIPE instruction queue buffer size in bytes")
+		noTP      = flag.Bool("no-true-prefetch", false, "use the original chip's guaranteed-execution fetch policy")
+		deep      = flag.Bool("deep-prefetch", false, "refill the IQB whenever a line of space is free (beyond-paper extension)")
+		native    = flag.Bool("native", false, "run in the native 16/32-bit parcel instruction format (paper parameter 1)")
+		dcache    = flag.Int("dcache", 0, "on-chip data cache size in bytes (0 = none, the paper's machine)")
+		tibN      = flag.Int("tib-entries", 4, "TIB entry count")
+		access    = flag.Int("access", 1, "memory access time in cycles")
+		bus       = flag.Int("bus", 4, "input bus width in bytes")
+		pipelined = flag.Bool("pipelined", false, "pipelined external memory")
+		dataPrio  = flag.Bool("data-priority", false, "give data requests priority over instruction fetches")
+		asmPath   = flag.String("asm", "", "run a PIPE assembly file instead of the Livermore benchmark")
+		kernel    = flag.Int("kernel", 0, "run a single Livermore loop (1..14) instead of the full benchmark")
+		verbose   = flag.Bool("v", false, "print the full measurement breakdown")
+		traceN    = flag.Uint64("trace", 0, "print the first N retired instructions (cycle, PC, disassembly)")
+	)
+	flag.Parse()
+
+	cfg := pipesim.DefaultConfig()
+	cfg.Strategy = pipesim.Strategy(*strategy)
+	cfg.CacheBytes = *cache
+	cfg.LineBytes = *line
+	cfg.IQBytes = *iq
+	cfg.IQBBytes = *iqb
+	cfg.TruePrefetch = !*noTP
+	cfg.DeepPrefetch = *deep
+	cfg.NativeFormat = *native
+	cfg.DCacheBytes = *dcache
+	cfg.TIBEntries = *tibN
+	cfg.MemAccessTime = *access
+	cfg.BusWidthBytes = *bus
+	cfg.PipelinedMemory = *pipelined
+	cfg.InstrPriority = !*dataPrio
+
+	var (
+		prog *pipesim.Program
+		err  error
+	)
+	switch {
+	case *asmPath != "":
+		src, rerr := os.ReadFile(*asmPath)
+		if rerr != nil {
+			fail(rerr)
+		}
+		prog, err = pipesim.Assemble(string(src))
+	case *kernel != 0:
+		prog, err = pipesim.LivermoreKernel(*kernel)
+	default:
+		prog, _, err = pipesim.LivermoreProgram()
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		fail(err)
+	}
+	if *traceN > 0 {
+		sim.TraceTo(os.Stdout, *traceN)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("CPI           %.3f\n", res.CPI())
+	if *verbose {
+		fmt.Printf("branches      %d (%d taken, %d flushes)\n", res.Branches, res.TakenBranches, res.BranchFlushes)
+		fmt.Printf("loads/stores  %d / %d\n", res.Loads, res.Stores)
+		fmt.Printf("fpu ops       %d\n", res.FPUOps)
+		fmt.Printf("stalls        ldq-empty=%d queue-full=%d fetch-empty=%d\n",
+			res.StallLDQEmpty, res.StallQueueFull, res.StallFetchEmpty)
+		fmt.Printf("icache        hits=%d misses=%d demand=%d prefetch=%d blocked=%d\n",
+			res.CacheHits, res.CacheMisses, res.DemandFetches, res.Prefetches, res.PrefetchBlocks)
+		var kinds []string
+		for k := range res.MemAccepted {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Printf("bus traffic   ")
+		for _, k := range kinds {
+			fmt.Printf("%s=%d ", k, res.MemAccepted[k])
+		}
+		fmt.Printf("(words delivered %d)\n", res.WordsDelivered)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+package pipesim_test
+
+import (
+	"fmt"
+	"math"
+
+	"pipesim"
+)
+
+// ExampleRun executes the paper's Livermore benchmark on the default
+// machine and prints the exact executed-instruction count.
+func ExampleRun() {
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		panic(err)
+	}
+	res, err := pipesim.Run(pipesim.DefaultConfig(), prog)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Instructions)
+	// Output: 150575
+}
+
+// ExampleAssemble runs a hand-written PIPE assembly program and reads a
+// register result.
+func ExampleAssemble() {
+	prog, err := pipesim.Assemble(`
+        li   r1, 6
+        li   r2, 7
+        add  r3, r1, r2
+        halt
+`)
+	if err != nil {
+		panic(err)
+	}
+	sim, err := pipesim.NewSimulation(pipesim.DefaultConfig(), prog)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(sim.Reg(3))
+	// Output: 13
+}
+
+// ExampleCompileKernel compiles the kernel-description language and
+// verifies a float32 result computed by the simulated external FPU.
+func ExampleCompileKernel() {
+	compiled, err := pipesim.CompileKernel(`
+array x[20]
+array y[20] = fill(1.5)
+loop 10 {
+  x[k] = y[k] * y[k]
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	sim, err := pipesim.NewSimulation(pipesim.DefaultConfig(), compiled.Program)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		panic(err)
+	}
+	addr, _ := compiled.ArrayAddr("x", 4)
+	fmt.Println(math.Float32frombits(sim.ReadWord(addr)))
+	// Output: 2.25
+}
+
+// ExampleTableIIConfig compares two of the paper's Table II configurations
+// on slow memory.
+func ExampleTableIIConfig() {
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"8-8", "32-32"} {
+		cfg, err := pipesim.TableIIConfig(name)
+		if err != nil {
+			panic(err)
+		}
+		cfg.CacheBytes = 64
+		cfg.MemAccessTime = 6
+		cfg.BusWidthBytes = 8
+		res, err := pipesim.Run(cfg, prog)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d\n", name, res.Cycles)
+	}
+	// Output:
+	// 8-8: 777732
+	// 32-32: 680493
+}

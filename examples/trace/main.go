@@ -1,0 +1,66 @@
+// Trace demonstrates the instruction-trace facility: it assembles a tiny
+// program whose behaviour depends on every major mechanism — the
+// architectural queues, the memory-mapped FPU, and a prepare-to-branch with
+// delay slots — and prints each retired instruction with its cycle number,
+// so the decoupling is visible: watch the gap the R7 read causes while the
+// FPU result is still in flight, and how the delay slots absorb the branch
+// resolution latency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pipesim"
+)
+
+const src = `
+; square the numbers 1..3 through the external FPU
+        la    r1, FPU_A        ; predefined FPU symbol (MUL trigger at +4)
+        la    r2, vals
+        la    r3, out
+        li    r5, 3
+        setb  b0, loop
+loop:   ld    0(r2)            ; v
+        ld    0(r2)            ; v again (second operand)
+        st    0(r1)            ; FPU A <- v
+        mov   r7, r7
+        st    4(r1)            ; FPU MUL <- v
+        mov   r7, r7
+        st    0(r3)            ; out[k] <- v*v
+        mov   r7, r7
+        addi  r5, r5, -1
+        pbr   ne, r5, b0, 2
+        addi  r2, r2, 4
+        addi  r3, r3, 4
+        halt
+        .data
+vals:   .float 1.0, 2.0, 3.0
+out:    .word 0, 0, 0
+`
+
+func main() {
+	prog, err := pipesim.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	cfg.MemAccessTime = 6
+	cfg.BusWidthBytes = 8
+
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("     cycle  pc     instruction")
+	sim.TraceTo(os.Stdout, 60)
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d instructions, %d cycles (CPI %.2f)\n",
+		res.Instructions, res.Cycles, res.CPI())
+	fmt.Printf("stall breakdown: %d cycles waiting for load data, %d starved for instructions\n",
+		res.StallLDQEmpty, res.StallFetchEmpty)
+}

@@ -1,0 +1,3 @@
+module pipesim
+
+go 1.22

@@ -1,0 +1,470 @@
+// Package asm implements a small two-pass assembler for PIPE assembly text.
+// It exists so that users of the library (and the cmd/pipeasm tool and the
+// examples) can write workloads by hand instead of through the programmatic
+// Builder API.
+//
+// Syntax overview (case-insensitive mnemonics, ';', '#' or '//' comments):
+//
+//	        .text                 ; section directives (text is default)
+//	start:  li    r1, 100         ; labels end with ':'
+//	        la    r2, vec         ; pseudo: load 20-bit address (LUI+ORI)
+//	        setb  b0, loop        ; branch registers are b0..b7
+//	loop:   ld    8(r2)           ; load from offset(base) -> LAQ
+//	        add   r3, r7, r3      ; r7 pops the load data queue
+//	        addi  r1, r1, -1
+//	        pbr   ne, r1, b0, 2   ; cond, tested reg, branch reg, delay slots
+//	        addi  r2, r2, 4       ; delay slot 1
+//	        nop                   ; delay slot 2
+//	        bank                  ; exchange foreground/background registers
+//	        halt
+//	        .data
+//	vec:    .word 1, 2, 3, 0x10
+//	fs:     .float 1.5, -2.25
+//	        .space 16             ; 16 zero words
+//
+// Label operands may carry a +offset or -offset suffix (e.g. "vec+8").
+//
+// The assembler predefines symbols for the memory-mapped FPU so kernels can
+// write `la r1, FPU_A` instead of building the address by hand: FPU_A (the
+// operand-A latch), FPU_MUL, FPU_ADD, FPU_SUB and FPU_DIV (the operand-B
+// trigger addresses). These names are reserved; defining them as labels is
+// an error.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pipesim/internal/isa"
+	"pipesim/internal/program"
+)
+
+// Error describes an assembly error at a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList is the set of errors found in one Assemble call.
+type ErrorList []*Error
+
+func (el ErrorList) Error() string {
+	if len(el) == 1 {
+		return el[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", el[0], len(el)-1)
+}
+
+type assembler struct {
+	b      *program.Builder
+	errs   ErrorList
+	inData bool
+	line   int
+}
+
+// predefined are the reserved symbols every program can reference.
+var predefined = map[string]uint32{
+	"FPU_A":   program.FPUBase + 0,
+	"FPU_MUL": program.FPUBase + 4,
+	"FPU_ADD": program.FPUBase + 8,
+	"FPU_SUB": program.FPUBase + 12,
+	"FPU_DIV": program.FPUBase + 16,
+}
+
+// Assemble translates PIPE assembly source into a linked program image.
+func Assemble(src string) (*program.Image, error) {
+	a := &assembler{b: program.NewBuilder()}
+	for name, addr := range predefined {
+		a.b.DefineSymbol(name, addr)
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		a.doLine(raw)
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	img, err := a.b.Link()
+	if err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+func (a *assembler) errf(format string, args ...any) {
+	a.errs = append(a.errs, &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return
+	}
+	// Labels: one or more "name:" prefixes.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:i])
+		if !isIdent(name) {
+			a.errf("invalid label %q", name)
+			return
+		}
+		if a.inData {
+			a.b.DataLabel(name)
+		} else {
+			a.b.Label(name)
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return
+	}
+	fields := strings.SplitN(s, " ", 2)
+	mnem := strings.ToUpper(fields[0])
+	var rest string
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	if strings.HasPrefix(mnem, ".") {
+		a.directive(mnem, rest)
+		return
+	}
+	if a.inData {
+		a.errf("instruction %s in .data section", mnem)
+		return
+	}
+	a.instruction(mnem, rest)
+}
+
+func (a *assembler) directive(name, rest string) {
+	switch name {
+	case ".TEXT":
+		a.inData = false
+	case ".DATA":
+		a.inData = true
+	case ".WORD":
+		if !a.inData {
+			a.errf(".word outside .data section")
+			return
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				a.errf(".word operand %q: %v", f, err)
+				return
+			}
+			a.b.Word(uint32(v))
+		}
+	case ".FLOAT":
+		if !a.inData {
+			a.errf(".float outside .data section")
+			return
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				a.errf(".float operand %q: %v", f, err)
+				return
+			}
+			a.b.Float(float32(v))
+		}
+	case ".SPACE":
+		if !a.inData {
+			a.errf(".space outside .data section")
+			return
+		}
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			a.errf(".space wants a non-negative word count, got %q", rest)
+			return
+		}
+		a.b.Space(int(n))
+	default:
+		a.errf("unknown directive %s", name)
+	}
+}
+
+var r3ops = map[string]isa.Opcode{
+	"ADD": isa.OpADD, "SUB": isa.OpSUB, "AND": isa.OpAND, "OR": isa.OpOR,
+	"XOR": isa.OpXOR, "SLL": isa.OpSLL, "SRL": isa.OpSRL, "SRA": isa.OpSRA,
+}
+
+var riops = map[string]isa.Opcode{
+	"ADDI": isa.OpADDI, "ANDI": isa.OpANDI, "ORI": isa.OpORI, "XORI": isa.OpXORI,
+	"SLLI": isa.OpSLLI, "SRLI": isa.OpSRLI, "SRAI": isa.OpSRAI,
+}
+
+var condsByName = map[string]isa.Cond{
+	"AL": isa.CondAL, "EQ": isa.CondEQ, "NE": isa.CondNE,
+	"LT": isa.CondLT, "GE": isa.CondGE, "GT": isa.CondGT, "LE": isa.CondLE,
+}
+
+func (a *assembler) instruction(mnem, rest string) {
+	ops := splitOperands(rest)
+	switch {
+	case mnem == "NOP":
+		a.need(ops, 0) // emits even on arity error to keep addresses stable
+		a.b.Nop()
+	case mnem == "HALT":
+		a.need(ops, 0)
+		a.b.Halt()
+	case mnem == "BANK":
+		a.need(ops, 0)
+		a.b.Emit(isa.Inst{Op: isa.OpBANK})
+	case r3ops[mnem] != 0:
+		if !a.need(ops, 3) {
+			return
+		}
+		rd, ok1 := a.dataReg(ops[0])
+		ra, ok2 := a.dataReg(ops[1])
+		rb, ok3 := a.dataReg(ops[2])
+		if ok1 && ok2 && ok3 {
+			a.b.R3(r3ops[mnem], rd, ra, rb)
+		}
+	case riops[mnem] != 0:
+		if !a.need(ops, 3) {
+			return
+		}
+		rd, ok1 := a.dataReg(ops[0])
+		ra, ok2 := a.dataReg(ops[1])
+		imm, ok3 := a.imm16(ops[2])
+		if ok1 && ok2 && ok3 {
+			a.b.RI(riops[mnem], rd, ra, imm)
+		}
+	case mnem == "LI" || mnem == "LUI":
+		if !a.need(ops, 2) {
+			return
+		}
+		rd, ok1 := a.dataReg(ops[0])
+		imm, ok2 := a.imm16(ops[1])
+		if ok1 && ok2 {
+			op := isa.OpLI
+			if mnem == "LUI" {
+				op = isa.OpLUI
+			}
+			a.b.RI(op, rd, 0, imm)
+		}
+	case mnem == "MOV":
+		if !a.need(ops, 2) {
+			return
+		}
+		rd, ok1 := a.dataReg(ops[0])
+		ra, ok2 := a.dataReg(ops[1])
+		if ok1 && ok2 {
+			a.b.Mov(rd, ra)
+		}
+	case mnem == "LD" || mnem == "ST":
+		if !a.need(ops, 1) {
+			return
+		}
+		off, base, ok := a.memOperand(ops[0])
+		if !ok {
+			return
+		}
+		if mnem == "LD" {
+			a.b.LD(base, off)
+		} else {
+			a.b.ST(base, off)
+		}
+	case mnem == "LA":
+		if !a.need(ops, 2) {
+			return
+		}
+		rd, ok := a.dataReg(ops[0])
+		if !ok {
+			return
+		}
+		label, off, err := parseLabelRef(ops[1])
+		if err != nil {
+			a.errf("LA: %v", err)
+			// keep two-slot width so labels stay aligned
+			a.b.Nop()
+			a.b.Nop()
+			return
+		}
+		a.b.LA(rd, label, off)
+	case mnem == "SETB":
+		if !a.need(ops, 2) {
+			return
+		}
+		bn, ok := a.branchReg(ops[0])
+		if !ok {
+			return
+		}
+		if v, err := parseInt(ops[1]); err == nil {
+			a.b.SetBAddr(bn, uint32(v))
+			return
+		}
+		label, off, err := parseLabelRef(ops[1])
+		if err != nil {
+			a.errf("SETB: %v", err)
+			return
+		}
+		a.b.SetB(bn, label, off)
+	case mnem == "SETBR":
+		if !a.need(ops, 2) {
+			return
+		}
+		bn, ok1 := a.branchReg(ops[0])
+		ra, ok2 := a.dataReg(ops[1])
+		if ok1 && ok2 {
+			a.b.Emit(isa.Inst{Op: isa.OpSETBR, Bn: bn, Ra: ra})
+		}
+	case mnem == "PBR":
+		if !a.need(ops, 4) {
+			return
+		}
+		cond, okc := condsByName[strings.ToUpper(ops[0])]
+		if !okc {
+			a.errf("PBR: unknown condition %q", ops[0])
+			return
+		}
+		ra, ok1 := a.dataReg(ops[1])
+		bn, ok2 := a.branchReg(ops[2])
+		n, err := parseInt(ops[3])
+		if err != nil || n < 0 || n > isa.MaxDelaySlots {
+			a.errf("PBR: delay-slot count %q out of range 0..%d", ops[3], isa.MaxDelaySlots)
+			return
+		}
+		if ok1 && ok2 {
+			a.b.PBR(cond, ra, bn, uint8(n))
+		}
+	default:
+		a.errf("unknown mnemonic %s", mnem)
+	}
+}
+
+func (a *assembler) need(ops []string, n int) bool {
+	if len(ops) != n {
+		a.errf("want %d operand(s), got %d", n, len(ops))
+		return false
+	}
+	return true
+}
+
+func (a *assembler) dataReg(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) == 2 && s[0] == 'r' && s[1] >= '0' && s[1] <= '7' {
+		return s[1] - '0', true
+	}
+	a.errf("invalid data register %q (want r0..r7)", s)
+	return 0, false
+}
+
+func (a *assembler) branchReg(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) == 2 && s[0] == 'b' && s[1] >= '0' && s[1] <= '7' {
+		return s[1] - '0', true
+	}
+	a.errf("invalid branch register %q (want b0..b7)", s)
+	return 0, false
+}
+
+func (a *assembler) imm16(s string) (int32, bool) {
+	v, err := parseInt(s)
+	if err != nil {
+		a.errf("invalid immediate %q", s)
+		return 0, false
+	}
+	if v < -0x8000 || v > 0xFFFF {
+		a.errf("immediate %d out of range", v)
+		return 0, false
+	}
+	if v > 0x7FFF { // allow unsigned 16-bit spellings like 0xFFFF
+		v = int64(int16(v))
+	}
+	return int32(v), true
+}
+
+// memOperand parses "offset(rN)" or "(rN)".
+func (a *assembler) memOperand(s string) (off int32, base uint8, ok bool) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		a.errf("invalid memory operand %q (want offset(rN))", s)
+		return 0, 0, false
+	}
+	offStr := strings.TrimSpace(s[:open])
+	var v int64
+	if offStr != "" {
+		var err error
+		v, err = parseInt(offStr)
+		if err != nil || v < -0x8000 || v > 0x7FFF {
+			a.errf("invalid memory offset %q", offStr)
+			return 0, 0, false
+		}
+	}
+	base, ok = a.dataReg(s[open+1 : len(s)-1])
+	return int32(v), base, ok
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}
+
+// parseLabelRef parses "name", "name+N" or "name-N".
+func parseLabelRef(s string) (label string, off int32, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, fmt.Errorf("empty label reference")
+	}
+	sep := strings.IndexAny(s[1:], "+-")
+	if sep >= 0 {
+		sep++ // index into s
+		v, perr := parseInt(s[sep:])
+		if perr != nil {
+			return "", 0, fmt.Errorf("bad label offset in %q", s)
+		}
+		label, off = s[:sep], int32(v)
+	} else {
+		label = s
+	}
+	if !isIdent(label) {
+		return "", 0, fmt.Errorf("invalid label %q", label)
+	}
+	return label, off, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipesim/internal/isa"
+	"pipesim/internal/program"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Image {
+	t.Helper()
+	img, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return img
+}
+
+func TestAssembleSmallProgram(t *testing.T) {
+	img := mustAssemble(t, `
+        ; a tiny loop
+start:  li    r1, 3
+        setb  b0, loop
+loop:   addi  r1, r1, -1
+        pbr   ne, r1, b0, 0
+        halt
+`)
+	if len(img.Text) != 5 {
+		t.Fatalf("text len = %d, want 5", len(img.Text))
+	}
+	in := isa.Decode(img.Text[3])
+	if in.Op != isa.OpPBR || in.Cond != isa.CondNE || in.Ra != 1 || in.Bn != 0 || in.N != 0 {
+		t.Errorf("PBR decoded as %v", in)
+	}
+	setb := isa.Decode(img.Text[1])
+	if loopAddr, _ := img.Lookup("loop"); uint32(setb.Imm) != loopAddr {
+		t.Errorf("SETB target = %#x, want %#x", setb.Imm, loopAddr)
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	img := mustAssemble(t, `
+        add  r1, r2, r3
+        sub  r1, r2, r3
+        and  r1, r2, r3
+        or   r1, r2, r3
+        xor  r1, r2, r3
+        sll  r1, r2, r3
+        srl  r1, r2, r3
+        sra  r1, r2, r3
+        addi r1, r2, -5
+        andi r1, r2, 0xff
+        ori  r1, r2, 1
+        xori r1, r2, 2
+        slli r1, r2, 3
+        srli r1, r2, 4
+        srai r1, r2, 5
+        li   r6, -100
+        lui  r6, 0x7
+        mov  r5, r4
+        ld   12(r2)
+        ld   (r3)
+        st   -4(r2)
+        la   r2, buf
+        setb b3, 0x100
+        setbr b4, r5
+        pbr  al, r0, b3, 7
+        nop
+        halt
+        .data
+buf:    .word 1
+`)
+	wantOps := []isa.Opcode{
+		isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSLL, isa.OpSRL, isa.OpSRA,
+		isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSLLI, isa.OpSRLI, isa.OpSRAI,
+		isa.OpLI, isa.OpLUI, isa.OpADDI, // mov = addi
+		isa.OpLD, isa.OpLD, isa.OpST,
+		isa.OpLUI, isa.OpORI, // la = lui+ori
+		isa.OpSETB, isa.OpSETBR, isa.OpPBR, isa.OpNOP, isa.OpHALT,
+	}
+	if len(img.Text) != len(wantOps) {
+		t.Fatalf("text len = %d, want %d", len(img.Text), len(wantOps))
+	}
+	for i, want := range wantOps {
+		if got := isa.Decode(img.Text[i]).Op; got != want {
+			t.Errorf("inst %d op = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	img := mustAssemble(t, `
+        halt
+        .data
+ints:   .word 1, 2, 0x10
+f:      .float 2.5
+        .space 2
+after:  .word 9
+`)
+	want := []uint32{1, 2, 16, math.Float32bits(2.5), 0, 0, 9}
+	if len(img.Data) != len(want) {
+		t.Fatalf("data len = %d, want %d", len(img.Data), len(want))
+	}
+	for i, w := range want {
+		if img.Data[i] != w {
+			t.Errorf("data[%d] = %#x, want %#x", i, img.Data[i], w)
+		}
+	}
+	if a, _ := img.Lookup("after"); a != program.DataBase+6*4 {
+		t.Errorf("after = %#x", a)
+	}
+}
+
+func TestAssembleLabelWithOffset(t *testing.T) {
+	img := mustAssemble(t, `
+        setb b0, tgt+8
+        setb b1, tgt-4
+tgt:    nop
+        halt
+`)
+	tgt, _ := img.Lookup("tgt")
+	if in := isa.Decode(img.Text[0]); uint32(in.Imm) != tgt+8 {
+		t.Errorf("tgt+8 = %#x, want %#x", in.Imm, tgt+8)
+	}
+	if in := isa.Decode(img.Text[1]); uint32(in.Imm) != tgt-4 {
+		t.Errorf("tgt-4 = %#x, want %#x", in.Imm, tgt-4)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	img := mustAssemble(t, `
+        li r1, 1   ; semicolon
+        li r2, 2   # hash
+        li r3, 3   // slashes
+        halt
+`)
+	if len(img.Text) != 4 {
+		t.Fatalf("text len = %d, want 4", len(img.Text))
+	}
+}
+
+func TestAssembleMultipleLabelsOneLine(t *testing.T) {
+	img := mustAssemble(t, "a: b: halt\n")
+	aa, _ := img.Lookup("a")
+	bb, _ := img.Lookup("b")
+	if aa != bb {
+		t.Errorf("a=%#x b=%#x, want equal", aa, bb)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"frob r1, r2\nhalt\n", "unknown mnemonic"},
+		{"add r1, r2\nhalt\n", "want 3 operand"},
+		{"add r1, r2, r9\nhalt\n", "invalid data register"},
+		{"li r1, 99999\nhalt\n", "out of range"},
+		{"ld r1\nhalt\n", "invalid memory operand"},
+		{"pbr zz, r1, b0, 0\nhalt\n", "unknown condition"},
+		{"pbr ne, r1, b0, 9\nhalt\n", "out of range"},
+		{"setb x0, loop\nhalt\n", "invalid branch register"},
+		{".word 5\nhalt\n", ".word outside .data"},
+		{".bogus\nhalt\n", "unknown directive"},
+		{"9lbl: halt\n", "invalid label"},
+		{"setb b0, missing\nhalt\n", "missing"},
+		{"halt\n.data\nx: add r1, r2, r3\n", "in .data section"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) error = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorListReportsLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus1\nnop\nbogus2\n halt\n")
+	el, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if len(el) != 2 || el[0].Line != 3 || el[1].Line != 5 {
+		t.Fatalf("errors = %v", el)
+	}
+	if !strings.Contains(el.Error(), "1 more error") {
+		t.Errorf("ErrorList.Error() = %q", el.Error())
+	}
+}
+
+func TestAssembleUnsignedImmediateSpelling(t *testing.T) {
+	img := mustAssemble(t, "andi r1, r2, 0xFFFF\nhalt\n")
+	in := isa.Decode(img.Text[0])
+	if in.Imm != -1 {
+		t.Errorf("0xFFFF immediate decodes to %d, want -1 (same bits)", in.Imm)
+	}
+}
+
+func TestAssembleEmptySource(t *testing.T) {
+	if _, err := Assemble("; nothing\n"); err == nil {
+		t.Fatal("empty program assembled without error")
+	}
+}
+
+func TestPredefinedFPUSymbols(t *testing.T) {
+	img := mustAssemble(t, `
+        la   r1, FPU_A
+        la   r2, FPU_MUL
+        halt
+`)
+	lui := isa.Decode(img.Text[0])
+	ori := isa.Decode(img.Text[1])
+	got := uint32(lui.Imm)<<16 | uint32(ori.Imm)&0xFFFF
+	if got != program.FPUBase {
+		t.Errorf("FPU_A resolves to %#x, want %#x", got, program.FPUBase)
+	}
+	lui2 := isa.Decode(img.Text[2])
+	ori2 := isa.Decode(img.Text[3])
+	got2 := uint32(lui2.Imm)<<16 | uint32(ori2.Imm)&0xFFFF
+	if got2 != program.FPUBase+4 {
+		t.Errorf("FPU_MUL resolves to %#x, want %#x", got2, program.FPUBase+4)
+	}
+	// Reserved names cannot be redefined.
+	if _, err := Assemble("FPU_A: halt\n"); err == nil {
+		t.Error("redefining FPU_A succeeded")
+	}
+}

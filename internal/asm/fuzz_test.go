@@ -1,0 +1,31 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble checks the assembler never panics and that accepted programs
+// disassemble without error.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"halt\n",
+		"li r1, 5\nadd r2, r1, r1\nhalt\n",
+		"x: setb b0, x\npbr al, r0, b0, 0\nhalt\n",
+		"ld 4(r2)\nst -4(r3)\nmov r7, r1\nhalt\n",
+		".data\nw: .word 1,2\nf: .float 1.5\n",
+		"bank\nhalt\n",
+		"li r1, 0x7FFF\nlui r2, 0xF\nhalt\n",
+		"bogus operands here\n",
+		"add r1 r2 r3\n",
+		": :\n",
+		"la r1, missing\nhalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		img, err := Assemble(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		_ = img.Disassemble()
+	})
+}

@@ -1,0 +1,235 @@
+// Package core composes the substrates — memory system, on-chip cache,
+// fetch engine and CPU — into a runnable simulator, mirroring the paper's
+// simulation setup (Figure 3): the processor chip connected by an input and
+// an output bus to a large external cache (100% hit) and an external
+// floating point unit.
+package core
+
+import (
+	"fmt"
+
+	"pipesim/internal/cache"
+	"pipesim/internal/cpu"
+	"pipesim/internal/fetch"
+	"pipesim/internal/isa"
+	"pipesim/internal/mem"
+	"pipesim/internal/program"
+	"pipesim/internal/stats"
+	"pipesim/internal/trace"
+)
+
+// FetchStrategy selects the instruction-supply strategy under test.
+type FetchStrategy int
+
+const (
+	// FetchPIPE is the paper's contribution: instruction cache + IQ + IQB.
+	FetchPIPE FetchStrategy = iota
+	// FetchConventional is Hill's always-prefetch sub-blocked cache.
+	FetchConventional
+	// FetchTIB is the Target Instruction Buffer front end (extension).
+	FetchTIB
+)
+
+// String names the strategy.
+func (f FetchStrategy) String() string {
+	switch f {
+	case FetchPIPE:
+		return "pipe"
+	case FetchConventional:
+		return "conventional"
+	case FetchTIB:
+		return "tib"
+	}
+	return fmt.Sprintf("strategy(%d)", int(f))
+}
+
+// Config is a complete simulation configuration.
+type Config struct {
+	Fetch FetchStrategy
+
+	// On-chip instruction cache geometry.
+	CacheBytes int
+	LineBytes  int
+
+	// PIPE-specific queue sizes (Table II) and prefetch policy.
+	IQBytes      int
+	IQBBytes     int
+	TruePrefetch bool
+	DeepPrefetch bool
+
+	// NativeFormat runs the program in the PIPE chip's 16/32-bit
+	// two-parcel instruction encoding (paper simulation parameter 1)
+	// instead of the fixed 32-bit format used for all presented results.
+	// The image is relaid at parcel granularity; the cache tracks 2-byte
+	// sub-blocks. Not supported by the TIB front end.
+	NativeFormat bool
+
+	// TIB-specific size (extension).
+	TIBEntries   int
+	TIBLineBytes int
+
+	Mem mem.Config
+	CPU cpu.Config
+
+	// InterruptAt raises the single-level interrupt at the given cycle
+	// (0 = never); fetch redirects to InterruptVector at the next clean
+	// instruction boundary. See the cpu package for the entry/return
+	// protocol.
+	InterruptAt     uint64
+	InterruptVector uint32
+
+	// MaxCycles aborts a run that fails to complete (simulator-bug guard).
+	// Zero selects a generous default.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the configuration used as the paper's baseline
+// presentation point: the PIPE 16-16 arrangement, instruction priority,
+// true prefetch, 1-cycle non-pipelined memory, 4-byte bus.
+func DefaultConfig() Config {
+	return Config{
+		Fetch:        FetchPIPE,
+		CacheBytes:   128,
+		LineBytes:    16,
+		IQBytes:      16,
+		IQBBytes:     16,
+		TruePrefetch: true,
+		Mem: mem.Config{
+			AccessTime:    1,
+			BusWidthBytes: 4,
+			Pipelined:     false,
+			InstrPriority: true,
+			FPULatency:    4,
+		},
+		CPU: cpu.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors beyond what the substrates check.
+func (c Config) Validate() error {
+	if c.CacheBytes <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("core: cache %dB line %dB invalid", c.CacheBytes, c.LineBytes)
+	}
+	return nil
+}
+
+// Simulator is one configured run over one program.
+type Simulator struct {
+	cfg Config
+	img *program.Image
+	sys *mem.System
+	eng fetch.Engine
+	cpu *cpu.CPU
+	st  stats.Sim
+	ran bool
+}
+
+// New builds a simulator for the image.
+func New(cfg Config, img *program.Image) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 500_000_000
+	}
+	s := &Simulator{cfg: cfg, img: img}
+	var err error
+	if cfg.NativeFormat && !img.Native {
+		img, err = program.ToNative(img)
+		if err != nil {
+			return nil, err
+		}
+		s.img = img
+	}
+	s.sys, err = mem.New(cfg.Mem, img, &s.st.Mem)
+	if err != nil {
+		return nil, err
+	}
+	subBlock := isa.WordBytes
+	if img.Native {
+		subBlock = isa.ParcelBytes
+	}
+	arr, err := cache.New(cfg.CacheBytes, cfg.LineBytes, subBlock)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Fetch {
+	case FetchPIPE:
+		s.eng, err = fetch.NewPipe(fetch.PipeConfig{
+			CacheBytes:   cfg.CacheBytes,
+			LineBytes:    cfg.LineBytes,
+			IQBytes:      cfg.IQBytes,
+			IQBBytes:     cfg.IQBBytes,
+			TruePrefetch: cfg.TruePrefetch,
+			DeepPrefetch: cfg.DeepPrefetch,
+		}, arr, img, s.sys, img.Entry)
+	case FetchConventional:
+		s.eng, err = fetch.NewConv(fetch.ConvConfig{
+			CacheBytes: cfg.CacheBytes,
+			LineBytes:  cfg.LineBytes,
+			ChunkBytes: cfg.Mem.BusWidthBytes,
+		}, arr, img, s.sys, img.Entry)
+	case FetchTIB:
+		s.eng, err = fetch.NewTIB(fetch.TIBConfig{
+			Entries:   cfg.TIBEntries,
+			LineBytes: cfg.TIBLineBytes,
+		}, img, s.sys, img.Entry)
+	default:
+		err = fmt.Errorf("core: unknown fetch strategy %d", cfg.Fetch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.cpu, err = cpu.New(cfg.CPU, s.eng, s.sys, &s.st.CPU)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run executes the program to completion (HALT retired and all memory
+// traffic drained) and returns the collected statistics. Run may be called
+// once per Simulator.
+func (s *Simulator) Run() (*stats.Sim, error) {
+	if s.ran {
+		return nil, fmt.Errorf("core: Run called twice")
+	}
+	s.ran = true
+	for cycle := uint64(1); ; cycle++ {
+		s.sys.BeginCycle(cycle)
+		s.eng.Tick()
+		if s.cfg.InterruptAt != 0 && cycle == s.cfg.InterruptAt {
+			s.cpu.RaiseInterrupt(s.cfg.InterruptVector)
+		}
+		s.cpu.Tick()
+		s.sys.EndCycle()
+		if err := s.cpu.Err(); err != nil {
+			return nil, err
+		}
+		if s.cpu.Halted() && s.cpu.Drained() && s.sys.Drained() {
+			s.st.Cycles = cycle
+			break
+		}
+		if cycle >= s.cfg.MaxCycles {
+			return nil, fmt.Errorf("core: no completion within %d cycles (instructions retired: %d)",
+				s.cfg.MaxCycles, s.st.CPU.Instructions)
+		}
+	}
+	s.st.Fetch = *s.eng.Stats()
+	return &s.st, nil
+}
+
+// SetRetireTracer installs a recorder observing every retired instruction.
+// Call before Run.
+func (s *Simulator) SetRetireTracer(rec trace.Recorder) {
+	s.cpu.OnRetire = func(cycle uint64, pc uint32, in isa.Inst) {
+		rec.Record(trace.Event{Cycle: cycle, PC: pc, Inst: in})
+	}
+}
+
+// ReadWord returns the final memory word at addr (after Run), letting
+// examples and tests verify kernel results.
+func (s *Simulator) ReadWord(addr uint32) uint32 { return s.sys.ReadWord(addr) }
+
+// Reg returns a CPU register value (after Run).
+func (s *Simulator) Reg(r int) int32 { return s.cpu.Reg(r) }

@@ -1,0 +1,638 @@
+// Package cpu implements the five-stage PIPE processor pipeline:
+// Instruction Fetch, Instruction Decode, Instruction Issue, ALU1 and ALU2.
+//
+// The model is cycle-accurate for the properties the paper measures and
+// functionally exact: every instruction computes real values, so the
+// Livermore-loop kernels produce checkable numerical results. Operands are
+// read and results computed as an instruction issues (full forwarding: a
+// dependent instruction can issue the cycle after its producer, so ALU
+// dependences never stall). What does stall issue, exactly as in the PIPE
+// architecture, is the decoupled memory access path:
+//
+//   - reading R7 pops the Load Data Queue and blocks while it is empty —
+//     the fundamental mechanism by which memory latency reaches the
+//     pipeline;
+//   - a full Load Address Queue, Store Address Queue or Store Data Queue
+//     blocks the instruction that would push it;
+//   - an empty instruction supply (the fetch engine has nothing to offer)
+//     starves the front end.
+//
+// Memory operations dispatch from the queues to the external memory system
+// in strict program order, one per cycle (one address-bus slot). A store to
+// one of the FPU trigger addresses reserves a Load Data Queue slot for the
+// operation's result, which returns over the input bus tagged with that
+// reservation; an in-order completion buffer guarantees LDQ values appear
+// in program order even when a fast load overtakes a slow FPU result.
+package cpu
+
+import (
+	"fmt"
+
+	"pipesim/internal/cache"
+	"pipesim/internal/fetch"
+	"pipesim/internal/isa"
+	"pipesim/internal/mem"
+	"pipesim/internal/program"
+	"pipesim/internal/queue"
+	"pipesim/internal/stats"
+)
+
+// Config sizes the architectural queues and the optional on-chip data
+// cache.
+type Config struct {
+	LAQDepth int // Load Address Queue entries
+	LDQDepth int // Load Data Queue entries (R7 read side)
+	SAQDepth int // Store Address Queue entries
+	SDQDepth int // Store Data Queue entries (R7 write side)
+
+	// DCacheBytes enables a small on-chip data cache (0 = none, the
+	// paper's machine). The paper's conclusion suggests exactly this
+	// future use of higher circuit densities. The cache is direct
+	// mapped, write-through and write-allocate at word granularity; a
+	// load hit returns in one cycle without touching the busses.
+	DCacheBytes     int
+	DCacheLineBytes int // tag granularity; defaults to 16 when zero
+}
+
+// DefaultConfig returns the queue depths used throughout the paper's
+// simulations (deep enough that data queues are not the bottleneck).
+func DefaultConfig() Config {
+	return Config{LAQDepth: 8, LDQDepth: 8, SAQDepth: 8, SDQDepth: 8}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LAQDepth < 1 || c.LDQDepth < 1 || c.SAQDepth < 1 || c.SDQDepth < 1 {
+		return fmt.Errorf("cpu: queue depths must be at least 1: %+v", c)
+	}
+	return nil
+}
+
+// slot is one pipeline latch.
+type slot struct {
+	valid bool
+	pc    uint32
+	in    isa.Inst
+
+	// Values computed at issue, applied at the timed stages.
+	result   int32  // register result (also SDQ datum for R7 writes)
+	memAddr  uint32 // effective address for LD/ST
+	pbrTaken bool
+	pbrBn    uint8
+}
+
+// laqEntry is a queued load address. seq is the program-order tag assigned
+// when the address was generated, used to interleave loads and stores in
+// program order at the memory interface.
+type laqEntry struct {
+	addr uint32
+	seq  uint64
+}
+
+// saqEntry is a queued store address.
+type saqEntry struct {
+	addr uint32
+	seq  uint64
+}
+
+// dcacheHit is a data-cache hit scheduled to fill its LDQ reservation on
+// the next cycle (one-cycle on-chip access).
+type dcacheHit struct {
+	seq   uint64
+	value uint32
+	at    uint64
+}
+
+// CPU is the processor model.
+type CPU struct {
+	cfg Config
+	eng fetch.Engine
+	sys *mem.System
+	st  *stats.CPU
+
+	regs  [isa.NumDataRegs]int32
+	bank  [isa.QueueReg]int32 // background register set (R7 is not banked)
+	bregs [isa.NumBranchRegs]uint32
+
+	// Pipeline latches: id <- fetch, is <- id, ex1 <- is, ex2 <- ex1.
+	id, is, ex1, ex2 slot
+
+	laq *queue.Queue[laqEntry]
+	ldq *queue.Queue[int32]
+	saq *queue.Queue[saqEntry]
+	sdq *queue.Queue[int32]
+
+	// LDQ sequencing: slots are reserved in dispatch (= program) order;
+	// arrivals are buffered and pushed in order.
+	ldqSeqNext    uint64
+	ldqSeqHead    uint64
+	arrived       map[uint64]int32
+	inflightLoads int
+
+	// memSeqNext tags LAQ/SAQ entries in program order at address
+	// generation (EX1).
+	memSeqNext uint64
+
+	// lastData throttles dispatch: the address bus holds one data request
+	// until the memory interface accepts it, so the architectural queues
+	// (not a hidden buffer) absorb memory-system backpressure.
+	lastData mem.Handle
+
+	// onLoadWord is the shared load-return callback (avoids one closure
+	// allocation per load).
+	onLoadWord func(addr uint32, w uint32, seq uint64)
+
+	fetchHalted bool // HALT has been fetched; stop consuming
+	halted      bool // HALT has retired
+	execErr     error
+
+	cycle uint64 // local cycle counter (Tick calls)
+
+	// Optional data cache: presence bits only; values come from the
+	// memory image, which is exact because loads dispatch only after
+	// every older store has been accepted and applied.
+	dcache *cache.Cache
+	dhits  []dcacheHit // hits delivering next cycle
+
+	// OnRetire, when set, observes every retired instruction (used by the
+	// tracing facility). It must not mutate simulator state.
+	OnRetire func(cycle uint64, pc uint32, in isa.Inst)
+
+	// Single-level interrupt state (paper §3.1: "a single-level
+	// interrupt"). Entry waits for a clean boundary: no open delay-slot
+	// window, no unresolved PBR, pipeline drained. The hardware then
+	// saves the resume address in B7, exchanges the register banks (this
+	// is what the background set is for), and redirects fetch to the
+	// vector. The handler must not touch R7 or the data queues and
+	// returns with `bank` followed by `pbr al, r0, b7, 0`.
+	irqPending  bool
+	irqVector   uint32
+	irqDraining bool
+	irqTaken    bool // single-level: at most one interrupt per run
+	windowOpen  int  // delay slots still to fetch for the newest PBR
+	pbrInFlight int  // PBRs consumed but not yet resolved
+}
+
+// New builds a CPU reading instructions from eng and memory through sys.
+func New(cfg Config, eng fetch.Engine, sys *mem.System, st *stats.CPU) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = &stats.CPU{}
+	}
+	c := &CPU{
+		cfg:     cfg,
+		eng:     eng,
+		sys:     sys,
+		st:      st,
+		laq:     queue.New[laqEntry](cfg.LAQDepth),
+		ldq:     queue.New[int32](cfg.LDQDepth),
+		saq:     queue.New[saqEntry](cfg.SAQDepth),
+		sdq:     queue.New[int32](cfg.SDQDepth),
+		arrived: make(map[uint64]int32),
+	}
+	if cfg.DCacheBytes > 0 {
+		line := cfg.DCacheLineBytes
+		if line == 0 {
+			line = 16
+		}
+		dc, err := cache.New(cfg.DCacheBytes, line, 4)
+		if err != nil {
+			return nil, err
+		}
+		c.dcache = dc
+	}
+	sys.FPUSink = c.loadArrived
+	c.onLoadWord = func(addr uint32, w uint32, seq uint64) {
+		if c.dcache != nil && addr < program.FPUBase {
+			c.dcache.FillSub(addr) // load-allocate
+		}
+		c.loadArrived(seq, w)
+	}
+	return c, nil
+}
+
+// Halted reports whether the HALT instruction has retired.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Err returns the first execution error (undefined opcode), if any.
+func (c *CPU) Err() error { return c.execErr }
+
+// Reg returns the current value of data register r (for tests/examples).
+func (c *CPU) Reg(r int) int32 { return c.regs[r] }
+
+// LDQLen returns the current Load Data Queue occupancy (for tests).
+func (c *CPU) LDQLen() int { return c.ldq.Len() }
+
+// RaiseInterrupt requests the single-level interrupt: at the next clean
+// instruction boundary the CPU saves the resume address in B7, switches to
+// the background register bank, and redirects fetch to vector. Only the
+// first request in a run is honoured (single-level).
+func (c *CPU) RaiseInterrupt(vector uint32) {
+	if c.irqTaken || c.halted {
+		return
+	}
+	c.irqPending = true
+	c.irqVector = vector
+}
+
+// loadArrived buffers a returned load/FPU value and pushes buffered values
+// into the LDQ in reservation order.
+func (c *CPU) loadArrived(seq uint64, value uint32) {
+	c.arrived[seq] = int32(value)
+	for {
+		v, ok := c.arrived[c.ldqSeqHead]
+		if !ok {
+			break
+		}
+		delete(c.arrived, c.ldqSeqHead)
+		c.ldq.MustPush(v) // slot was reserved at dispatch
+		c.inflightLoads--
+		c.ldqSeqHead++
+	}
+}
+
+// Tick advances the processor one cycle. Call after the fetch engine's Tick
+// and before the memory system's EndCycle.
+func (c *CPU) Tick() {
+	c.cycle++
+	if c.halted || c.execErr != nil {
+		c.dispatchMemory()
+		return
+	}
+	c.retire()  // EX2
+	c.execute() // EX1 (timed effects of the instruction that issued last cycle)
+	stalled := c.issue()
+	if !stalled {
+		c.decodeAndFetch()
+	}
+	c.maybeEnterInterrupt()
+	c.dispatchMemory()
+}
+
+// maybeEnterInterrupt performs interrupt entry once the pipeline has
+// drained past a clean boundary.
+func (c *CPU) maybeEnterInterrupt() {
+	if !c.irqDraining {
+		return
+	}
+	if c.id.valid || c.is.valid || c.ex1.valid || c.ex2.valid {
+		return // still draining
+	}
+	c.irqDraining = false
+	c.irqTaken = true
+	c.bregs[isa.NumBranchRegs-1] = c.eng.ResumePC()
+	for i := 0; i < isa.QueueReg; i++ { // hardware bank switch
+		c.regs[i], c.bank[i] = c.bank[i], c.regs[i]
+	}
+	c.eng.Redirect(c.irqVector)
+}
+
+// retire completes the instruction in EX2.
+func (c *CPU) retire() {
+	if !c.ex2.valid {
+		return
+	}
+	in := c.ex2.in
+	c.st.Instructions++
+	if c.OnRetire != nil {
+		c.OnRetire(c.cycle, c.ex2.pc, in)
+	}
+	switch in.Op {
+	case isa.OpHALT:
+		c.halted = true
+	case isa.OpPBR:
+		c.st.Branches++
+		if c.ex2.pbrTaken {
+			c.st.TakenBranches++
+		}
+	case isa.OpLD:
+		c.st.Loads++
+	case isa.OpST:
+		c.st.Stores++
+	}
+	c.ex2.valid = false
+}
+
+// execute applies the EX1-stage timed effects (address-queue pushes and the
+// PBR resolution) and moves the instruction to EX2.
+func (c *CPU) execute() {
+	if c.ex2.valid {
+		panic("cpu: EX2 occupied at EX1 advance")
+	}
+	c.ex2 = c.ex1
+	c.ex1.valid = false
+	if !c.ex2.valid {
+		return
+	}
+	s := &c.ex2
+	switch s.in.Op {
+	case isa.OpLD:
+		c.laq.MustPush(laqEntry{addr: s.memAddr, seq: c.memSeqNext})
+		c.memSeqNext++
+	case isa.OpST:
+		c.saq.MustPush(saqEntry{addr: s.memAddr, seq: c.memSeqNext})
+		c.memSeqNext++
+	case isa.OpPBR:
+		c.pbrInFlight--
+		c.eng.Resolve(s.pbrTaken, c.bregs[s.pbrBn])
+	}
+	if s.in.WritesSDQ() {
+		c.sdq.MustPush(s.result)
+	}
+}
+
+// issue reads operands, computes the result, and moves the instruction from
+// IS to EX1. It reports whether issue stalled (freezing ID and IF).
+func (c *CPU) issue() (stalled bool) {
+	if !c.is.valid {
+		return false
+	}
+	in := c.is.in
+
+	// Structural hazards: room in every queue this instruction pushes,
+	// counting the in-flight push of the instruction currently in EX1.
+	pendingLAQ, pendingSAQ, pendingSDQ := 0, 0, 0
+	if c.ex1.valid {
+		switch c.ex1.in.Op {
+		case isa.OpLD:
+			pendingLAQ++
+		case isa.OpST:
+			pendingSAQ++
+		}
+		if c.ex1.in.WritesSDQ() {
+			pendingSDQ++
+		}
+	}
+	switch {
+	case in.Op == isa.OpLD && c.laq.Len()+pendingLAQ >= c.laq.Cap(),
+		in.Op == isa.OpST && c.saq.Len()+pendingSAQ >= c.saq.Cap(),
+		in.WritesSDQ() && c.sdq.Len()+pendingSDQ >= c.sdq.Cap():
+		c.st.StallQueueFull++
+		return true
+	}
+
+	// R7 source operands pop the LDQ; stall until enough data arrived.
+	need := 0
+	readsA, readsB := c.operandReads(in)
+	if readsA && in.Ra == isa.QueueReg {
+		need++
+	}
+	if readsB && in.Rb == isa.QueueReg {
+		need++
+	}
+	if c.ldq.Len() < need {
+		c.st.StallLDQEmpty++
+		return true
+	}
+
+	readReg := func(r uint8) int32 {
+		if r == isa.QueueReg {
+			return c.ldq.MustPop()
+		}
+		return c.regs[r]
+	}
+	var a, b int32
+	if readsA {
+		a = readReg(in.Ra)
+	}
+	if readsB {
+		b = readReg(in.Rb)
+	}
+
+	s := c.is
+	c.is.valid = false
+	if err := c.compute(&s, a, b); err != nil {
+		c.execErr = err
+		return true
+	}
+	if c.ex1.valid {
+		panic("cpu: EX1 occupied at issue")
+	}
+	c.ex1 = s
+	return false
+}
+
+// operandReads reports which register operand fields the opcode actually
+// reads.
+func (c *CPU) operandReads(in isa.Inst) (ra, rb bool) {
+	switch in.Op {
+	case isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSLL, isa.OpSRL, isa.OpSRA:
+		return true, true
+	case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSLLI, isa.OpSRLI, isa.OpSRAI,
+		isa.OpLD, isa.OpST, isa.OpSETBR:
+		return true, false
+	case isa.OpPBR:
+		return in.Cond != isa.CondAL, false
+	}
+	return false, false
+}
+
+// compute performs the instruction's functional work at issue time and
+// records timed effects in the slot. Register and branch-register writes
+// apply immediately (full forwarding); queue pushes are recorded for EX1.
+func (c *CPU) compute(s *slot, a, b int32) error {
+	in := s.in
+	writeReg := func(v int32) {
+		s.result = v
+		if in.Rd != isa.QueueReg {
+			c.regs[in.Rd] = v
+		}
+	}
+	switch in.Op {
+	case isa.OpNOP, isa.OpHALT:
+	case isa.OpADD:
+		writeReg(a + b)
+	case isa.OpSUB:
+		writeReg(a - b)
+	case isa.OpAND:
+		writeReg(a & b)
+	case isa.OpOR:
+		writeReg(a | b)
+	case isa.OpXOR:
+		writeReg(a ^ b)
+	case isa.OpSLL:
+		writeReg(a << (uint32(b) & 31))
+	case isa.OpSRL:
+		writeReg(int32(uint32(a) >> (uint32(b) & 31)))
+	case isa.OpSRA:
+		writeReg(a >> (uint32(b) & 31))
+	case isa.OpADDI:
+		writeReg(a + in.Imm)
+	case isa.OpANDI:
+		// Logical immediates zero-extend (so ORI can build the low half
+		// of an address); arithmetic immediates sign-extend.
+		writeReg(a & int32(uint32(in.Imm)&0xFFFF))
+	case isa.OpORI:
+		writeReg(a | int32(uint32(in.Imm)&0xFFFF))
+	case isa.OpXORI:
+		writeReg(a ^ int32(uint32(in.Imm)&0xFFFF))
+	case isa.OpSLLI:
+		writeReg(a << (uint32(in.Imm) & 31))
+	case isa.OpSRLI:
+		writeReg(int32(uint32(a) >> (uint32(in.Imm) & 31)))
+	case isa.OpSRAI:
+		writeReg(a >> (uint32(in.Imm) & 31))
+	case isa.OpLI:
+		writeReg(in.Imm)
+	case isa.OpLUI:
+		writeReg(in.Imm << 16)
+	case isa.OpLD, isa.OpST:
+		s.memAddr = uint32(a+in.Imm) & program.AddrMask
+	case isa.OpSETB:
+		c.bregs[in.Bn] = uint32(in.Imm)
+	case isa.OpSETBR:
+		c.bregs[in.Bn] = uint32(a) & program.AddrMask
+	case isa.OpBANK:
+		// Exchange foreground and background registers R0..R6.
+		for i := 0; i < isa.QueueReg; i++ {
+			c.regs[i], c.bank[i] = c.bank[i], c.regs[i]
+		}
+	case isa.OpPBR:
+		s.pbrTaken = in.Cond.Holds(a)
+		s.pbrBn = in.Bn
+	default:
+		return fmt.Errorf("cpu: undefined opcode %#02x at pc %#x", uint8(in.Op), s.pc)
+	}
+	return nil
+}
+
+// decodeAndFetch moves ID to IS and consumes the next instruction from the
+// fetch engine into ID.
+func (c *CPU) decodeAndFetch() {
+	if c.is.valid {
+		panic("cpu: IS occupied after successful issue")
+	}
+	c.is = c.id
+	c.id.valid = false
+	if c.fetchHalted || c.irqDraining {
+		return
+	}
+	// Interrupt entry may only begin at a clean boundary: no delay slots
+	// owed and no unresolved branch in flight.
+	if c.irqPending && c.windowOpen == 0 && c.pbrInFlight == 0 {
+		c.irqPending = false
+		c.irqDraining = true
+		return
+	}
+	pc, w, ok := c.eng.Head()
+	if !ok {
+		c.st.StallFetchEmpty++
+		return
+	}
+	c.eng.Consume()
+	c.id = slot{valid: true, pc: pc, in: isa.Decode(w)}
+	if c.windowOpen > 0 {
+		c.windowOpen--
+	}
+	switch c.id.in.Op {
+	case isa.OpHALT:
+		c.fetchHalted = true
+	case isa.OpPBR:
+		c.windowOpen = int(c.id.in.N)
+		c.pbrInFlight++
+	}
+}
+
+// dispatchMemory sends at most one data request per cycle (one address-bus
+// slot) to the memory system, in strict program order: the Load Address
+// Queue and the Store Address/Data Queue pair drain in the order the
+// instructions executed, which the single-issue in-order pipeline
+// guarantees matches program order.
+func (c *CPU) dispatchMemory() {
+	// Deliver data-cache hits that completed their one-cycle access.
+	if len(c.dhits) > 0 {
+		kept := c.dhits[:0]
+		for _, h := range c.dhits {
+			if h.at <= c.cycle {
+				c.loadArrived(h.seq, h.value)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		c.dhits = kept
+	}
+	if c.lastData.Queued() {
+		return // previous data request still waiting for the interface
+	}
+	la, laOK := c.laq.Peek()
+	sa, saOK := c.saq.Peek()
+	// Strict program order: dispatch the older queue head; a not-yet-
+	// ready older store blocks younger loads (the conservative PIPE
+	// memory-interface rule that keeps same-address ordering correct).
+	if laOK && saOK {
+		if la.seq < sa.seq {
+			saOK = false
+		} else {
+			laOK = false
+		}
+	}
+	switch {
+	case saOK:
+		if c.sdq.Empty() {
+			return // the datum has not reached the SDQ head yet
+		}
+		fpuTrigger := mem.IsFPUTrigger(sa.addr)
+		if fpuTrigger && c.ldq.Len()+c.inflightLoads >= c.ldq.Cap() {
+			return // the result needs an LDQ slot; hold the store
+		}
+		c.saq.MustPop()
+		datum := c.sdq.MustPop()
+		req := &mem.Request{
+			Kind:  stats.ReqDataStore,
+			Addr:  sa.addr &^ 3,
+			Size:  4,
+			Store: true,
+			Data:  []uint32{uint32(datum)},
+		}
+		if fpuTrigger {
+			req.Seq = c.ldqSeqNext
+			c.ldqSeqNext++
+			c.inflightLoads++
+		}
+		if c.dcache != nil && !fpuTrigger && sa.addr < program.FPUBase {
+			// Write-through, write-allocate: the word becomes
+			// cacheable; the store still travels down the bus.
+			c.dcache.FillSub(sa.addr &^ 3)
+		}
+		c.lastData = c.sys.Submit(req)
+	case laOK:
+		if c.ldq.Len()+c.inflightLoads >= c.ldq.Cap() {
+			return // no LDQ room; hold the load
+		}
+		if c.dcache != nil && la.addr < program.FPUBase && c.dcache.Lookup(la.addr&^3) {
+			// On-chip hit: one-cycle access, no bus traffic. Every
+			// older store has already been accepted and applied (the
+			// single outstanding data request gate), so the memory
+			// image holds the architecturally correct value.
+			c.laq.MustPop()
+			c.st.DCacheHits++
+			seq := c.ldqSeqNext
+			c.ldqSeqNext++
+			c.inflightLoads++
+			c.dhits = append(c.dhits, dcacheHit{seq: seq, value: c.sys.ReadWord(la.addr &^ 3), at: c.cycle + 1})
+			return
+		}
+		if c.dcache != nil {
+			c.st.DCacheMisses++
+		}
+		c.laq.MustPop()
+		seq := c.ldqSeqNext
+		c.ldqSeqNext++
+		c.inflightLoads++
+		c.lastData = c.sys.Submit(&mem.Request{
+			Kind:   stats.ReqDataLoad,
+			Addr:   la.addr &^ 3,
+			Size:   4,
+			Seq:    seq,
+			OnWord: c.onLoadWord,
+		})
+	}
+}
+
+// Drained reports whether the CPU-side memory machinery is idle: no queued
+// addresses or store data and no outstanding loads.
+func (c *CPU) Drained() bool {
+	return c.laq.Empty() && c.saq.Empty() && c.sdq.Empty() && c.inflightLoads == 0
+}

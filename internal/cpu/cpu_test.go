@@ -1,0 +1,654 @@
+package cpu_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipesim/internal/asm"
+	"pipesim/internal/core"
+	"pipesim/internal/cpu"
+	"pipesim/internal/mem"
+	"pipesim/internal/program"
+	"pipesim/internal/stats"
+)
+
+// runAsm assembles src and runs it under cfg, returning the simulator (for
+// memory/register inspection) and the statistics.
+func runAsm(t *testing.T, cfg core.Config, src string) (*core.Simulator, *stats.Sim) {
+	t.Helper()
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	sim, err := core.New(cfg, img)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return sim, st
+}
+
+func defCfg() core.Config { return core.DefaultConfig() }
+
+func TestALUOperations(t *testing.T) {
+	sim, _ := runAsm(t, defCfg(), `
+        li   r1, 20
+        li   r2, 3
+        add  r3, r1, r2    ; 23
+        sub  r4, r1, r2    ; 17
+        slli r5, r2, 4     ; 48
+        xor  r6, r1, r2    ; 23
+        halt
+`)
+	want := map[int]int32{1: 20, 2: 3, 3: 23, 4: 17, 5: 48, 6: 23}
+	for r, v := range want {
+		if got := sim.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestForwardingNoALUStalls(t *testing.T) {
+	// A chain of dependent adds must not stall: full forwarding.
+	var sb strings.Builder
+	sb.WriteString("li r1, 0\n")
+	for i := 0; i < 50; i++ {
+		sb.WriteString("addi r1, r1, 1\n")
+	}
+	sb.WriteString("halt\n")
+	sim, st := runAsm(t, defCfg(), sb.String())
+	if got := sim.Reg(1); got != 50 {
+		t.Fatalf("r1 = %d, want 50", got)
+	}
+	if st.CPU.StallLDQEmpty != 0 || st.CPU.StallQueueFull != 0 {
+		t.Errorf("unexpected issue stalls: %+v", st.CPU)
+	}
+	// 52 instructions; pipeline depth and cold-start fetch add a small
+	// constant. Anything beyond ~1.5 CPI means supply is broken.
+	if st.Cycles > uint64(float64(st.CPU.Instructions)*3/2) {
+		t.Errorf("cycles = %d for %d instructions", st.Cycles, st.CPU.Instructions)
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	sim, st := runAsm(t, defCfg(), `
+        la   r1, buf
+        li   r2, 1234
+        st   0(r1)         ; address of buf
+        mov  r7, r2        ; datum 1234 -> SDQ
+        ld   0(r1)         ; read it back
+        mov  r3, r7        ; r3 <- LDQ
+        halt
+        .data
+buf:    .word 0
+`)
+	if got := sim.Reg(3); got != 1234 {
+		t.Errorf("loaded value = %d, want 1234", got)
+	}
+	img, _ := asm.Assemble("halt\n.data\nbuf: .word 0\n")
+	bufAddr, _ := img.Lookup("buf")
+	if got := sim.ReadWord(bufAddr); got != 1234 {
+		t.Errorf("memory word = %d, want 1234", got)
+	}
+	if st.CPU.Loads != 1 || st.CPU.Stores != 1 {
+		t.Errorf("loads=%d stores=%d", st.CPU.Loads, st.CPU.Stores)
+	}
+}
+
+func TestMultipleOutstandingLoadsPreserveOrder(t *testing.T) {
+	sim, _ := runAsm(t, defCfg(), `
+        la   r1, vec
+        ld   0(r1)
+        ld   4(r1)
+        ld   8(r1)
+        mov  r2, r7        ; first value
+        mov  r3, r7        ; second
+        mov  r4, r7        ; third
+        halt
+        .data
+vec:    .word 11, 22, 33
+`)
+	if sim.Reg(2) != 11 || sim.Reg(3) != 22 || sim.Reg(4) != 33 {
+		t.Errorf("LDQ order broken: r2=%d r3=%d r4=%d", sim.Reg(2), sim.Reg(3), sim.Reg(4))
+	}
+}
+
+func TestLoadUseStallOnSlowMemory(t *testing.T) {
+	cfg := defCfg()
+	cfg.Mem.AccessTime = 6
+	_, st := runAsm(t, cfg, `
+        la   r1, v
+        ld   0(r1)
+        mov  r2, r7        ; uses the datum immediately: must stall
+        halt
+        .data
+v:      .word 5
+`)
+	if st.CPU.StallLDQEmpty == 0 {
+		t.Error("no LDQ-empty stall at 6-cycle memory with immediate use")
+	}
+}
+
+func TestLoopWithPBR(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	sim, st := runAsm(t, defCfg(), `
+        li    r1, 10       ; counter
+        li    r2, 0        ; sum
+        setb  b0, loop
+loop:   add   r2, r2, r1
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        nop
+        nop
+        halt
+`)
+	if got := sim.Reg(2); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if st.CPU.Branches != 10 || st.CPU.TakenBranches != 9 {
+		t.Errorf("branches=%d taken=%d, want 10/9", st.CPU.Branches, st.CPU.TakenBranches)
+	}
+}
+
+func TestPBRConditionVariants(t *testing.T) {
+	// CondLE taken on zero: skip the fall-through marker.
+	sim, _ := runAsm(t, defCfg(), `
+        li    r1, 0
+        li    r3, 0
+        setb  b1, out
+        pbr   le, r1, b1, 1
+        nop
+        li    r3, 99       ; must be skipped
+out:    halt
+`)
+	if got := sim.Reg(3); got != 0 {
+		t.Errorf("fall-through executed: r3 = %d", got)
+	}
+}
+
+func TestFPUMultiplyThroughQueues(t *testing.T) {
+	src := `
+        la   r1, a
+        la   r2, fpu_a
+        la   r3, fpu_mul
+        ld   0(r1)         ; a
+        ld   4(r1)         ; b
+        st   0(r2)         ; -> FPU A register
+        mov  r7, r7        ; datum: pops a from LDQ, pushes to SDQ
+        st   0(r3)         ; -> FPU MUL trigger
+        mov  r7, r7        ; datum: b
+        mov  r4, r7        ; result pops from LDQ
+        la   r5, out
+        st   0(r5)
+        mov  r7, r4
+        halt
+        .data
+a:      .float 2.5, 4.0
+out:    .word 0
+`
+	// Patch in the FPU addresses via symbols: simplest is textual
+	// substitution since the assembler has no constant expressions.
+	src = strings.ReplaceAll(src, "la   r2, fpu_a", "lui r2, 0x7\nori r2, r2, 0xF000")
+	src = strings.ReplaceAll(src, "la   r3, fpu_mul", "lui r3, 0x7\nori r3, r3, 0xF004")
+	sim, st := runAsm(t, defCfg(), src)
+	if got := math.Float32frombits(uint32(sim.Reg(4))); got != 10.0 {
+		t.Errorf("FPU product = %v, want 10", got)
+	}
+	img, _ := asm.Assemble(src)
+	outAddr, _ := img.Lookup("out")
+	if got := math.Float32frombits(sim.ReadWord(outAddr)); got != 10.0 {
+		t.Errorf("stored product = %v, want 10", got)
+	}
+	if st.Mem.FPUOps != 1 {
+		t.Errorf("FPUOps = %d, want 1", st.Mem.FPUOps)
+	}
+}
+
+func TestFPUResultOrderAmongLoads(t *testing.T) {
+	// Trigger a (slow) multiply, then issue a (fast) load; R7 reads must
+	// see the multiply result first because it was requested first.
+	src := `
+        lui  r2, 0x7
+        ori  r2, r2, 0xF000   ; FPU A
+        lui  r3, 0x7
+        ori  r3, r3, 0xF004   ; FPU MUL
+        la   r1, v
+        ld   0(r1)            ; operand a = 3.0
+        ld   4(r1)            ; operand b = 5.0
+        st   0(r2)
+        mov  r7, r7           ; a -> FPU A
+        st   0(r3)
+        mov  r7, r7           ; b -> trigger multiply (result reserved)
+        ld   8(r1)            ; fast integer load, requested after
+        mov  r4, r7           ; must be the product 15.0
+        mov  r5, r7           ; must be 777
+        halt
+        .data
+v:      .float 3.0, 5.0
+        .word 777
+`
+	sim, _ := runAsm(t, defCfg(), src)
+	if got := math.Float32frombits(uint32(sim.Reg(4))); got != 15.0 {
+		t.Errorf("first R7 read = %v, want the FPU product 15", got)
+	}
+	if got := sim.Reg(5); got != 777 {
+		t.Errorf("second R7 read = %d, want 777", got)
+	}
+}
+
+func TestSDQFullStall(t *testing.T) {
+	// A hot loop issuing one store per seven instructions against very
+	// slow non-pipelined memory (one store drains every ~12 cycles) must
+	// fill 2-entry store queues and stall issue.
+	cfg := defCfg()
+	cfg.Mem.AccessTime = 12
+	cfg.CacheBytes = 512
+	cfg.CPU = cpu.Config{LAQDepth: 8, LDQDepth: 8, SAQDepth: 2, SDQDepth: 2}
+	_, st := runAsm(t, cfg, `
+        la    r1, buf
+        li    r2, 7
+        li    r3, 16
+        setb  b0, loop
+loop:   st    0(r1)
+        mov   r7, r2
+        addi  r3, r3, -1
+        pbr   ne, r3, b0, 3
+        addi  r1, r1, 4
+        nop
+        nop
+        halt
+        .data
+buf:    .space 16
+`)
+	if st.CPU.StallQueueFull == 0 {
+		t.Error("no structural stall with tiny store queues and slow memory")
+	}
+	if st.CPU.Stores != 16 {
+		t.Errorf("stores = %d, want 16", st.CPU.Stores)
+	}
+}
+
+func TestSETBRIndirectBranch(t *testing.T) {
+	sim, _ := runAsm(t, defCfg(), `
+        la    r1, dest
+        setbr b2, r1
+        li    r3, 1
+        pbr   al, r0, b2, 0
+        li    r3, 99       ; skipped
+dest:   halt
+`)
+	if got := sim.Reg(3); got != 1 {
+		t.Errorf("r3 = %d, want 1", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `
+        li    r1, 30
+        li    r2, 0
+        la    r3, buf
+        setb  b0, loop
+loop:   st    0(r3)
+        mov   r7, r1
+        ld    0(r3)
+        add   r2, r2, r7
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        addi  r3, r3, 0
+        nop
+        halt
+        .data
+buf:    .word 0
+`
+	cfg := defCfg()
+	cfg.Mem.AccessTime = 3
+	var cycles []uint64
+	for i := 0; i < 3; i++ {
+		_, st := runAsm(t, cfg, src)
+		cycles = append(cycles, st.Cycles)
+	}
+	if cycles[0] != cycles[1] || cycles[1] != cycles[2] {
+		t.Errorf("non-deterministic cycle counts: %v", cycles)
+	}
+}
+
+func TestConventionalEngineExecutesIdentically(t *testing.T) {
+	src := `
+        li    r1, 10
+        li    r2, 0
+        setb  b0, loop
+loop:   add   r2, r2, r1
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        nop
+        nop
+        halt
+`
+	for _, strat := range []core.FetchStrategy{core.FetchPIPE, core.FetchConventional} {
+		cfg := defCfg()
+		cfg.Fetch = strat
+		sim, st := runAsm(t, cfg, src)
+		if got := sim.Reg(2); got != 55 {
+			t.Errorf("%v: sum = %d, want 55", strat, got)
+		}
+		if st.CPU.Instructions == 0 {
+			t.Errorf("%v: no instructions retired", strat)
+		}
+	}
+}
+
+func TestTIBEngineExecutesIdentically(t *testing.T) {
+	cfg := defCfg()
+	cfg.Fetch = core.FetchTIB
+	cfg.TIBEntries = 4
+	cfg.TIBLineBytes = 16
+	sim, _ := runAsm(t, cfg, `
+        li    r1, 10
+        li    r2, 0
+        setb  b0, loop
+loop:   add   r2, r2, r1
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        nop
+        nop
+        halt
+`)
+	if got := sim.Reg(2); got != 55 {
+		t.Errorf("TIB: sum = %d, want 55", got)
+	}
+}
+
+func TestQueueRegisterWriteThenStorePairing(t *testing.T) {
+	// Two stores with data pushed before/after address generation.
+	sim, _ := runAsm(t, defCfg(), `
+        la   r1, buf
+        li   r2, 5
+        li   r3, 6
+        mov  r7, r2        ; datum for first store, pushed early
+        st   0(r1)
+        st   4(r1)
+        mov  r7, r3        ; datum for second store, pushed late
+        ld   0(r1)
+        ld   4(r1)
+        mov  r4, r7
+        mov  r5, r7
+        halt
+        .data
+buf:    .word 0, 0
+`)
+	if sim.Reg(4) != 5 || sim.Reg(5) != 6 {
+		t.Errorf("store pairing broken: got %d,%d want 5,6", sim.Reg(4), sim.Reg(5))
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	img, _ := asm.Assemble("halt\n")
+	sim, err := core.New(defCfg(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+func TestInstructionCountExact(t *testing.T) {
+	// 3 setup + 10 iterations of 5 + halt = 54 retired instructions.
+	_, st := runAsm(t, defCfg(), `
+        li    r1, 10
+        li    r2, 0
+        setb  b0, loop
+loop:   add   r2, r2, r1
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        nop
+        nop
+        halt
+`)
+	want := uint64(3 + 10*5 + 1)
+	if st.CPU.Instructions != want {
+		t.Errorf("instructions = %d, want %d", st.CPU.Instructions, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	img, _ := asm.Assemble("halt\n")
+	bad := defCfg()
+	bad.CPU.LDQDepth = 0
+	if _, err := core.New(bad, img); err == nil {
+		t.Error("zero LDQ depth accepted")
+	}
+	bad2 := defCfg()
+	bad2.Mem = mem.Config{}
+	if _, err := core.New(bad2, img); err == nil {
+		t.Error("zero mem config accepted")
+	}
+	bad3 := defCfg()
+	bad3.CacheBytes = 0
+	if _, err := core.New(bad3, img); err == nil {
+		t.Error("zero cache accepted")
+	}
+}
+
+func TestDataQueuesTolerateLatency(t *testing.T) {
+	// The decoupling claim (paper §2.2): moving loads ahead of their uses
+	// lets the queues hide memory latency. Run the same work in a hot
+	// loop (so instruction supply is from the cache) with loads hoisted
+	// to the loop top versus loads immediately before each use; the
+	// hoisted schedule must be faster at a 6-cycle access time.
+	run := func(body string) uint64 {
+		cfg := defCfg()
+		cfg.Mem.AccessTime = 6
+		cfg.Mem.Pipelined = true
+		cfg.CacheBytes = 512
+		_, st := runAsm(t, cfg, `
+        li    r1, 100
+        la    r2, vec
+        li    r3, 0
+        setb  b0, loop
+loop:`+body+`
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        nop
+        nop
+        halt
+        .data
+vec:    .word 1, 2, 3, 4
+`)
+		return st.Cycles
+	}
+	early := run(`
+        ld    0(r2)
+        ld    4(r2)
+        ld    8(r2)
+        nop
+        nop
+        nop
+        add   r3, r3, r7
+        add   r3, r3, r7
+        add   r3, r3, r7
+`)
+	late := run(`
+        ld    0(r2)
+        add   r3, r3, r7
+        nop
+        ld    4(r2)
+        add   r3, r3, r7
+        nop
+        ld    8(r2)
+        add   r3, r3, r7
+        nop
+`)
+	if early >= late {
+		t.Errorf("early-scheduled loads (%d cycles) not faster than load-use schedule (%d cycles)", early, late)
+	}
+}
+
+func TestBankSwitchSubroutine(t *testing.T) {
+	// A subroutine call in the PIPE style: the callee runs on the
+	// background register set ("to improve the speed of subroutine
+	// calling"), so the caller's registers survive untouched.
+	sim, _ := runAsm(t, defCfg(), `
+        li    r1, 111        ; caller state
+        li    r2, 222
+        setb  b0, callee
+        setb  b1, back
+        pbr   al, r0, b0, 0  ; call
+        li    r4, 9          ; skipped (not a delay slot)
+back:   mov   r3, r1         ; caller resumes: r1/r2 must be intact
+        halt
+callee: bank                 ; switch to background registers
+        li    r1, 900        ; clobber freely
+        li    r2, 901
+        bank                 ; restore the caller's set
+        pbr   al, r0, b1, 1
+        nop
+`)
+	if sim.Reg(1) != 111 || sim.Reg(2) != 222 {
+		t.Errorf("caller registers clobbered: r1=%d r2=%d", sim.Reg(1), sim.Reg(2))
+	}
+	if sim.Reg(3) != 111 {
+		t.Errorf("r3 = %d, want 111", sim.Reg(3))
+	}
+	if sim.Reg(4) == 9 {
+		t.Error("fall-through instruction executed despite taken call")
+	}
+}
+
+func TestBankPreservesQueueRegister(t *testing.T) {
+	// R7 is not banked: a value loaded before BANK pops after it.
+	sim, _ := runAsm(t, defCfg(), `
+        la   r1, v
+        ld   0(r1)
+        bank
+        mov  r2, r7
+        bank
+        halt
+        .data
+v:      .word 4242
+`)
+	// r2 was written in the background bank; after the second BANK the
+	// foreground r2 is back (0), and the background one held 4242. Check
+	// via a third read after swapping once more is simpler: re-run with a
+	// single bank and read r2 directly.
+	_ = sim
+	sim2, _ := runAsm(t, defCfg(), `
+        la   r1, v
+        ld   0(r1)
+        bank
+        mov  r2, r7
+        halt
+        .data
+v:      .word 4242
+`)
+	if got := sim2.Reg(2); got != 4242 {
+		t.Errorf("r7 across BANK = %d, want 4242 (queue register is shared)", got)
+	}
+}
+
+func TestDataCacheCorrectnessAndSpeedup(t *testing.T) {
+	// A reduction that rereads the same words every iteration: the data
+	// cache must keep results identical while cutting bus loads and
+	// cycles at a slow memory.
+	src := `
+        li    r1, 40
+        li    r2, 0
+        la    r3, vec
+        setb  b0, loop
+loop:   ld    0(r3)
+        ld    4(r3)
+        ld    8(r3)
+        mov   r4, r7
+        add   r2, r2, r4
+        mov   r4, r7
+        add   r2, r2, r4
+        mov   r4, r7
+        add   r2, r2, r4
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        nop
+        nop
+        halt
+        .data
+vec:    .word 3, 5, 7
+`
+	run := func(dcache int) (int32, uint64, uint64, *stats.Sim) {
+		cfg := defCfg()
+		cfg.Mem.AccessTime = 6
+		cfg.CacheBytes = 512
+		cfg.CPU.DCacheBytes = dcache
+		sim, st := runAsm(t, cfg, src)
+		return sim.Reg(2), st.Cycles, st.Mem.Accepted[stats.ReqDataLoad], st
+	}
+	sumNo, cycNo, loadsNo, _ := run(0)
+	sumD, cycD, loadsD, stD := run(64)
+	want := int32(40 * (3 + 5 + 7))
+	if sumNo != want || sumD != want {
+		t.Fatalf("sums = %d / %d, want %d", sumNo, sumD, want)
+	}
+	if stD.CPU.DCacheHits == 0 {
+		t.Fatal("data cache recorded no hits on a rereading loop")
+	}
+	if loadsD >= loadsNo {
+		t.Errorf("bus loads with dcache %d, without %d; cache should cut traffic", loadsD, loadsNo)
+	}
+	if cycD >= cycNo {
+		t.Errorf("cycles with dcache %d, without %d; hits should help at T=6", cycD, cycNo)
+	}
+}
+
+func TestDataCacheWithRecurrenceKernel(t *testing.T) {
+	// LL5 loads the value stored the previous iteration; write-allocate
+	// must serve it correctly (same-address store->load ordering).
+	cfg := defCfg()
+	cfg.CPU.DCacheBytes = 128
+	cfg.Mem.AccessTime = 3
+	img, err := asm.Assemble(`
+        la    r1, x+4
+        li    r5, 50
+        li    r2, 3
+        setb  b0, loop
+loop:   ld    -4(r1)       ; x[k-1], stored last iteration
+        mov   r3, r7
+        add   r3, r3, r2
+        st    0(r1)
+        mov   r7, r3       ; x[k] = x[k-1] + 3
+        addi  r5, r5, -1
+        pbr   ne, r5, b0, 1
+        addi  r1, r1, 4
+        halt
+        .data
+x:      .word 10
+        .space 64
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CPU.DCacheHits == 0 {
+		t.Error("recurrence never hit the write-allocated line")
+	}
+	base, _ := img.Lookup("x")
+	for k := 0; k <= 50; k++ {
+		want := uint32(10 + 3*k)
+		if got := sim.ReadWord(base + uint32(4*k)); got != want {
+			t.Fatalf("x[%d] = %d, want %d (stale data-cache value?)", k, got, want)
+		}
+	}
+}
+
+var _ = program.TextBase // keep import for doc reference

@@ -1,0 +1,266 @@
+package fetch
+
+import (
+	"fmt"
+
+	"pipesim/internal/cache"
+	"pipesim/internal/isa"
+	"pipesim/internal/mem"
+	"pipesim/internal/program"
+	"pipesim/internal/stats"
+)
+
+// ConvConfig sizes the conventional cache front end.
+type ConvConfig struct {
+	CacheBytes int
+	LineBytes  int // tag granularity; fills are per 4-byte sub-block
+	// ChunkBytes is the size of one off-chip instruction request. Hill's
+	// model requests one instruction at a time; a single memory
+	// transaction returns one input-bus transfer, so the natural chunk is
+	// the bus width (a 4-byte bus returns exactly one instruction).
+	ChunkBytes int
+}
+
+// Validate reports configuration errors.
+func (c ConvConfig) Validate() error {
+	if c.ChunkBytes < isa.WordBytes || c.ChunkBytes%isa.WordBytes != 0 {
+		return fmt.Errorf("fetch: chunk size %d invalid", c.ChunkBytes)
+	}
+	if c.ChunkBytes > c.LineBytes {
+		return fmt.Errorf("fetch: chunk size %d exceeds line size %d", c.ChunkBytes, c.LineBytes)
+	}
+	return nil
+}
+
+// Conv is the conventional instruction cache with Hill's always-prefetch
+// strategy, the strongest prefetching cache in his study and the baseline
+// the paper compares against. The cache is direct mapped with one-
+// instruction sub-blocks and per-sub-block valid bits. The PC is presented
+// every cycle and tag + array lookup complete within the cycle. On every
+// reference the next sequential instruction is prefetched, even across a
+// line boundary. Only one instruction-side memory request may be
+// outstanding, and a new one cannot begin until the previous one finishes;
+// demand fetches replace a still-queued prefetch.
+type Conv struct {
+	cfg   ConvConfig
+	cache *cache.Cache
+	img   *program.Image
+	sys   *mem.System
+	st    stats.Fetch
+	str   streamer
+
+	outstanding bool
+	outDemand   bool
+	outChunk    uint32
+	outHandle   mem.Handle
+
+	// Native format: split-instruction latch (see the PIPE engine); holds
+	// a first parcel that a tail-line fill might otherwise evict.
+	capAddr  uint32
+	capValid bool
+}
+
+var _ Engine = (*Conv)(nil)
+
+// NewConv builds a conventional always-prefetch engine starting at pc.
+func NewConv(cfg ConvConfig, cacheArr *cache.Cache, img *program.Image, sys *mem.System, pc uint32) (*Conv, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wantSub := isa.WordBytes
+	if img.Native {
+		wantSub = isa.ParcelBytes
+	}
+	if cacheArr.SubBlockBytes() != wantSub {
+		return nil, fmt.Errorf("fetch: conventional cache needs %d-byte sub-blocks for this image format", wantSub)
+	}
+	c := &Conv{cfg: cfg, cache: cacheArr, img: img, sys: sys}
+	c.str.reset(pc)
+	c.str.varlen = img.Native
+	return c, nil
+}
+
+// Stats returns the engine's counters.
+func (c *Conv) Stats() *stats.Fetch { return &c.st }
+
+// Head performs this cycle's tag and array lookup for the stream PC. An
+// instruction is present only when every one of its sub-blocks is valid
+// (one word in the fixed format; one or two parcels in the native format).
+func (c *Conv) Head() (uint32, uint32, bool) {
+	pc, ok := c.str.pc()
+	if !ok {
+		return 0, 0, false
+	}
+	w, n := c.instAt(pc)
+	if !c.present(pc, n) {
+		return 0, 0, false
+	}
+	return pc, w, true
+}
+
+// present reports whether all nbytes of the instruction at addr are valid
+// in the cache or held in the split-instruction latch.
+func (c *Conv) present(addr, nbytes uint32) bool {
+	step := uint32(c.cache.SubBlockBytes())
+	for off := uint32(0); off < nbytes; off += step {
+		a := addr + off
+		if c.capValid && c.capAddr == a {
+			continue
+		}
+		if !c.cache.Present(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Consume advances the stream past the supplied instruction.
+func (c *Conv) Consume() {
+	pc, ok := c.str.pc()
+	if !ok {
+		panic("fetch: Consume without a supplied instruction")
+	}
+	word, n := c.instAt(pc)
+	if !c.present(pc, n) {
+		panic("fetch: Consume without a supplied instruction")
+	}
+	c.st.SupplyCycles++
+	c.st.CacheHits++
+	if c.capValid && c.capAddr == pc {
+		c.capValid = false
+	}
+	c.str.consume(word, n)
+}
+
+// Resolve records a PBR outcome. The conventional cache keeps whatever it
+// has prefetched — wrong-path sub-blocks simply stay valid.
+func (c *Conv) Resolve(taken bool, target uint32) {
+	c.str.resolve(taken, target)
+	if taken {
+		c.st.BranchFlushes++
+	}
+}
+
+// ResumePC returns the next unconsumed instruction address.
+func (c *Conv) ResumePC() uint32 { return c.str.nextPC }
+
+// Redirect abandons the stream and restarts at pc (interrupt entry/return).
+// The cache keeps its contents; only the stream state resets.
+func (c *Conv) Redirect(pc uint32) {
+	if len(c.str.pending) > 0 {
+		panic("fetch: Redirect with a pending branch")
+	}
+	native := c.str.varlen
+	c.str.reset(pc)
+	c.str.varlen = native
+	c.capValid = false
+}
+
+// Tick issues at most one off-chip action: a demand fetch for a missing
+// stream PC, or the always-prefetch of the next sequential instruction.
+func (c *Conv) Tick() {
+	if c.str.halted {
+		return
+	}
+	pc, ok := c.str.pc()
+	_, n := c.instAt(pc)
+	if ok && !c.present(pc, n) {
+		// Latch a resident first parcel of a split instruction before
+		// demanding its tail, so the tail fill cannot evict it.
+		if c.img.Native && n > uint32(c.cache.SubBlockBytes()) &&
+			c.cache.Present(pc) && !c.cache.Present(pc+isa.ParcelBytes) {
+			c.capAddr = pc
+			c.capValid = true
+		}
+		// Demand the chunk holding the first missing sub-block.
+		missing := pc
+		step := uint32(c.cache.SubBlockBytes())
+		for off := uint32(0); off < n; off += step {
+			a := pc + off
+			if c.capValid && c.capAddr == a {
+				continue
+			}
+			if !c.cache.Present(a) {
+				missing = a
+				break
+			}
+		}
+		c.demand(missing)
+		return
+	}
+	// Hit (or blocked on a branch outcome): prefetch the next sequential
+	// location. While blocked the sequential fall-through path is the
+	// only address the hardware can guess.
+	next := pc + n
+	if !ok {
+		next = c.str.nextPC
+	}
+	if !c.cache.Present(next) {
+		c.prefetch(next)
+	}
+}
+
+// demand requests the chunk containing the missing stream PC. A queued
+// (not yet accepted) prefetch is canceled in its favour; an accepted one
+// must finish first.
+func (c *Conv) demand(pc uint32) {
+	chunk := pc &^ uint32(c.cfg.ChunkBytes-1)
+	if c.outstanding {
+		if c.outDemand || c.outChunk == chunk {
+			return // already on its way
+		}
+		if !c.outHandle.Cancel() {
+			return // in service; must finish first
+		}
+		c.outstanding = false
+	}
+	c.st.CacheMisses++
+	c.st.LineFetches++
+	c.issue(chunk, true)
+}
+
+// prefetch requests the chunk containing addr if no request is outstanding.
+func (c *Conv) prefetch(addr uint32) {
+	if c.outstanding {
+		return
+	}
+	chunk := addr &^ uint32(c.cfg.ChunkBytes-1)
+	c.st.Prefetches++
+	c.issue(chunk, false)
+}
+
+func (c *Conv) issue(chunk uint32, demand bool) {
+	kind := stats.ReqIPrefetch
+	if demand {
+		kind = stats.ReqIFetch
+	}
+	c.outstanding = true
+	c.outDemand = demand
+	c.outChunk = chunk
+	c.outHandle = c.sys.Submit(&mem.Request{
+		Kind: kind,
+		Addr: chunk,
+		Size: c.cfg.ChunkBytes,
+		OnWord: func(addr uint32, _ uint32, _ uint64) {
+			c.cache.FillSub(addr)
+			if c.img.Native {
+				c.cache.FillSub(addr + isa.ParcelBytes)
+			}
+		},
+		OnComplete: func(_ uint64) {
+			c.outstanding = false
+		},
+	})
+}
+
+// instAt returns the instruction and byte length at addr; past the text
+// segment it reads as NOP.
+func (c *Conv) instAt(addr uint32) (uint32, uint32) {
+	if w, n, ok := c.img.InstAt(addr); ok {
+		return w, n
+	}
+	if c.img.Native {
+		return 0, isa.ParcelBytes
+	}
+	return 0, isa.WordBytes
+}

@@ -1,0 +1,180 @@
+package fetch
+
+import (
+	"testing"
+
+	"pipesim/internal/isa"
+)
+
+func word(in isa.Inst) uint32 { return isa.Encode(in) }
+
+func nop() uint32 { return word(isa.Inst{Op: isa.OpNOP}) }
+
+func pbr(n uint8) uint32 {
+	return word(isa.Inst{Op: isa.OpPBR, Cond: isa.CondNE, Ra: 1, Bn: 0, N: n})
+}
+
+func TestStreamerSequential(t *testing.T) {
+	var s streamer
+	s.reset(0x100)
+	for i := 0; i < 5; i++ {
+		pc, ok := s.pc()
+		if !ok || pc != uint32(0x100+4*i) {
+			t.Fatalf("step %d: pc = %#x, ok=%v", i, pc, ok)
+		}
+		if s.consume(nop(), 4) {
+			t.Fatal("sequential consume reported redirect")
+		}
+	}
+}
+
+func TestStreamerHalt(t *testing.T) {
+	var s streamer
+	s.reset(0)
+	s.consume(word(isa.Inst{Op: isa.OpHALT}), 4)
+	if _, ok := s.pc(); ok {
+		t.Fatal("stream continued past HALT")
+	}
+}
+
+func TestStreamerTakenBranchEarlyResolution(t *testing.T) {
+	// PBR with 2 delay slots; resolution arrives before the slots drain.
+	var s streamer
+	s.reset(0x100)
+	s.consume(pbr(2), 4) // at 0x100, window ends at 0x10C
+	if got, ok := s.oldestUnresolved(); !ok || got != 0x10C {
+		t.Fatalf("oldestUnresolved = %#x,%v", got, ok)
+	}
+	if s.resolve(true, 0x200) {
+		t.Fatal("redirect applied before slots drained")
+	}
+	if s.consume(nop(), 4) { // slot 1 at 0x104
+		t.Fatal("redirect during slot 1")
+	}
+	if !s.consume(nop(), 4) { // slot 2 at 0x108: window drains, jump
+		t.Fatal("no redirect after last slot")
+	}
+	if pc, ok := s.pc(); !ok || pc != 0x200 {
+		t.Fatalf("pc after redirect = %#x,%v", pc, ok)
+	}
+	if _, unresolved := s.oldestUnresolved(); unresolved {
+		t.Fatal("window still pending after redirect")
+	}
+}
+
+func TestStreamerNotTakenContinuesSequential(t *testing.T) {
+	var s streamer
+	s.reset(0)
+	s.consume(pbr(1), 4) // at 0
+	s.resolve(false, 0x500)
+	s.consume(nop(), 4) // slot at 4
+	if pc, ok := s.pc(); !ok || pc != 8 {
+		t.Fatalf("pc = %#x,%v; want 8 (fall through)", pc, ok)
+	}
+}
+
+func TestStreamerBlocksOnLateResolution(t *testing.T) {
+	var s streamer
+	s.reset(0)
+	s.consume(pbr(0), 4) // window ends immediately at 4
+	if _, ok := s.pc(); ok {
+		t.Fatal("stream not blocked awaiting resolution")
+	}
+	if !s.resolve(true, 0x40) {
+		t.Fatal("late taken resolution did not redirect")
+	}
+	if pc, ok := s.pc(); !ok || pc != 0x40 {
+		t.Fatalf("pc = %#x,%v", pc, ok)
+	}
+}
+
+func TestStreamerLateNotTakenUnblocks(t *testing.T) {
+	var s streamer
+	s.reset(0)
+	s.consume(pbr(0), 4)
+	if s.resolve(false, 0x40) {
+		t.Fatal("not-taken resolution redirected")
+	}
+	if pc, ok := s.pc(); !ok || pc != 4 {
+		t.Fatalf("pc = %#x,%v; want 4", pc, ok)
+	}
+}
+
+func TestStreamerSevenSlots(t *testing.T) {
+	var s streamer
+	s.reset(0)
+	s.consume(pbr(7), 4)
+	s.resolve(true, 0x80)
+	for i := 0; i < 6; i++ {
+		if s.consume(nop(), 4) {
+			t.Fatalf("redirect during slot %d", i+1)
+		}
+	}
+	if !s.consume(nop(), 4) {
+		t.Fatal("no redirect after 7th slot")
+	}
+	if pc, _ := s.pc(); pc != 0x80 {
+		t.Fatalf("pc = %#x", pc)
+	}
+}
+
+func TestStreamerConsumeWhileBlockedPanics(t *testing.T) {
+	var s streamer
+	s.reset(0)
+	s.consume(pbr(0), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("consume while blocked did not panic")
+		}
+	}()
+	s.consume(nop(), 4)
+}
+
+func TestStreamerResolveWithoutPendingPanics(t *testing.T) {
+	var s streamer
+	s.reset(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resolve without pending did not panic")
+		}
+	}()
+	s.resolve(true, 0)
+}
+
+func TestStreamerNestedWindowsSequential(t *testing.T) {
+	// A second PBR inside the first's delay slots, both not taken:
+	// everything stays sequential and both windows clear.
+	var s streamer
+	s.reset(0)
+	s.consume(pbr(2), 4)    // window A ends at 0x0C
+	s.consume(pbr(1), 4)    // slot A1; window B ends at 0x0C too
+	s.resolve(false, 0x100) // A
+	s.resolve(false, 0x200) // B
+	s.consume(nop(), 4)     // fills A2 and B1
+	if pc, ok := s.pc(); !ok || pc != 0x0C {
+		t.Fatalf("pc = %#x,%v; want 0x0C", pc, ok)
+	}
+	if len(s.pending) != 0 {
+		t.Fatalf("pending = %d, want 0", len(s.pending))
+	}
+}
+
+func TestStreamerBackToBackLoops(t *testing.T) {
+	// Emulate a 4-instruction loop executed 3 times: PBR at 0, slots at
+	// 4,8, target 0.
+	var s streamer
+	s.reset(0)
+	for iter := 0; iter < 3; iter++ {
+		if pc, _ := s.pc(); pc != 0 {
+			t.Fatalf("iter %d starts at %#x", iter, pc)
+		}
+		s.consume(pbr(2), 4)
+		taken := iter < 2
+		s.resolve(taken, 0)
+		s.consume(nop(), 4)
+		s.consume(nop(), 4)
+	}
+	if pc, ok := s.pc(); !ok || pc != 0x0C {
+		t.Fatalf("final pc = %#x,%v; want 0x0C", pc, ok)
+	}
+}

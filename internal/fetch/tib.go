@@ -1,0 +1,241 @@
+package fetch
+
+import (
+	"fmt"
+
+	"pipesim/internal/isa"
+	"pipesim/internal/mem"
+	"pipesim/internal/program"
+	"pipesim/internal/queue"
+	"pipesim/internal/stats"
+)
+
+// TIBConfig sizes the Target Instruction Buffer front end.
+type TIBConfig struct {
+	// Entries is the number of branch targets the TIB caches.
+	Entries int
+	// LineBytes is both the number of instruction bytes stored per target
+	// and the sequential fetch unit.
+	LineBytes int
+}
+
+// Validate reports configuration errors.
+func (c TIBConfig) Validate() error {
+	if c.Entries < 1 {
+		return fmt.Errorf("fetch: TIB entries %d must be >= 1", c.Entries)
+	}
+	if c.LineBytes < isa.WordBytes || c.LineBytes%isa.WordBytes != 0 {
+		return fmt.Errorf("fetch: TIB line %d invalid", c.LineBytes)
+	}
+	return nil
+}
+
+// tibEntry caches the first n instructions at one branch target.
+type tibEntry struct {
+	target uint32
+	words  []uint32
+	valid  bool
+}
+
+// TIB is a Target Instruction Buffer front end (paper §2.1; the approach of
+// the AMD29000): there is no instruction cache at all. Sequential
+// instructions stream from external memory through a small fetch buffer; a
+// fully associative buffer of branch targets supplies the first line of
+// instructions after each taken branch while the fetch logic restarts the
+// sequential stream past them. The paper cites studies showing a small TIB
+// beats a small simple cache but generates large amounts of off-chip
+// traffic — which this model reproduces.
+type TIB struct {
+	cfg TIBConfig
+	img *program.Image
+	sys *mem.System
+	st  stats.Fetch
+	str streamer
+
+	buf       *queue.Queue[entry] // sequential fetch buffer
+	fetchAddr uint32
+
+	entries []tibEntry
+	nextRep int // FIFO replacement cursor
+
+	// An allocation in progress: the first words arriving at allocTarget
+	// fill the chosen TIB entry.
+	allocActive bool
+	allocIdx    int
+	allocNext   uint32
+
+	inflight     bool
+	inflightFrom uint32
+	inflightIns  bool
+}
+
+var _ Engine = (*TIB)(nil)
+
+// NewTIB builds a TIB front end starting at pc.
+func NewTIB(cfg TIBConfig, img *program.Image, sys *mem.System, pc uint32) (*TIB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if img.Native {
+		return nil, fmt.Errorf("fetch: the TIB front end does not support the native instruction format")
+	}
+	t := &TIB{
+		cfg:     cfg,
+		img:     img,
+		sys:     sys,
+		buf:     queue.New[entry](2 * cfg.LineBytes / isa.WordBytes),
+		entries: make([]tibEntry, cfg.Entries),
+	}
+	t.str.reset(pc)
+	t.fetchAddr = pc
+	return t, nil
+}
+
+// Stats returns the engine's counters.
+func (t *TIB) Stats() *stats.Fetch { return &t.st }
+
+// Head reports the next stream instruction if buffered.
+func (t *TIB) Head() (uint32, uint32, bool) {
+	pc, ok := t.str.pc()
+	if !ok {
+		return 0, 0, false
+	}
+	ent, ok := t.buf.Peek()
+	if !ok {
+		return 0, 0, false
+	}
+	if ent.addr != pc {
+		panic(fmt.Sprintf("fetch: TIB buffer head %#x != stream PC %#x", ent.addr, pc))
+	}
+	return pc, ent.word, true
+}
+
+// Consume pops the buffer head and advances the stream.
+func (t *TIB) Consume() {
+	ent := t.buf.MustPop()
+	t.st.SupplyCycles++
+	if t.str.consume(ent.word, isa.WordBytes) {
+		t.redirect(t.str.nextPC)
+	}
+}
+
+// Resolve records a PBR outcome. Unlike the PIPE engine, the TIB front end
+// keeps streaming sequentially until the stream itself redirects — it has
+// no cache to prefetch targets into; the TIB covers the redirect gap.
+func (t *TIB) Resolve(taken bool, target uint32) {
+	if t.str.resolve(taken, target) {
+		t.redirect(t.str.nextPC)
+	}
+	if taken {
+		t.st.BranchFlushes++
+	}
+}
+
+// ResumePC returns the next unconsumed instruction address.
+func (t *TIB) ResumePC() uint32 { return t.str.nextPC }
+
+// Redirect abandons the stream and restarts at pc (interrupt entry/return).
+func (t *TIB) Redirect(pc uint32) {
+	if len(t.str.pending) > 0 {
+		panic("fetch: Redirect with a pending branch")
+	}
+	t.str.reset(pc)
+	t.redirect(pc)
+}
+
+// redirect restarts supply at the branch target: TIB-resident instructions
+// are injected into the buffer instantly and the sequential fetch resumes
+// past them; on a TIB miss everything restarts at the target and a new
+// entry is allocated.
+func (t *TIB) redirect(target uint32) {
+	t.buf.Clear()
+	t.inflightIns = false // wrong-path words must not enter the buffer
+	t.allocActive = false
+	if idx := t.lookup(target); idx >= 0 {
+		t.st.CacheHits++
+		e := &t.entries[idx]
+		for i, w := range e.words {
+			t.buf.MustPush(entry{addr: target + uint32(i*isa.WordBytes), word: w})
+		}
+		t.fetchAddr = target + uint32(len(e.words)*isa.WordBytes)
+		return
+	}
+	t.st.CacheMisses++
+	t.fetchAddr = target
+	// Allocate a TIB entry for this target (FIFO replacement) and fill it
+	// from the arriving stream.
+	idx := t.nextRep
+	t.nextRep = (t.nextRep + 1) % len(t.entries)
+	t.entries[idx] = tibEntry{target: target, words: make([]uint32, 0, t.cfg.LineBytes/isa.WordBytes), valid: true}
+	t.allocActive = true
+	t.allocIdx = idx
+	t.allocNext = target
+}
+
+// lookup finds a valid TIB entry for target.
+func (t *TIB) lookup(target uint32) int {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].target == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tick keeps the sequential stream flowing: one outstanding line-sized
+// fetch whenever the buffer has room.
+func (t *TIB) Tick() {
+	if t.str.halted || t.inflight {
+		return
+	}
+	room := t.buf.Cap() - t.buf.Len()
+	lineWords := t.cfg.LineBytes / isa.WordBytes
+	if room < lineWords {
+		return
+	}
+	kind := stats.ReqIPrefetch
+	if t.buf.Empty() {
+		kind = stats.ReqIFetch
+		t.st.LineFetches++
+	} else {
+		t.st.Prefetches++
+	}
+	t.inflight = true
+	t.inflightFrom = t.fetchAddr
+	t.inflightIns = true
+	from := t.fetchAddr
+	t.fetchAddr += uint32(t.cfg.LineBytes)
+	t.sys.Submit(&mem.Request{
+		Kind: kind,
+		Addr: from,
+		Size: t.cfg.LineBytes,
+		OnWord: func(addr uint32, _ uint32, _ uint64) {
+			w := t.wordAt(addr)
+			if t.allocActive && addr == t.allocNext {
+				e := &t.entries[t.allocIdx]
+				if len(e.words) < cap(e.words) {
+					e.words = append(e.words, w)
+					t.allocNext += isa.WordBytes
+				}
+				if len(e.words) == cap(e.words) {
+					t.allocActive = false
+				}
+			}
+			if t.inflightIns && !t.buf.Full() {
+				t.buf.MustPush(entry{addr: addr, word: w})
+			}
+		},
+		OnComplete: func(_ uint64) {
+			t.inflight = false
+		},
+	})
+}
+
+// wordAt fetches an instruction word from the program image; addresses past
+// the text segment read as NOP (zero).
+func (t *TIB) wordAt(addr uint32) uint32 {
+	if w, ok := t.img.InstWord(addr); ok {
+		return w
+	}
+	return 0
+}

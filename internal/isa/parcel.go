@@ -1,0 +1,193 @@
+package isa
+
+import "fmt"
+
+// Native PIPE instruction encoding: instructions are one or two 16-bit
+// parcels (paper Figure 2). The fixed 32-bit format (isa.Encode) is what
+// every presented result uses — "a different instruction format was chosen
+// in order to make comparisons to other machines ... more realistic" — but
+// the real chip's denser 16/32-bit format is the paper's simulation
+// parameter (1), so it is implemented here and used by the code-density
+// experiment.
+//
+// Parcel 0 layout (bit 15 is the branch-class bit, checkable without
+// decoding, exactly as in the fixed format):
+//
+//	non-branch: [15]=0 [14:10]=op5 [9:7]=f1 [6:4]=f2 [3:1]=f3 [0]=ext
+//	branch:     [15]=1 [14:12]=cond [11:9]=bn [8:6]=n [5:3]=ra [2:0]=0
+//
+// Field use by format:
+//
+//	R-type:  f1=rd f2=ra f3=rb, ext=0                     (1 parcel)
+//	I-type:  f1=rd f2=ra; ext=0 -> imm = f3 (0..7)        (1 parcel)
+//	                      ext=1 -> imm16 in parcel 1      (2 parcels)
+//	LD/ST:   like I-type (f1 unused)
+//	SETB:    f1=bn f2=addr[18:16], ext=1, parcel1=addr[15:0]
+//	SETBR:   f1=bn f2=ra, ext=0
+//	NOP/HALT: ext=0, fields zero
+//
+// The register fields sit in the same positions for every format, which is
+// what lets the real PIPE decode logic stay simple.
+
+// parcelOp compresses the 8-bit opcode space into the 5-bit field.
+var parcelOps = []Opcode{
+	OpNOP, OpHALT, OpBANK,
+	OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA,
+	OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpLI, OpLUI,
+	OpLD, OpST, OpSETB, OpSETBR,
+}
+
+var parcelOpIndex = func() map[Opcode]uint16 {
+	m := make(map[Opcode]uint16, len(parcelOps))
+	for i, op := range parcelOps {
+		m[op] = uint16(i)
+	}
+	return m
+}()
+
+// ParcelBranchBit is the single bit of the first parcel that identifies a
+// branch-class instruction.
+const ParcelBranchBit uint16 = 0x8000
+
+// ParcelIsBranch reports whether a first parcel encodes a PBR.
+func ParcelIsBranch(p uint16) bool { return p&ParcelBranchBit != 0 }
+
+// ParcelLen returns how many 16-bit parcels the instruction occupies in the
+// native encoding.
+func ParcelLen(in Inst) int {
+	switch in.Op {
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpLI, OpLUI, OpLD, OpST:
+		if in.Imm >= 0 && in.Imm <= 7 {
+			return 1
+		}
+		return 2
+	case OpSETB:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// EncodeParcels packs the instruction into its native parcels. It panics on
+// invalid instructions (use Validate first) and on SETB addresses beyond
+// the encoding's 19-bit reach.
+func EncodeParcels(in Inst) []uint16 {
+	if err := Validate(in); err != nil {
+		panic("isa.EncodeParcels: " + err.Error())
+	}
+	if in.Op == OpPBR {
+		p := ParcelBranchBit |
+			uint16(in.Cond)<<12 | uint16(in.Bn)<<9 | uint16(in.N)<<6 | uint16(in.Ra)<<3
+		return []uint16{p}
+	}
+	opIdx, ok := parcelOpIndex[in.Op]
+	if !ok {
+		panic(fmt.Sprintf("isa.EncodeParcels: opcode %s has no parcel encoding", in.Op))
+	}
+	p0 := opIdx << 10
+	field := func(shift uint, v uint8) { p0 |= uint16(v&7) << shift }
+	switch in.Op {
+	case OpNOP, OpHALT, OpBANK:
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA:
+		field(7, in.Rd)
+		field(4, in.Ra)
+		field(1, in.Rb)
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpLI, OpLUI, OpLD, OpST:
+		field(7, in.Rd)
+		field(4, in.Ra)
+		if in.Imm >= 0 && in.Imm <= 7 {
+			field(1, uint8(in.Imm))
+			return []uint16{p0}
+		}
+		p0 |= 1 // ext
+		return []uint16{p0, uint16(uint32(in.Imm) & 0xFFFF)}
+	case OpSETB:
+		if in.Imm < 0 || in.Imm > 0x7FFFF {
+			panic(fmt.Sprintf("isa.EncodeParcels: SETB address %#x exceeds the 19-bit native reach", in.Imm))
+		}
+		field(7, in.Bn)
+		field(4, uint8(in.Imm>>16))
+		p0 |= 1 // ext
+		return []uint16{p0, uint16(uint32(in.Imm) & 0xFFFF)}
+	case OpSETBR:
+		field(7, in.Bn)
+		field(4, in.Ra)
+	}
+	return []uint16{p0}
+}
+
+// DecodeParcels decodes an instruction from the head of a parcel stream,
+// returning the instruction and how many parcels it consumed.
+func DecodeParcels(ps []uint16) (Inst, int, error) {
+	if len(ps) == 0 {
+		return Inst{}, 0, fmt.Errorf("isa: empty parcel stream")
+	}
+	p0 := ps[0]
+	if ParcelIsBranch(p0) {
+		in := Inst{
+			Op:   OpPBR,
+			Cond: Cond(p0 >> 12 & 7),
+			Bn:   uint8(p0 >> 9 & 7),
+			N:    uint8(p0 >> 6 & 7),
+			Ra:   uint8(p0 >> 3 & 7),
+		}
+		if err := Validate(in); err != nil {
+			return Inst{}, 0, err
+		}
+		return in, 1, nil
+	}
+	opIdx := int(p0 >> 10 & 0x1F)
+	if opIdx >= len(parcelOps) {
+		return Inst{}, 0, fmt.Errorf("isa: invalid parcel opcode %d", opIdx)
+	}
+	op := parcelOps[opIdx]
+	f1 := uint8(p0 >> 7 & 7)
+	f2 := uint8(p0 >> 4 & 7)
+	f3 := uint8(p0 >> 1 & 7)
+	ext := p0&1 != 0
+	in := Inst{Op: op}
+	need := 1
+	switch op {
+	case OpNOP, OpHALT, OpBANK:
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA:
+		in.Rd, in.Ra, in.Rb = f1, f2, f3
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpLI, OpLUI, OpLD, OpST:
+		in.Rd, in.Ra = f1, f2
+		if ext {
+			need = 2
+			if len(ps) < 2 {
+				return Inst{}, 0, fmt.Errorf("isa: truncated two-parcel instruction")
+			}
+			in.Imm = int32(int16(ps[1]))
+		} else {
+			in.Imm = int32(f3)
+		}
+	case OpSETB:
+		in.Bn = f1
+		need = 2
+		if len(ps) < 2 {
+			return Inst{}, 0, fmt.Errorf("isa: truncated SETB")
+		}
+		in.Imm = int32(f2)<<16 | int32(ps[1])
+	case OpSETBR:
+		in.Bn, in.Ra = f1, f2
+	}
+	if err := Validate(in); err != nil {
+		return Inst{}, 0, err
+	}
+	return in, need, nil
+}
+
+// NativeBytes returns the byte size of a word-encoded instruction sequence
+// in the native parcel encoding.
+func NativeBytes(words []uint32) (int, error) {
+	total := 0
+	for _, w := range words {
+		in, err := DecodeChecked(w)
+		if err != nil {
+			return 0, err
+		}
+		total += ParcelLen(in) * ParcelBytes
+	}
+	return total, nil
+}

@@ -1,0 +1,155 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParcelLen(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want int
+	}{
+		{Inst{Op: OpNOP}, 1},
+		{Inst{Op: OpHALT}, 1},
+		{Inst{Op: OpADD, Rd: 1, Ra: 2, Rb: 3}, 1},
+		{Inst{Op: OpADDI, Rd: 1, Ra: 1, Imm: 4}, 1},  // short immediate
+		{Inst{Op: OpADDI, Rd: 1, Ra: 1, Imm: 8}, 2},  // too big for 3 bits
+		{Inst{Op: OpADDI, Rd: 1, Ra: 1, Imm: -1}, 2}, // negative
+		{Inst{Op: OpLI, Rd: 1, Imm: 7}, 1},
+		{Inst{Op: OpLD, Ra: 2, Imm: 0}, 1},
+		{Inst{Op: OpLD, Ra: 2, Imm: 40}, 2},
+		{Inst{Op: OpST, Ra: 2, Imm: 4}, 1},
+		{Inst{Op: OpSETB, Bn: 0, Imm: 0x20}, 2},
+		{Inst{Op: OpSETBR, Bn: 1, Ra: 2}, 1},
+		{Inst{Op: OpPBR, Cond: CondNE, Ra: 1, Bn: 0, N: 4}, 1},
+	}
+	for _, c := range cases {
+		if got := ParcelLen(c.in); got != c.want {
+			t.Errorf("ParcelLen(%v) = %d, want %d", c.in, got, c.want)
+		}
+		if got := len(EncodeParcels(c.in)); got != c.want {
+			t.Errorf("len(EncodeParcels(%v)) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParcelRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNOP},
+		{Op: OpHALT},
+		{Op: OpADD, Rd: 7, Ra: 6, Rb: 5},
+		{Op: OpSRA, Rd: 0, Ra: 1, Rb: 2},
+		{Op: OpADDI, Rd: 2, Ra: 2, Imm: 4},
+		{Op: OpADDI, Rd: 2, Ra: 2, Imm: -30000},
+		{Op: OpANDI, Rd: 3, Ra: 4, Imm: 0x7FFF},
+		{Op: OpLI, Rd: 6, Imm: 0},
+		{Op: OpLUI, Rd: 6, Imm: 7},
+		{Op: OpLD, Ra: 2, Imm: 3},
+		{Op: OpLD, Ra: 2, Imm: 4096},
+		{Op: OpST, Ra: 3, Imm: -8},
+		{Op: OpSETB, Bn: 7, Imm: 0x7FFFF},
+		{Op: OpSETB, Bn: 0, Imm: 0},
+		{Op: OpSETBR, Bn: 3, Ra: 5},
+		{Op: OpPBR, Cond: CondLE, Ra: 6, Bn: 7, N: 7},
+		{Op: OpPBR, Cond: CondAL, Ra: 0, Bn: 0, N: 0},
+	}
+	for _, in := range cases {
+		ps := EncodeParcels(in)
+		got, n, err := DecodeParcels(ps)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if n != len(ps) {
+			t.Errorf("%v: consumed %d parcels, encoded %d", in, n, len(ps))
+		}
+		if got != in {
+			t.Errorf("round trip %v -> %v", in, got)
+		}
+	}
+}
+
+func TestParcelBranchBit(t *testing.T) {
+	pbr := EncodeParcels(Inst{Op: OpPBR, Cond: CondNE, Ra: 1, Bn: 2, N: 3})
+	if !ParcelIsBranch(pbr[0]) {
+		t.Error("PBR parcel not branch-class")
+	}
+	for _, in := range []Inst{{Op: OpADD, Rd: 1, Ra: 2, Rb: 3}, {Op: OpNOP}, {Op: OpSETB, Bn: 1, Imm: 8}} {
+		if ParcelIsBranch(EncodeParcels(in)[0]) {
+			t.Errorf("%v parcel reported as branch", in)
+		}
+	}
+}
+
+func TestParcelErrors(t *testing.T) {
+	if _, _, err := DecodeParcels(nil); err == nil {
+		t.Error("empty stream decoded")
+	}
+	// Truncated two-parcel instruction.
+	full := EncodeParcels(Inst{Op: OpADDI, Rd: 1, Ra: 1, Imm: 100})
+	if _, _, err := DecodeParcels(full[:1]); err == nil {
+		t.Error("truncated stream decoded")
+	}
+	// Invalid opcode index.
+	if _, _, err := DecodeParcels([]uint16{uint16(30) << 10}); err == nil {
+		t.Error("invalid parcel opcode decoded")
+	}
+	// SETB beyond 19-bit reach panics at encode.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("20-bit SETB encoded in parcels without panic")
+			}
+		}()
+		EncodeParcels(Inst{Op: OpSETB, Bn: 0, Imm: 0x80000})
+	}()
+}
+
+func TestNativeBytes(t *testing.T) {
+	words := []uint32{
+		Encode(Inst{Op: OpADD, Rd: 1, Ra: 2, Rb: 3}),       // 2 bytes
+		Encode(Inst{Op: OpADDI, Rd: 2, Ra: 2, Imm: 4}),     // 2
+		Encode(Inst{Op: OpLD, Ra: 2, Imm: 400}),            // 4
+		Encode(Inst{Op: OpPBR, Cond: CondNE, Ra: 1, N: 2}), // 2
+	}
+	n, err := NativeBytes(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("NativeBytes = %d, want 10", n)
+	}
+	if _, err := NativeBytes([]uint32{0x5500_0000}); err == nil {
+		t.Error("invalid word accepted")
+	}
+}
+
+// TestQuickParcelRoundTrip mirrors the fixed-format property test for the
+// native encoding.
+func TestQuickParcelRoundTrip(t *testing.T) {
+	f := func(opIdx uint8, rd, ra, rb uint8, imm int16, addr uint32, cond, bn, n uint8) bool {
+		ops := []Opcode{
+			OpNOP, OpHALT, OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA,
+			OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpLI, OpLUI,
+			OpLD, OpST, OpSETB, OpSETBR, OpPBR,
+		}
+		in := Inst{Op: ops[int(opIdx)%len(ops)]}
+		switch in.Op {
+		case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA:
+			in.Rd, in.Ra, in.Rb = rd%8, ra%8, rb%8
+		case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpLI, OpLUI, OpLD, OpST:
+			in.Rd, in.Ra, in.Imm = rd%8, ra%8, int32(imm)
+		case OpSETB:
+			in.Bn, in.Imm = bn%8, int32(addr%0x80000)
+		case OpSETBR:
+			in.Bn, in.Ra = bn%8, ra%8
+		case OpPBR:
+			in.Cond, in.Bn, in.N, in.Ra = Cond(cond%uint8(condMax)), bn%8, n%8, ra%8
+		}
+		got, consumed, err := DecodeParcels(EncodeParcels(in))
+		return err == nil && got == in && consumed == ParcelLen(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+package kernels
+
+import (
+	"pipesim/internal/isa"
+)
+
+// ax reads array element name[K+idx], where K = ptrStart + k is the
+// current element index carried by the moving primary pointer. The offset
+// from the pointer is simply the array offset plus idx.
+func (c *ctx) ax(name string, idx int32) Expr {
+	return X(c.off(name) + idx)
+}
+
+// sx stores an expression to name[K+idx].
+func (c *ctx) sx(name string, idx int32, e Expr) Stmt {
+	return StoreX(c.off(name)+idx, e)
+}
+
+// gather emits the indirect-addressing preamble of the particle-in-cell
+// kernels: load an index (a prescaled byte offset), pop it, and point the
+// secondary pointer at grid base + index.
+func (c *ctx) gather(ixArray string) Stmt {
+	return Raw(
+		isa.Inst{Op: isa.OpLD, Ra: regPtr, Imm: 4 * c.off(ixArray)},
+		isa.Inst{Op: isa.OpADDI, Rd: 6, Ra: isa.QueueReg},
+		isa.Inst{Op: isa.OpADD, Rd: regPtr2, Ra: 0, Rb: 6},
+	)
+}
+
+// kernelDefs returns the 14 loop definitions. extraLL11 bumps loop 11's
+// iteration count (the calibration knob used to hit the paper's exact
+// 150,575 executed instructions).
+func kernelDefs(extraLL11 int) []kernelDef {
+	advP := []advanceSpec{{reg: regPtr, delta: 4}}
+	return []kernelDef{
+		{
+			index: 1, name: "hydro", tableIBytes: tableI[0], iters: 393,
+			desc: "hydrodynamics fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])",
+			arrays: []array{
+				{"x", 393 + 32, nil},
+				{"y", 393 + 32, initLin},
+				{"z", 393 + 48, initSmall},
+				{"consts", 4, func(i int) uint32 { return [4]uint32{f32(1.25), f32(0.5), f32(0.25), 0}[i] }},
+			},
+			scratch: []uint8{regPtr2},
+			setup: func(c *ctx) {
+				c.ldConst(0, "consts", 0) // q
+				c.ldConst(4, "consts", 1) // r
+				c.ldConst(6, "consts", 2) // t
+			},
+			stmts: func(c *ctx) []Stmt {
+				inner := Add(Mul(R(4), c.ax("z", 10)), Mul(R(6), c.ax("z", 11)))
+				return []Stmt{c.sx("x", 0, Add(Mul(inner, c.ax("y", 0)), R(0)))}
+			},
+			advances: advP,
+		},
+		{
+			index: 2, name: "iccg", tableIBytes: tableI[1], iters: 210,
+			desc: "incomplete Cholesky conjugate gradient (banded update form)",
+			arrays: []array{
+				{"x", 210 + 64, initLin},
+				{"z", 210 + 64, initSmall},
+				{"y", 210 + 32, initFrac},
+				{"consts", 2, func(i int) uint32 { return f32(0.5) }},
+			},
+			scratch: []uint8{0, 6},
+			setup:   func(c *ctx) { c.ldConst(4, "consts", 0) },
+			stmts: func(c *ctx) []Stmt {
+				e := Sub(Sub(Sub(c.ax("x", 0),
+					Mul(c.ax("z", 0), c.ax("x", 10))),
+					Mul(c.ax("z", 10), c.ax("x", 11))),
+					Mul(c.ax("z", 20), c.ax("x", 12)))
+				return []Stmt{
+					c.sx("x", 0, e),
+					c.sx("y", 0, Add(Mul(R(4), c.ax("x", 0)), c.ax("y", 0))),
+				}
+			},
+			advances: advP,
+		},
+		{
+			index: 3, name: "inner-product", tableIBytes: tableI[2], iters: 669,
+			desc: "inner product: q += z[k]*x[k] (register accumulator)",
+			arrays: []array{
+				{"x", 669 + 32, initLin},
+				{"z", 669 + 32, initSmall},
+				{"result", 2, nil},
+				{"consts", 2, nil}, // q starts at 0.0
+			},
+			scratch: []uint8{0, 6},
+			setup:   func(c *ctx) { c.ldConst(4, "consts", 0) },
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{PopReg(4, Add(Mul(c.ax("x", 0), c.ax("z", 0)), R(4)))}
+			},
+			advances: advP,
+			epilogue: func(c *ctx) { c.storeRegTo("result", 0, 4) },
+		},
+		{
+			index: 4, name: "banded-linear", tableIBytes: tableI[3], iters: 535,
+			desc: "banded linear equations: x[k] -= y[k]*x[k+5]",
+			arrays: []array{
+				{"x", 535 + 48, initLin},
+				{"y", 535 + 32, initSmall},
+			},
+			scratch: []uint8{0, 4, 6},
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{c.sx("x", 0, Sub(c.ax("x", 0), Mul(c.ax("y", 0), c.ax("x", 5))))}
+			},
+			advances: advP,
+		},
+		{
+			index: 5, name: "tridiagonal", tableIBytes: tableI[4], iters: 563, ptrStart: 1,
+			desc: "tri-diagonal elimination: x[k] = z[k]*(y[k] - x[k-1]) (true recurrence)",
+			arrays: []array{
+				{"x", 563 + 32, initLin},
+				{"y", 563 + 32, initFrac},
+				{"z", 563 + 32, initSmall},
+			},
+			scratch: []uint8{0, 4, 6},
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{c.sx("x", 0, Mul(Sub(c.ax("y", 0), c.ax("x", -1)), c.ax("z", 0)))}
+			},
+			advances: advP,
+		},
+		{
+			index: 6, name: "linear-recurrence", tableIBytes: tableI[5], iters: 594, ptrStart: 1,
+			desc: "general linear recurrence: w[k] += b[k]*w[k-1]",
+			arrays: []array{
+				{"w", 594 + 32, initSmall},
+				{"b", 594 + 32, func(i int) uint32 { return f32(0.25 + 0.0001*float32(i%11)) }},
+			},
+			scratch: []uint8{0, 4, 6},
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{c.sx("w", 0, Add(Mul(c.ax("b", 0), c.ax("w", -1)), c.ax("w", 0)))}
+			},
+			advances: advP,
+		},
+		{
+			index: 7, name: "state-equation", tableIBytes: tableI[6], iters: 149,
+			desc: "equation of state fragment (nested Horner form)",
+			arrays: []array{
+				{"x", 149 + 32, nil},
+				{"y", 149 + 32, initLin},
+				{"z", 149 + 32, initSmall},
+				{"u", 149 + 48, initFrac},
+				{"consts", 2, func(i int) uint32 { return [2]uint32{f32(0.5), f32(0.25)}[i] }},
+			},
+			scratch: []uint8{0, regPtr2},
+			setup: func(c *ctx) {
+				c.ldConst(4, "consts", 0) // r
+				c.ldConst(6, "consts", 1) // t
+			},
+			stmts: func(c *ctx) []Stmt {
+				i2 := Add(Mul(R(4), c.ax("u", 1)), c.ax("u", 2))
+				a2 := Add(Mul(i2, R(4)), c.ax("u", 3))
+				a3 := Add(Mul(R(4), c.ax("u", 4)), c.ax("u", 5))
+				comb := Mul(Add(a2, a3), R(6))
+				t1 := Mul(Add(Mul(R(4), c.ax("y", 0)), c.ax("z", 0)), R(4))
+				return []Stmt{c.sx("x", 0, Add(Add(comb, t1), c.ax("u", 0)))}
+			},
+			advances: advP,
+		},
+		{
+			index: 8, name: "adi", tableIBytes: tableI[7], iters: 58, ptrStart: 1,
+			desc: "ADI integration fragment: three coupled field updates",
+			arrays: []array{
+				{"u1", 58 + 32, initLin},
+				{"u2", 58 + 32, initFrac},
+				{"u3", 58 + 32, initSmall},
+				{"du1", 58 + 32, nil},
+				{"du2", 58 + 32, nil},
+				{"du3", 58 + 32, nil},
+				{"qa", 58 + 32, initSmall},
+				{"consts", 10, func(i int) uint32 { return f32(0.125 + 0.03125*float32(i)) }},
+			},
+			scratch: []uint8{0, 4, 6},
+			setup:   func(c *ctx) { c.setPtr2("consts", 0) },
+			stmts: func(c *ctx) []Stmt {
+				var ss []Stmt
+				for i, u := range []string{"u1", "u2", "u3"} {
+					du := []string{"du1", "du2", "du3"}[i]
+					ss = append(ss, c.sx(du, 0, Sub(c.ax(u, 1), c.ax(u, -1))))
+				}
+				for i, u := range []string{"u1", "u2", "u3"} {
+					a := int32(3 * i)
+					e := Add(Mul(Y(a+0), c.ax("du1", 0)), c.ax(u, 0))
+					e = Add(e, Mul(Y(a+1), c.ax("du2", 0)))
+					e = Add(e, Mul(Y(a+2), c.ax("du3", 0)))
+					e = Add(e, Mul(Y(9), c.ax(u, 1)))
+					ss = append(ss, c.sx(u, 0, e))
+				}
+				ss = append(ss, c.sx("qa", 0, Add(Mul(c.ax("du1", 0), c.ax("du2", 0)), c.ax("qa", 0))))
+				return ss
+			},
+			advances: advP,
+		},
+		{
+			index: 9, name: "integrate-predictors", tableIBytes: tableI[8], iters: 157,
+			desc: "numerical integration: px[k] = sum of weighted predictor terms",
+			arrays: []array{
+				{"px", 157 + 48, initLin},
+				{"consts", 6, func(i int) uint32 { return f32(0.0625 * float32(i+1)) }},
+			},
+			scratch: []uint8{0, 4, 6},
+			setup:   func(c *ctx) { c.setPtr2("consts", 0) },
+			stmts: func(c *ctx) []Stmt {
+				acc := Mul(Y(0), c.ax("px", 4))
+				for i := int32(1); i <= 4; i++ {
+					acc = Add(acc, Mul(Y(i), c.ax("px", 4+i)))
+				}
+				return []Stmt{c.sx("px", 0, Add(acc, c.ax("px", 2)))}
+			},
+			advances: advP,
+		},
+		{
+			index: 10, name: "diff-predictors", tableIBytes: tableI[9], iters: 165,
+			desc: "numerical differentiation: cumulative sums of difference tables",
+			arrays: []array{
+				{"cx", 165 + 48, initSmall},
+				{"dx", 165 + 48, nil},
+			},
+			scratch: []uint8{0, 4, 6},
+			stmts: func(c *ctx) []Stmt {
+				acc := Add(c.ax("cx", 0), c.ax("cx", 1))
+				for i := int32(2); i <= 8; i++ {
+					acc = Add(acc, c.ax("cx", i))
+				}
+				return []Stmt{
+					c.sx("dx", 0, acc),
+					c.sx("dx", 1, Sub(c.ax("cx", 9), c.ax("cx", 0))),
+					c.sx("dx", 2, Sub(c.ax("cx", 10), c.ax("cx", 1))),
+				}
+			},
+			advances: advP,
+		},
+		{
+			index: 11, name: "first-sum", tableIBytes: tableI[10], iters: 764 + extraLL11,
+			desc: "first sum (prefix sum): x[k] = x[k-1] + y[k] (register accumulator)",
+			// Array sizes stay fixed (with margin for the calibration
+			// bump) so the data layout is independent of calibration.
+			arrays: []array{
+				{"x", 764 + 96, nil},
+				{"y", 764 + 96, initSmall},
+				{"consts", 2, nil},
+			},
+			scratch: []uint8{0, 6},
+			setup:   func(c *ctx) { c.ldConst(4, "consts", 0) },
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{
+					PopReg(4, Add(R(4), c.ax("y", 0))),
+					c.sx("x", 0, R(4)),
+				}
+			},
+			advances: advP,
+		},
+		{
+			index: 12, name: "first-diff", tableIBytes: tableI[11], iters: 764,
+			desc: "first difference: x[k] = y[k+1] - y[k]",
+			arrays: []array{
+				{"x", 764 + 32, nil},
+				{"y", 764 + 48, initLin},
+			},
+			scratch: []uint8{0, 4, 6},
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{c.sx("x", 0, Sub(c.ax("y", 1), c.ax("y", 0)))}
+			},
+			advances: advP,
+		},
+		{
+			index: 13, name: "pic-2d", tableIBytes: tableI[12], iters: 130,
+			desc: "2-D particle in cell: gather/scatter charge deposition plus position and velocity updates",
+			arrays: []array{
+				{"grid", 3 * 64, func(i int) uint32 { return f32(0.03125 * float32(i%7)) }},
+				{"ix", 130 + 32, func(i int) uint32 { return 12 * uint32((i*7)%64) }},
+				{"ix2", 130 + 32, func(i int) uint32 { return 12 * uint32((i*13+5)%64) }},
+				{"xx", 130 + 32, initLin},
+				{"yy", 130 + 32, initFrac},
+				{"vx", 130 + 32, initSmall},
+				{"vy", 130 + 32, initSmall},
+				{"consts", 2, func(i int) uint32 { return f32(0.125) }},
+			},
+			scratch: []uint8{6},
+			setup: func(c *ctx) {
+				c.ldConst(4, "consts", 0) // dt
+				c.loadAddr(0, "grid", 0)
+			},
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{
+					c.gather("ix"),
+					StoreY(0, Add(Y(0), Y(1))),
+					c.sx("xx", 0, Add(Mul(c.ax("vx", 0), R(4)), c.ax("xx", 0))),
+					c.sx("yy", 0, Add(Mul(c.ax("vy", 0), R(4)), c.ax("yy", 0))),
+					c.sx("vx", 0, Add(Mul(Y(2), R(4)), c.ax("vx", 0))),
+					c.sx("vy", 0, Add(Mul(Y(2), R(4)), c.ax("vy", 0))),
+					c.gather("ix2"),
+					StoreY(0, Add(Y(0), Y(1))),
+				}
+			},
+			advances: advP,
+		},
+		{
+			index: 14, name: "pic-1d", tableIBytes: tableI[13], iters: 191,
+			desc: "1-D particle in cell: gather, deposit, move",
+			arrays: []array{
+				{"grid", 3 * 128, func(i int) uint32 { return f32(0.015625 * float32(i%11)) }},
+				{"ix", 191 + 32, func(i int) uint32 { return 12 * uint32((i*11)%128) }},
+				{"xx", 191 + 32, initLin},
+				{"vx", 191 + 32, initSmall},
+				{"ex", 191 + 48, initFrac},
+				{"consts", 2, func(i int) uint32 { return f32(0.0625) }},
+			},
+			scratch: []uint8{6},
+			setup: func(c *ctx) {
+				c.ldConst(4, "consts", 0)
+				c.loadAddr(0, "grid", 0)
+			},
+			stmts: func(c *ctx) []Stmt {
+				return []Stmt{
+					c.gather("ix"),
+					StoreY(0, Add(Y(0), Y(1))),
+					c.sx("xx", 0, Add(Mul(c.ax("vx", 0), R(4)), c.ax("xx", 0))),
+					c.sx("vx", 0, Add(Mul(Y(2), R(4)), c.ax("vx", 0))),
+					c.sx("ex", 0, Sub(c.ax("ex", 1), Mul(c.ax("xx", 0), R(4)))),
+				}
+			},
+			advances: advP,
+		},
+	}
+}

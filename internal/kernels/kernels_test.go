@@ -1,0 +1,428 @@
+package kernels_test
+
+import (
+	"math"
+	"testing"
+
+	"pipesim/internal/core"
+	"pipesim/internal/isa"
+	"pipesim/internal/kernels"
+	"pipesim/internal/program"
+	"pipesim/internal/stats"
+)
+
+// Expected Table I values from the paper.
+var wantTableI = []int{116, 204, 64, 80, 76, 72, 288, 732, 272, 260, 56, 56, 328, 224}
+
+func buildProgram(t *testing.T) (*program.Image, *kernels.Counts) {
+	t.Helper()
+	img, counts, err := kernels.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, counts
+}
+
+func runProgram(t *testing.T, cfg core.Config, img *program.Image) (*core.Simulator, *stats.Sim) {
+	t.Helper()
+	sim, err := core.New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, st
+}
+
+func TestTableISizes(t *testing.T) {
+	_, counts := buildProgram(t)
+	if len(counts.PerKernel) != 14 {
+		t.Fatalf("%d kernels, want 14", len(counts.PerKernel))
+	}
+	for i, kc := range counts.PerKernel {
+		if got := kc.Body * 4; got != wantTableI[i] {
+			t.Errorf("loop %d inner size = %d bytes, want %d (Table I)", i+1, got, wantTableI[i])
+		}
+	}
+	for _, info := range kernels.TableI() {
+		if info.InnerBytes != wantTableI[info.Index-1] {
+			t.Errorf("TableI()[%d] = %d, want %d", info.Index, info.InnerBytes, wantTableI[info.Index-1])
+		}
+	}
+}
+
+func TestBuildArithmeticTotal(t *testing.T) {
+	_, counts := buildProgram(t)
+	if counts.Total != kernels.TotalInstructions {
+		t.Fatalf("build-time total = %d, want %d", counts.Total, kernels.TotalInstructions)
+	}
+	if counts.Filler > 13 {
+		t.Errorf("filler = %d NOPs; calibration should keep it under one LL11 body", counts.Filler)
+	}
+}
+
+func TestSimulatedInstructionCountExact(t *testing.T) {
+	img, _ := buildProgram(t)
+	_, st := runProgram(t, core.DefaultConfig(), img)
+	if st.CPU.Instructions != kernels.TotalInstructions {
+		t.Fatalf("simulated retired instructions = %d, want exactly %d",
+			st.CPU.Instructions, kernels.TotalInstructions)
+	}
+}
+
+// readF32 reads a float32 from final simulation memory.
+func readF32(t *testing.T, sim *core.Simulator, img *program.Image, loop int, name string, idx int32) float32 {
+	t.Helper()
+	addr, err := kernels.ArrayAddr(img, loop, name, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return math.Float32frombits(sim.ReadWord(addr))
+}
+
+// Data initializers mirrored from the generator.
+func initLin(i int) float32   { return 0.25 + 0.001*float32(i%97) }
+func initSmall(i int) float32 { return 0.0625 * float32(i%17) }
+func initFrac(i int) float32  { return 0.5 + 0.25*float32(i%3) }
+
+func TestLL1NumericalResults(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[0].Iterations
+	q, r, s := float32(1.25), float32(0.5), float32(0.25)
+	for k := 0; k < iters; k++ {
+		z10, z11 := initSmall(k+10), initSmall(k+11)
+		y := initLin(k)
+		want := (r*z10+s*z11)*y + q
+		got := readF32(t, sim, img, 1, "x", int32(k))
+		if got != want {
+			t.Fatalf("LL1 x[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLL3InnerProduct(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[2].Iterations
+	var q float32
+	for k := 0; k < iters; k++ {
+		q = initLin(k)*initSmall(k) + q
+	}
+	got := readF32(t, sim, img, 3, "result", 0)
+	if got != q {
+		t.Fatalf("LL3 inner product = %v, want %v", got, q)
+	}
+}
+
+func TestLL5Recurrence(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[4].Iterations
+	// x[k] = (y[k] - x[k-1]) * z[k], k starting at element 1.
+	x := make([]float32, iters+2)
+	for i := range x {
+		x[i] = initLin(i)
+	}
+	for k := 1; k <= iters; k++ {
+		x[k] = (initFrac(k) - x[k-1]) * initSmall(k)
+	}
+	for _, k := range []int{1, 2, iters / 2, iters} {
+		got := readF32(t, sim, img, 5, "x", int32(k))
+		if got != x[k] {
+			t.Fatalf("LL5 x[%d] = %v, want %v (true recurrence through memory)", k, got, x[k])
+		}
+	}
+}
+
+func TestLL2BandedUpdate(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[1].Iterations
+	// Statement order per iteration (see defs.go):
+	//   x[k] = ((x[k] - z[k]*x[k+10]) - z[k+10]*x[k+11]) - z[k+20]*x[k+12]
+	//   y[k] = r*x[k] + y[k]
+	n := iters + 64
+	x := make([]float32, n+16)
+	z := make([]float32, n+16)
+	y := make([]float32, iters+40)
+	for i := range x {
+		x[i] = initLin(i)
+	}
+	for i := range z {
+		z[i] = initSmall(i)
+	}
+	for i := range y {
+		y[i] = initFrac(i)
+	}
+	r := float32(0.5)
+	for k := 0; k < iters; k++ {
+		x[k] = x[k] - z[k]*x[k+10]
+		x[k] = x[k] - z[k+10]*x[k+11]
+		x[k] = x[k] - z[k+20]*x[k+12]
+		y[k] = r*x[k] + y[k]
+	}
+	for _, k := range []int{0, 1, iters / 2, iters - 1} {
+		if got := readF32(t, sim, img, 2, "x", int32(k)); got != x[k] {
+			t.Fatalf("LL2 x[%d] = %v, want %v", k, got, x[k])
+		}
+		if got := readF32(t, sim, img, 2, "y", int32(k)); got != y[k] {
+			t.Fatalf("LL2 y[%d] = %v, want %v", k, got, y[k])
+		}
+	}
+}
+
+func TestLL4BandedElimination(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[3].Iterations
+	x := make([]float32, iters+48)
+	for i := range x {
+		x[i] = initLin(i)
+	}
+	for k := 0; k < iters; k++ {
+		x[k] = x[k] - initSmall(k)*x[k+5]
+	}
+	for _, k := range []int{0, 7, iters - 1} {
+		if got := readF32(t, sim, img, 4, "x", int32(k)); got != x[k] {
+			t.Fatalf("LL4 x[%d] = %v, want %v", k, got, x[k])
+		}
+	}
+}
+
+func TestLL6LinearRecurrence(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[5].Iterations
+	// w[k] = b[k]*w[k-1] + w[k], k from 1, through memory.
+	w := make([]float32, iters+33)
+	for i := range w {
+		w[i] = initSmall(i)
+	}
+	bm := func(i int) float32 { return 0.25 + 0.0001*float32(i%11) }
+	for k := 1; k <= iters; k++ {
+		w[k] = bm(k)*w[k-1] + w[k]
+	}
+	for _, k := range []int{1, 2, iters / 2, iters} {
+		if got := readF32(t, sim, img, 6, "w", int32(k)); got != w[k] {
+			t.Fatalf("LL6 w[%d] = %v, want %v", k, got, w[k])
+		}
+	}
+}
+
+func TestLL11PrefixSum(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[10].Iterations
+	var acc float32
+	for k := 0; k < iters; k++ {
+		acc = acc + initSmall(k)
+		if k == 0 || k == iters-1 || k == iters/2 {
+			got := readF32(t, sim, img, 11, "x", int32(k))
+			if got != acc {
+				t.Fatalf("LL11 x[%d] = %v, want %v", k, got, acc)
+			}
+		}
+	}
+}
+
+func TestLL12FirstDifference(t *testing.T) {
+	img, counts := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	iters := counts.PerKernel[11].Iterations
+	for _, k := range []int{0, 1, iters / 3, iters - 1} {
+		want := initLin(k+1) - initLin(k)
+		got := readF32(t, sim, img, 12, "x", int32(k))
+		if got != want {
+			t.Fatalf("LL12 x[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLL13GridDeposition(t *testing.T) {
+	// The 2-D PIC kernel deposits charge into gathered grid cells; the
+	// touched cells must have changed from their initial values.
+	img, _ := buildProgram(t)
+	sim, _ := runProgram(t, core.DefaultConfig(), img)
+	changed := 0
+	for cell := 0; cell < 64; cell++ {
+		init := float32(0.03125 * float32((3*cell)%7))
+		got := readF32(t, sim, img, 13, "grid", int32(3*cell))
+		if got != init {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("LL13 deposited no charge into the grid")
+	}
+}
+
+// TestCrossEngineResultsIdentical runs the full benchmark under all three
+// fetch strategies; performance differs, architectural results must not.
+func TestCrossEngineResultsIdentical(t *testing.T) {
+	img, _ := buildProgram(t)
+	probe := func(sim *core.Simulator) []uint32 {
+		var out []uint32
+		for loop := 1; loop <= 14; loop++ {
+			for _, spec := range []struct {
+				name string
+				idx  int32
+			}{{"x", 0}, {"x", 7}} {
+				addr, err := kernels.ArrayAddr(img, loop, spec.name, spec.idx)
+				if err != nil {
+					continue // not every loop has an "x" array
+				}
+				out = append(out, sim.ReadWord(addr))
+			}
+		}
+		return out
+	}
+	cfgs := map[string]core.Config{}
+	pipe := core.DefaultConfig()
+	cfgs["pipe"] = pipe
+	conv := core.DefaultConfig()
+	conv.Fetch = core.FetchConventional
+	cfgs["conv"] = conv
+	tib := core.DefaultConfig()
+	tib.Fetch = core.FetchTIB
+	tib.TIBEntries = 4
+	tib.TIBLineBytes = 16
+	cfgs["tib"] = tib
+
+	var ref []uint32
+	for name, cfg := range cfgs {
+		sim, st := runProgram(t, cfg, img)
+		if st.CPU.Instructions != kernels.TotalInstructions {
+			t.Fatalf("%s: %d instructions, want %d", name, st.CPU.Instructions, kernels.TotalInstructions)
+		}
+		got := probe(sim)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: memory probe %d = %#x, differs from reference %#x", name, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestKernelProgramsRunIndividually(t *testing.T) {
+	for loop := 1; loop <= 14; loop++ {
+		img, err := kernels.KernelProgram(loop)
+		if err != nil {
+			t.Fatalf("loop %d: %v", loop, err)
+		}
+		_, st := runProgram(t, core.DefaultConfig(), img)
+		if st.CPU.Instructions == 0 {
+			t.Errorf("loop %d retired nothing", loop)
+		}
+	}
+	if _, err := kernels.KernelProgram(0); err == nil {
+		t.Error("loop 0 accepted")
+	}
+	if _, err := kernels.KernelProgram(15); err == nil {
+		t.Error("loop 15 accepted")
+	}
+}
+
+func TestBranchCountsMatchIterations(t *testing.T) {
+	img, counts := buildProgram(t)
+	_, st := runProgram(t, core.DefaultConfig(), img)
+	wantBranches, wantTaken := uint64(0), uint64(0)
+	for _, kc := range counts.PerKernel {
+		wantBranches += uint64(kc.Iterations)
+		wantTaken += uint64(kc.Iterations - 1) // final iteration falls through
+	}
+	if st.CPU.Branches != wantBranches || st.CPU.TakenBranches != wantTaken {
+		t.Fatalf("branches = %d/%d taken, want %d/%d",
+			st.CPU.Branches, st.CPU.TakenBranches, wantBranches, wantTaken)
+	}
+}
+
+// TestNativeFormatPreservesBenchmarkSemantics runs the full benchmark in
+// the native 16/32-bit encoding and checks the exact instruction count and
+// the LL1 numerical results against the fixed-format expectations.
+func TestNativeFormatPreservesBenchmarkSemantics(t *testing.T) {
+	img, counts := buildProgram(t)
+	cfg := core.DefaultConfig()
+	cfg.NativeFormat = true
+	cfg.Mem.AccessTime = 6
+	cfg.Mem.BusWidthBytes = 8
+	sim, st := runProgram(t, cfg, img)
+	if st.CPU.Instructions != kernels.TotalInstructions {
+		t.Fatalf("native format retired %d instructions, want %d", st.CPU.Instructions, kernels.TotalInstructions)
+	}
+	iters := counts.PerKernel[0].Iterations
+	q, r, s := float32(1.25), float32(0.5), float32(0.25)
+	for _, k := range []int{0, 1, iters / 2, iters - 1} {
+		z10, z11 := initSmall(k+10), initSmall(k+11)
+		y := initLin(k)
+		want := (r*z10+s*z11)*y + q
+		got := readF32(t, sim, img, 1, "x", int32(k))
+		if got != want {
+			t.Fatalf("native LL1 x[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestLL11BodyGolden pins the generated code of the simplest kernel so
+// accidental codegen drift is caught. LL11 (first sum) has a stable,
+// hand-checkable body: accumulate y[k] into r4 through the FPU, store it,
+// then the counter/branch/advance frame with NOP padding.
+func TestLL11BodyGolden(t *testing.T) {
+	img, _ := buildProgram(t)
+	words, err := kernels.LoopBody(img, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, w := range words {
+		got = append(got, isaString(w))
+	}
+	want := []string{
+		"ST 0(r1)",       // FPU A <- accumulator (r4)
+		"ADDI r7, r4, 0", // datum: the accumulator
+		"LD 3440(r2)",    // y[k] (y sits 860 words past x in the region)
+		"ST 8(r1)",       // FPU ADD trigger
+		"ADDI r7, r7, 0", // datum: y[k]
+		"ADDI r5, r5, -1",
+		"PBR NE, r5, b0, 7",
+		"ADDI r4, r7, 0", // delay slot: pop the new accumulator
+		"ST 0(r2)",       // delay slot: x[k] <- accumulator
+		"ADDI r7, r4, 0", // delay slot: store datum
+		"ADDI r2, r2, 4", // delay slot: pointer advance
+		"NOP",            // delay-slot padding to Table I's 56 bytes
+		"NOP",
+		"NOP",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("LL11 body length %d, want %d:\n%v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LL11 body[%d] = %q, want %q\nfull body: %v", i, got[i], want[i], got)
+		}
+	}
+}
+
+func isaString(w uint32) string { return isaDecode(w) }
+
+func TestDeterministicCycles(t *testing.T) {
+	img, _ := buildProgram(t)
+	var prev uint64
+	for i := 0; i < 2; i++ {
+		_, st := runProgram(t, core.DefaultConfig(), img)
+		if i > 0 && st.Cycles != prev {
+			t.Fatalf("cycle counts differ across runs: %d vs %d", prev, st.Cycles)
+		}
+		prev = st.Cycles
+	}
+}
+
+func isaDecode(w uint32) string {
+	return isa.Decode(w).String()
+}

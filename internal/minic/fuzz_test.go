@@ -1,0 +1,33 @@
+package minic
+
+import "testing"
+
+// FuzzCompile checks the compiler never panics on arbitrary source and that
+// accepted programs link.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"array x[10]\nloop 5 { x[k] = 1.0 }",
+		"const a = 2.0\narray x[10]\nloop 5 { x[k] = a * a }",
+		"array x[30]\narray y[30]\nloop 20 { x[k] = y[k+1] - y[k-1] }",
+		"loop 5 { }",
+		"array x[10] = linear(1.0, 0.5)\nloop 5 { x[k] = x[k] / 2.0 }",
+		"array x[10]\nloop 5 { x[k] = ((((1.0)))) }",
+		"# only a comment",
+		"array x[10]\nloop 5 { x[k] = y[k] }",
+		"}{)(",
+		"const = =",
+		"array x[999999999999999999999]\nloop 1 { x[k] = 1.0 }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if u.Image == nil || len(u.Image.Text) == 0 {
+			t.Fatal("accepted program with empty image")
+		}
+	})
+}

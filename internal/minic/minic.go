@@ -1,0 +1,779 @@
+// Package minic compiles a small kernel-description language to PIPE
+// programs, playing the role of the paper's Fortran compiler for
+// user-written workloads. It reuses the same FIFO-disciplined expression
+// code generator as the Livermore workload (internal/kernels), so compiled
+// loops exercise the architectural queues and the memory-mapped FPU exactly
+// like the paper's benchmark.
+//
+// # Language
+//
+//	# comments run to end of line
+//	const q = 1.25                     # kept in a register (at most 3)
+//	array x[500]                       # zero-initialized float32 array
+//	array y[500] = linear(0.25, 0.001) # y[i] = 0.25 + 0.001*i
+//	array z[520] = fill(0.0625)        # all elements 0.0625
+//	array w[520] = cycle(0.0625, 17)   # w[i] = 0.0625 * (i % 17)
+//
+//	loop 400 {
+//	  x[k] = q + y[k] * (q * z[k+10])
+//	  y[k] = y[k] - x[k-1]             # negative offsets allowed
+//	}
+//	loop 10 { ... }                    # loops run in sequence
+//
+// Expressions combine array elements (indexed k plus a constant offset),
+// named constants and numeric literals with + - * / and parentheses. All
+// arithmetic is float32 and performed by the external FPU. Literals are
+// interned as hidden constants; constants and literals together may not
+// exceed three (they occupy registers r0, r4 and r6; whatever remains
+// serves as spill space for deep expressions).
+//
+// The loop index covers iterations 0..n-1 shifted up by the most negative
+// offset used, so every access stays in bounds; the compiler rejects
+// programs whose arrays are too small.
+package minic
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"pipesim/internal/isa"
+	"pipesim/internal/kernels"
+	"pipesim/internal/program"
+)
+
+// Unit is a compiled program plus its symbol information.
+type Unit struct {
+	Image  *program.Image
+	Arrays map[string]uint32  // array name -> base byte address
+	Consts map[string]float32 // const name -> value
+	// Loops records iteration counts and index shifts, in program order.
+	Loops []LoopInfo
+}
+
+// LoopInfo describes one compiled loop.
+type LoopInfo struct {
+	Iterations int
+	IndexShift int // first source index value of k
+	BodyInstr  int
+}
+
+// ArrayAddr returns the byte address of array element name[idx].
+func (u *Unit) ArrayAddr(name string, idx int) (uint32, bool) {
+	base, ok := u.Arrays[name]
+	if !ok {
+		return 0, false
+	}
+	return base + uint32(4*idx), true
+}
+
+// Compile translates source text into a runnable PIPE program.
+func Compile(src string) (*Unit, error) {
+	p := &parser{toks: lex(src)}
+	decls, loops, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return generate(decls, loops)
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct // single-character punctuation or operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' ||
+				src[j] == 'E' || ((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], line})
+			i = j
+		case strings.ContainsRune("[]{}()=+-*/,", rune(c)):
+			toks = append(toks, token{tPunct, string(c), line})
+			i++
+		default:
+			toks = append(toks, token{tPunct, string(c), line}) // reported by the parser
+			i++
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// ---- AST ----
+
+type constDecl struct {
+	name  string
+	value float32
+}
+
+type arrayDecl struct {
+	name string
+	size int
+	init string // "", "linear", "fill", "cycle"
+	args []float32
+	line int
+}
+
+type decls struct {
+	consts []constDecl
+	arrays []arrayDecl
+}
+
+type assignStmt struct {
+	array  string
+	offset int
+	expr   node
+	line   int
+}
+
+type loopDecl struct {
+	iters int
+	body  []assignStmt
+	line  int
+}
+
+// node is a parsed expression.
+type node interface{ isNode() }
+
+type numNode struct{ v float32 }
+type constNode struct{ name string }
+type elemNode struct {
+	array  string
+	offset int
+}
+type binNode struct {
+	op   byte
+	a, b node
+}
+
+func (numNode) isNode()   {}
+func (constNode) isNode() {}
+func (elemNode) isNode()  {}
+func (binNode) isNode()   {}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("minic: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return p.errf(t, "expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseProgram() (*decls, []loopDecl, error) {
+	d := &decls{}
+	var loops []loopDecl
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tEOF:
+			if len(loops) == 0 {
+				return nil, nil, fmt.Errorf("minic: program has no loops")
+			}
+			return d, loops, nil
+		case t.kind == tIdent && t.text == "const":
+			c, err := p.parseConst()
+			if err != nil {
+				return nil, nil, err
+			}
+			d.consts = append(d.consts, c)
+		case t.kind == tIdent && t.text == "array":
+			a, err := p.parseArray()
+			if err != nil {
+				return nil, nil, err
+			}
+			d.arrays = append(d.arrays, a)
+		case t.kind == tIdent && t.text == "loop":
+			l, err := p.parseLoop()
+			if err != nil {
+				return nil, nil, err
+			}
+			loops = append(loops, l)
+		default:
+			return nil, nil, p.errf(t, "expected const, array or loop, got %q", t.text)
+		}
+	}
+}
+
+func (p *parser) parseConst() (constDecl, error) {
+	p.next() // const
+	name := p.next()
+	if name.kind != tIdent {
+		return constDecl{}, p.errf(name, "expected constant name")
+	}
+	if err := p.expectPunct("="); err != nil {
+		return constDecl{}, err
+	}
+	v, err := p.parseNumber()
+	if err != nil {
+		return constDecl{}, err
+	}
+	return constDecl{name: name.text, value: v}, nil
+}
+
+func (p *parser) parseNumber() (float32, error) {
+	neg := false
+	if t := p.peek(); t.kind == tPunct && t.text == "-" {
+		p.next()
+		neg = true
+	}
+	t := p.next()
+	if t.kind != tNumber {
+		return 0, p.errf(t, "expected number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 32)
+	if err != nil {
+		return 0, p.errf(t, "bad number %q", t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return float32(v), nil
+}
+
+func (p *parser) parseArray() (arrayDecl, error) {
+	start := p.next() // array
+	name := p.next()
+	if name.kind != tIdent {
+		return arrayDecl{}, p.errf(name, "expected array name")
+	}
+	if err := p.expectPunct("["); err != nil {
+		return arrayDecl{}, err
+	}
+	sz := p.next()
+	n, err := strconv.Atoi(sz.text)
+	if err != nil || n <= 0 {
+		return arrayDecl{}, p.errf(sz, "bad array size %q", sz.text)
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return arrayDecl{}, err
+	}
+	a := arrayDecl{name: name.text, size: n, line: start.line}
+	if t := p.peek(); t.kind == tPunct && t.text == "=" {
+		p.next()
+		fn := p.next()
+		if fn.kind != tIdent {
+			return arrayDecl{}, p.errf(fn, "expected initializer name")
+		}
+		switch fn.text {
+		case "linear", "fill", "cycle":
+			a.init = fn.text
+		default:
+			return arrayDecl{}, p.errf(fn, "unknown initializer %q (want linear, fill or cycle)", fn.text)
+		}
+		if err := p.expectPunct("("); err != nil {
+			return arrayDecl{}, err
+		}
+		for {
+			v, err := p.parseNumber()
+			if err != nil {
+				return arrayDecl{}, err
+			}
+			a.args = append(a.args, v)
+			t := p.next()
+			if t.kind == tPunct && t.text == ")" {
+				break
+			}
+			if t.kind != tPunct || t.text != "," {
+				return arrayDecl{}, p.errf(t, "expected , or ) in initializer")
+			}
+		}
+		want := map[string]int{"linear": 2, "fill": 1, "cycle": 2}[a.init]
+		if len(a.args) != want {
+			return arrayDecl{}, p.errf(fn, "%s wants %d argument(s), got %d", a.init, want, len(a.args))
+		}
+	}
+	return a, nil
+}
+
+func (p *parser) parseLoop() (loopDecl, error) {
+	start := p.next() // loop
+	it := p.next()
+	n, err := strconv.Atoi(it.text)
+	if err != nil || n < 1 || n > 0x7FFF {
+		return loopDecl{}, p.errf(it, "bad iteration count %q (want 1..32767)", it.text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return loopDecl{}, err
+	}
+	l := loopDecl{iters: n, line: start.line}
+	for {
+		t := p.peek()
+		if t.kind == tPunct && t.text == "}" {
+			p.next()
+			if len(l.body) == 0 {
+				return loopDecl{}, p.errf(t, "empty loop body")
+			}
+			return l, nil
+		}
+		s, err := p.parseAssign()
+		if err != nil {
+			return loopDecl{}, err
+		}
+		l.body = append(l.body, s)
+	}
+}
+
+func (p *parser) parseAssign() (assignStmt, error) {
+	name := p.next()
+	if name.kind != tIdent {
+		return assignStmt{}, p.errf(name, "expected array name, got %q", name.text)
+	}
+	off, err := p.parseIndex()
+	if err != nil {
+		return assignStmt{}, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return assignStmt{}, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return assignStmt{}, err
+	}
+	return assignStmt{array: name.text, offset: off, expr: e, line: name.line}, nil
+}
+
+// parseIndex parses "[k]", "[k+N]" or "[k-N]".
+func (p *parser) parseIndex() (int, error) {
+	if err := p.expectPunct("["); err != nil {
+		return 0, err
+	}
+	k := p.next()
+	if k.kind != tIdent || k.text != "k" {
+		return 0, p.errf(k, "arrays are indexed by k, got %q", k.text)
+	}
+	off := 0
+	t := p.next()
+	switch {
+	case t.kind == tPunct && t.text == "]":
+		return 0, nil
+	case t.kind == tPunct && (t.text == "+" || t.text == "-"):
+		n := p.next()
+		v, err := strconv.Atoi(n.text)
+		if err != nil {
+			return 0, p.errf(n, "bad index offset %q", n.text)
+		}
+		if t.text == "-" {
+			v = -v
+		}
+		off = v
+		if err := p.expectPunct("]"); err != nil {
+			return 0, err
+		}
+		return off, nil
+	default:
+		return 0, p.errf(t, "expected ], + or - in index")
+	}
+}
+
+func (p *parser) parseExpr() (node, error) {
+	a, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tPunct && (t.text == "+" || t.text == "-") {
+			p.next()
+			b, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			a = binNode{op: t.text[0], a: a, b: b}
+			continue
+		}
+		return a, nil
+	}
+}
+
+func (p *parser) parseTerm() (node, error) {
+	a, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tPunct && (t.text == "*" || t.text == "/") {
+			p.next()
+			b, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			a = binNode{op: t.text[0], a: a, b: b}
+			continue
+		}
+		return a, nil
+	}
+}
+
+func (p *parser) parseFactor() (node, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tNumber:
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return numNode{v: v}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tIdent:
+		p.next()
+		if n := p.peek(); n.kind == tPunct && n.text == "[" {
+			off, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			return elemNode{array: t.text, offset: off}, nil
+		}
+		return constNode{name: t.text}, nil
+	default:
+		return nil, p.errf(t, "expected number, constant, array element or (, got %q", t.text)
+	}
+}
+
+// ---- code generation ----
+
+// constRegs are the registers available for constants and literals; the
+// unused remainder serves as expression spill space.
+var constRegs = []uint8{0, 4, 6}
+
+// arrayInfo is an array's placement within the shared data region.
+type arrayInfo struct {
+	off  int32 // word offset within the region
+	size int
+}
+
+func generate(d *decls, loops []loopDecl) (*Unit, error) {
+	b := program.NewBuilder()
+	u := &Unit{Arrays: map[string]uint32{}, Consts: map[string]float32{}}
+
+	// Layout: all arrays in one region, then the hidden constant block.
+	arrays := map[string]arrayInfo{}
+	regionBase := b.DataPC()
+	off := int32(0)
+	for _, a := range d.arrays {
+		if _, dup := arrays[a.name]; dup {
+			return nil, fmt.Errorf("minic: line %d: duplicate array %q", a.line, a.name)
+		}
+		arrays[a.name] = arrayInfo{off: off, size: a.size}
+		u.Arrays[a.name] = regionBase + uint32(4*off)
+		b.DataLabel("arr." + a.name)
+		for i := 0; i < a.size; i++ {
+			b.Word(initValue(a, i))
+		}
+		off += int32(a.size)
+	}
+	// Collect constants: declared first, then interned literals.
+	constIdx := map[string]int{}
+	var constVals []float32
+	for _, c := range d.consts {
+		if _, dup := constIdx[c.name]; dup {
+			return nil, fmt.Errorf("minic: duplicate const %q", c.name)
+		}
+		if _, isArr := arrays[c.name]; isArr {
+			return nil, fmt.Errorf("minic: %q declared as both array and const", c.name)
+		}
+		constIdx[c.name] = len(constVals)
+		constVals = append(constVals, c.value)
+		u.Consts[c.name] = c.value
+	}
+	internLiteral := func(v float32) (int, error) {
+		key := fmt.Sprintf("lit:%08x", math.Float32bits(v))
+		if i, ok := constIdx[key]; ok {
+			return i, nil
+		}
+		if len(constVals) >= len(constRegs) {
+			return 0, fmt.Errorf("minic: too many constants and literals (at most %d)", len(constRegs))
+		}
+		constIdx[key] = len(constVals)
+		constVals = append(constVals, v)
+		return len(constVals) - 1, nil
+	}
+	// Walk expressions to intern literals and validate references before
+	// emitting anything.
+	var walk func(n node, l loopDecl) error
+	walk = func(n node, l loopDecl) error {
+		switch n := n.(type) {
+		case numNode:
+			_, err := internLiteral(n.v)
+			return err
+		case constNode:
+			if _, ok := constIdx[n.name]; !ok {
+				return fmt.Errorf("minic: line %d: unknown constant %q", l.line, n.name)
+			}
+			return nil
+		case elemNode:
+			if _, ok := arrays[n.array]; !ok {
+				return fmt.Errorf("minic: line %d: unknown array %q", l.line, n.array)
+			}
+			return nil
+		case binNode:
+			if err := walk(n.a, l); err != nil {
+				return err
+			}
+			return walk(n.b, l)
+		}
+		return fmt.Errorf("minic: unknown expression node")
+	}
+	for _, l := range loops {
+		for _, s := range l.body {
+			if _, ok := arrays[s.array]; !ok {
+				return nil, fmt.Errorf("minic: line %d: unknown array %q", s.line, s.array)
+			}
+			if err := walk(s.expr, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(constVals) > len(constRegs) {
+		return nil, fmt.Errorf("minic: too many constants (at most %d)", len(constRegs))
+	}
+	constBlockOff := off
+	b.DataLabel("arr.minic.consts")
+	for _, v := range constVals {
+		b.Word(math.Float32bits(v))
+	}
+	off += int32(len(constVals))
+	if off*4 > 0x7000 {
+		return nil, fmt.Errorf("minic: data region %d bytes exceeds the 16-bit offset budget", off*4)
+	}
+	scratch := constRegs[len(constVals):]
+
+	// Program prologue: FPU base and constants.
+	b.LAAddr(kernels.RegFPU, program.FPUBase)
+	if len(constVals) > 0 {
+		b.LAAddr(kernels.RegPtr, regionBase)
+		for i := range constVals {
+			b.LD(kernels.RegPtr, 4*(constBlockOff+int32(i)))
+			b.RI(isa.OpADDI, constRegs[i], isa.QueueReg, 0)
+		}
+	}
+
+	// Loops.
+	for li, l := range loops {
+		shift := 0
+		for _, s := range l.body {
+			if -s.offset > shift {
+				shift = -s.offset
+			}
+			shift = maxInt(shift, minOffsetNeed(s.expr))
+		}
+		// Bounds: every access k+off with k in [shift, shift+iters) must
+		// fit its array.
+		for _, s := range l.body {
+			if err := checkBounds(arrays[s.array].size, shift, l.iters, s.offset, s.array, l.line); err != nil {
+				return nil, err
+			}
+			if err := checkExprBounds(s.expr, arrays, shift, l.iters, l.line); err != nil {
+				return nil, err
+			}
+		}
+		// Lower to codegen statements.
+		var stmts []kernels.Stmt
+		for _, s := range l.body {
+			e, err := lower(s.expr, arrays, constIdx)
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, kernels.StoreX(arrays[s.array].off+int32(s.offset), e))
+		}
+		body, err := kernels.CompileBody(stmts, scratch)
+		if err != nil {
+			return nil, fmt.Errorf("minic: line %d: %v (hint: fewer constants frees spill registers)", l.line, err)
+		}
+		// Emit the counted loop.
+		label := fmt.Sprintf("minic.loop%d", li)
+		b.LAAddr(kernels.RegPtr, regionBase+uint32(4*shift))
+		b.LI(kernels.RegCounter, int32(l.iters))
+		b.SetB(0, label, 0)
+		b.Label(label)
+		for _, in := range body {
+			b.Emit(in)
+		}
+		b.RI(isa.OpADDI, kernels.RegCounter, kernels.RegCounter, -1)
+		b.PBR(isa.CondNE, kernels.RegCounter, 0, 1)
+		b.RI(isa.OpADDI, kernels.RegPtr, kernels.RegPtr, 4)
+		u.Loops = append(u.Loops, LoopInfo{Iterations: l.iters, IndexShift: shift, BodyInstr: len(body) + 3})
+	}
+	b.Halt()
+	img, err := b.Link()
+	if err != nil {
+		return nil, err
+	}
+	u.Image = img
+	return u, nil
+}
+
+// lower converts an AST expression to a codegen expression. The moving
+// pointer sits at element (shift+k) of the region, and arrays[...].off is
+// absolute within the region, so X offsets are region-relative minus the
+// pointer's start — which kernels.StoreX/X expect as "array offset + index
+// offset" because the pointer base already includes the shift.
+func lower(n node, arrays map[string]arrayInfo, constIdx map[string]int) (kernels.Expr, error) {
+	switch n := n.(type) {
+	case numNode:
+		key := fmt.Sprintf("lit:%08x", math.Float32bits(n.v))
+		return kernels.R(constRegs[constIdx[key]]), nil
+	case constNode:
+		return kernels.R(constRegs[constIdx[n.name]]), nil
+	case elemNode:
+		return kernels.X(arrays[n.array].off + int32(n.offset)), nil
+	case binNode:
+		a, err := lower(n.a, arrays, constIdx)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lower(n.b, arrays, constIdx)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case '+':
+			return kernels.Add(a, b), nil
+		case '-':
+			return kernels.Sub(a, b), nil
+		case '*':
+			return kernels.Mul(a, b), nil
+		case '/':
+			return kernels.Div(a, b), nil
+		}
+	}
+	return nil, fmt.Errorf("minic: unknown expression node")
+}
+
+// minOffsetNeed returns how far the index must be shifted up so the most
+// negative offset in the expression stays in bounds.
+func minOffsetNeed(n node) int {
+	switch n := n.(type) {
+	case elemNode:
+		if n.offset < 0 {
+			return -n.offset
+		}
+	case binNode:
+		return maxInt(minOffsetNeed(n.a), minOffsetNeed(n.b))
+	}
+	return 0
+}
+
+func checkExprBounds(n node, arrays map[string]arrayInfo, shift, iters, line int) error {
+	switch n := n.(type) {
+	case elemNode:
+		return checkBounds(arrays[n.array].size, shift, iters, n.offset, n.array, line)
+	case binNode:
+		if err := checkExprBounds(n.a, arrays, shift, iters, line); err != nil {
+			return err
+		}
+		return checkExprBounds(n.b, arrays, shift, iters, line)
+	}
+	return nil
+}
+
+func checkBounds(size, shift, iters, offset int, name string, line int) error {
+	lo := shift + offset
+	hi := shift + iters - 1 + offset
+	if lo < 0 || hi >= size {
+		return fmt.Errorf("minic: line %d: %s[k%+d] ranges over [%d,%d] but the array has %d elements",
+			line, name, offset, lo, hi, size)
+	}
+	return nil
+}
+
+func initValue(a arrayDecl, i int) uint32 {
+	switch a.init {
+	case "linear":
+		return math.Float32bits(a.args[0] + a.args[1]*float32(i))
+	case "fill":
+		return math.Float32bits(a.args[0])
+	case "cycle":
+		m := int(a.args[1])
+		if m <= 0 {
+			m = 1
+		}
+		return math.Float32bits(a.args[0] * float32(i%m))
+	default:
+		return 0
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package minic_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipesim/internal/core"
+	"pipesim/internal/minic"
+)
+
+func compileRun(t *testing.T, src string) (*minic.Unit, *core.Simulator) {
+	t.Helper()
+	u, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sim, err := core.New(core.DefaultConfig(), u.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return u, sim
+}
+
+func readF32(t *testing.T, u *minic.Unit, sim *core.Simulator, name string, idx int) float32 {
+	t.Helper()
+	addr, ok := u.ArrayAddr(name, idx)
+	if !ok {
+		t.Fatalf("no array %q", name)
+	}
+	return math.Float32frombits(sim.ReadWord(addr))
+}
+
+func TestCompileHydroFragment(t *testing.T) {
+	u, sim := compileRun(t, `
+const q = 1.25
+const r = 0.5
+array x[120]
+array y[120] = linear(0.25, 0.001)
+array z[140] = cycle(0.0625, 17)
+loop 100 {
+  x[k] = q + y[k] * (r * z[k+10])
+}
+`)
+	for _, k := range []int{0, 1, 50, 99} {
+		y := float32(0.25) + 0.001*float32(k)
+		z := float32(0.0625) * float32((k+10)%17)
+		want := 1.25 + y*(0.5*z)
+		if got := readF32(t, u, sim, "x", k); got != want {
+			t.Fatalf("x[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCompileRecurrenceShiftsIndex(t *testing.T) {
+	u, sim := compileRun(t, `
+array x[60] = fill(2.0)
+array y[60] = fill(0.5)
+loop 50 {
+  x[k] = y[k] * x[k-1]
+}
+`)
+	if len(u.Loops) != 1 || u.Loops[0].IndexShift != 1 {
+		t.Fatalf("loops = %+v, want shift 1", u.Loops)
+	}
+	// x[k] = 0.5 * x[k-1], x[0] = 2: x[k] = 2 * 0.5^k for k in 1..50.
+	want := float32(2.0)
+	for k := 1; k <= 50; k++ {
+		want *= 0.5
+		if k == 1 || k == 25 || k == 50 {
+			if got := readF32(t, u, sim, "x", k); got != want {
+				t.Fatalf("x[%d] = %v, want %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileLiteralsInterned(t *testing.T) {
+	u, sim := compileRun(t, `
+array x[20]
+array y[20] = fill(3.0)
+loop 10 {
+  x[k] = y[k] * 2.0 + 2.0
+}
+`)
+	if got := readF32(t, u, sim, "x", 5); got != 8.0 {
+		t.Fatalf("x[5] = %v, want 8", got)
+	}
+	_ = u
+}
+
+func TestCompileMultipleLoopsSequential(t *testing.T) {
+	u, sim := compileRun(t, `
+array a[40] = fill(1.0)
+array b[40]
+loop 30 {
+  b[k] = a[k] + a[k]
+}
+loop 30 {
+  a[k] = b[k] * b[k]
+}
+`)
+	if got := readF32(t, u, sim, "b", 7); got != 2.0 {
+		t.Fatalf("b[7] = %v, want 2", got)
+	}
+	if got := readF32(t, u, sim, "a", 7); got != 4.0 {
+		t.Fatalf("a[7] = %v, want 4", got)
+	}
+}
+
+func TestCompileDivision(t *testing.T) {
+	u, sim := compileRun(t, `
+array x[20]
+array n[20] = linear(2.0, 2.0)
+array d[20] = fill(4.0)
+loop 10 {
+  x[k] = n[k] / d[k]
+}
+`)
+	for _, k := range []int{0, 3, 9} {
+		want := (2.0 + 2.0*float32(k)) / 4.0
+		if got := readF32(t, u, sim, "x", k); got != want {
+			t.Fatalf("x[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"loop 10 { x[k] = 1.0 }", "unknown array"},
+		{"array x[5]\nloop 10 { x[k] = 1.0 }", "ranges over"},
+		{"array x[20]\nloop 10 { x[k] = q }", "unknown constant"},
+		{"array x[20]\nloop 10 { x[j] = 1.0 }", "indexed by k"},
+		{"array x[20]\nloop 0 { x[k] = 1.0 }", "bad iteration count"},
+		{"array x[20]\nloop 10 { }", "empty loop body"},
+		{"array x[20]", "no loops"},
+		{"const a = 1.0\nconst b = 2.0\nconst c = 3.0\narray x[20]\nloop 10 { x[k] = a + b + c + 4.0 }", "too many constants"},
+		{"array x[20]\narray x[20]\nloop 10 { x[k] = 1.0 }", "duplicate array"},
+		{"const x = 1.0\narray x[20]\nloop 10 { x[k] = 1.0 }", "both array and const"},
+		{"array x[20] = wave(1.0)\nloop 10 { x[k] = 1.0 }", "unknown initializer"},
+		{"array x[20] = fill(1.0, 2.0)\nloop 10 { x[k] = 1.0 }", "wants 1 argument"},
+		{"frobnicate\n", "expected const, array or loop"},
+		{"array x[20]\nloop 10 { x[k] = (1.0 }", `expected ")"`},
+	}
+	for _, c := range cases {
+		_, err := minic.Compile(c.src)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Compile(%q) error = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCompiledLoopsRunOnAllEngines(t *testing.T) {
+	u, err := minic.Compile(`
+const r = 0.5
+array x[80] = linear(1.0, 0.5)
+array y[80] = fill(0.25)
+loop 60 {
+  x[k] = x[k] - r * y[k] * x[k+5]
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []uint32
+	for _, strat := range []core.FetchStrategy{core.FetchPIPE, core.FetchConventional, core.FetchTIB} {
+		cfg := core.DefaultConfig()
+		cfg.Fetch = strat
+		cfg.TIBEntries = 2
+		cfg.TIBLineBytes = 16
+		sim, err := core.New(cfg, u.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		base, _ := u.ArrayAddr("x", 0)
+		var got []uint32
+		for i := 0; i < 70; i++ {
+			got = append(got, sim.ReadWord(base+uint32(4*i)))
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%v: x[%d] differs", strat, i)
+			}
+		}
+	}
+}
+
+func TestUnitMetadata(t *testing.T) {
+	u, err := minic.Compile(`
+const c = 2.5
+array x[30]
+loop 20 { x[k] = c }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Consts["c"] != 2.5 {
+		t.Errorf("Consts = %v", u.Consts)
+	}
+	if _, ok := u.ArrayAddr("x", 0); !ok {
+		t.Error("ArrayAddr(x) missing")
+	}
+	if _, ok := u.ArrayAddr("nope", 0); ok {
+		t.Error("ArrayAddr(nope) found")
+	}
+	if len(u.Loops) != 1 || u.Loops[0].Iterations != 20 {
+		t.Errorf("Loops = %+v", u.Loops)
+	}
+}

@@ -1,0 +1,274 @@
+package minic_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pipesim/internal/core"
+	"pipesim/internal/minic"
+)
+
+// Randomized end-to-end verification: generate a random kernel-language
+// program together with a Go float32 reference evaluator built from the
+// same structure, compile and simulate it, and compare every array element
+// bit for bit. This exercises the parser, the FIFO expression codegen, the
+// CPU, the queues and the FPU as one chain.
+
+// rexpr is a random expression that can render itself as source and
+// evaluate itself against reference arrays.
+type rexpr interface {
+	src() string
+	eval(arrays map[string][]float32, consts map[string]float32, k int) float32
+}
+
+type rElem struct {
+	arr string
+	off int
+}
+
+func (e rElem) src() string {
+	switch {
+	case e.off == 0:
+		return fmt.Sprintf("%s[k]", e.arr)
+	case e.off > 0:
+		return fmt.Sprintf("%s[k+%d]", e.arr, e.off)
+	default:
+		return fmt.Sprintf("%s[k-%d]", e.arr, -e.off)
+	}
+}
+
+func (e rElem) eval(arrays map[string][]float32, _ map[string]float32, k int) float32 {
+	return arrays[e.arr][k+e.off]
+}
+
+type rConst struct{ name string }
+
+func (c rConst) src() string { return c.name }
+func (c rConst) eval(_ map[string][]float32, consts map[string]float32, _ int) float32 {
+	return consts[c.name]
+}
+
+type rBin struct {
+	op   byte
+	a, b rexpr
+}
+
+func (b rBin) src() string { return fmt.Sprintf("(%s %c %s)", b.a.src(), b.op, b.b.src()) }
+
+func (b rBin) eval(arrays map[string][]float32, consts map[string]float32, k int) float32 {
+	x := b.a.eval(arrays, consts, k)
+	y := b.b.eval(arrays, consts, k)
+	switch b.op {
+	case '+':
+		return x + y
+	case '-':
+		return x - y
+	case '*':
+		return x * y
+	default:
+		return x / y
+	}
+}
+
+type rAssign struct {
+	arr string
+	off int
+	e   rexpr
+}
+
+type rProgram struct {
+	arrays map[string][]float32  // name -> initial contents
+	inits  map[string][2]float32 // name -> (base, step) used by linear()
+	consts map[string]float32
+	loops  []struct {
+		iters   int
+		assigns []rAssign
+	}
+}
+
+func genExpr(rng *rand.Rand, depth int, arrNames []string, constNames []string) rexpr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if len(constNames) > 0 && rng.Intn(4) == 0 {
+			return rConst{name: constNames[rng.Intn(len(constNames))]}
+		}
+		return rElem{arr: arrNames[rng.Intn(len(arrNames))], off: rng.Intn(5) - 1}
+	}
+	// Division is kept rare and guarded by nonzero initial data.
+	ops := []byte{'+', '-', '*', '*', '+'}
+	return rBin{
+		op: ops[rng.Intn(len(ops))],
+		a:  genExpr(rng, depth-1, arrNames, constNames),
+		b:  genExpr(rng, depth-1, arrNames, constNames),
+	}
+}
+
+func genProgram(rng *rand.Rand) *rProgram {
+	p := &rProgram{arrays: map[string][]float32{}, inits: map[string][2]float32{}, consts: map[string]float32{}}
+	nArr := 2 + rng.Intn(2)
+	size := 40 + rng.Intn(30)
+	var arrNames []string
+	for i := 0; i < nArr; i++ {
+		name := fmt.Sprintf("a%d", i)
+		arrNames = append(arrNames, name)
+		vals := make([]float32, size)
+		base := 0.25 + 0.25*float32(rng.Intn(4))
+		step := 0.001 * float32(rng.Intn(5))
+		for j := range vals {
+			vals[j] = base + step*float32(j) // same float32 formula as minic's linear()
+		}
+		p.arrays[name] = vals
+		p.inits[name] = [2]float32{base, step}
+	}
+	var constNames []string
+	for i := 0; i < rng.Intn(3); i++ {
+		name := fmt.Sprintf("c%d", i)
+		constNames = append(constNames, name)
+		p.consts[name] = 0.125 * float32(1+rng.Intn(8))
+	}
+	nLoops := 1 + rng.Intn(2)
+	for i := 0; i < nLoops; i++ {
+		iters := 10 + rng.Intn(size-15)
+		var assigns []rAssign
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			assigns = append(assigns, rAssign{
+				arr: arrNames[rng.Intn(len(arrNames))],
+				off: rng.Intn(3) - 1,
+				e:   genExpr(rng, 2, arrNames, constNames),
+			})
+		}
+		p.loops = append(p.loops, struct {
+			iters   int
+			assigns []rAssign
+		}{iters, assigns})
+	}
+	return p
+}
+
+// source renders the program as kernel-language text.
+func (p *rProgram) source() string {
+	var sb strings.Builder
+	for name, v := range p.consts {
+		fmt.Fprintf(&sb, "const %s = %v\n", name, v)
+	}
+	// Arrays render with the exact linear initializer they were built
+	// from (float32 %v formatting round-trips).
+	for _, name := range sortedArrayNames(p) {
+		init := p.inits[name]
+		fmt.Fprintf(&sb, "array %s[%d] = linear(%v, %v)\n", name, len(p.arrays[name]), init[0], init[1])
+	}
+	for _, l := range p.loops {
+		fmt.Fprintf(&sb, "loop %d {\n", l.iters)
+		for _, a := range l.assigns {
+			fmt.Fprintf(&sb, "  %s = %s\n", rElem{arr: a.arr, off: a.off}.src(), a.e.src())
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func sortedArrayNames(p *rProgram) []string {
+	var names []string
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("a%d", i)
+		if _, ok := p.arrays[name]; !ok {
+			break
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+// reference runs the program on float32 arrays in Go, mirroring minic's
+// semantics: each loop's index shift is the most negative offset used, and
+// statements apply sequentially.
+func (p *rProgram) reference() map[string][]float32 {
+	arrays := map[string][]float32{}
+	for name, v := range p.arrays {
+		arrays[name] = append([]float32(nil), v...)
+	}
+	for _, l := range p.loops {
+		shift := 0
+		walkOffsets(l.assigns, func(off int) {
+			if -off > shift {
+				shift = -off
+			}
+		})
+		for i := 0; i < l.iters; i++ {
+			k := shift + i
+			for _, a := range l.assigns {
+				arrays[a.arr][k+a.off] = a.e.eval(arrays, p.consts, k)
+			}
+		}
+	}
+	return arrays
+}
+
+func walkOffsets(assigns []rAssign, f func(int)) {
+	var walk func(e rexpr)
+	walk = func(e rexpr) {
+		switch e := e.(type) {
+		case rElem:
+			f(e.off)
+		case rBin:
+			walk(e.a)
+			walk(e.b)
+		}
+	}
+	for _, a := range assigns {
+		f(a.off)
+		walk(a.e)
+	}
+}
+
+func TestRandomKernelProgramsMatchReference(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	tested := 0
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		p := genProgram(rng)
+		src := p.source()
+		u, err := minic.Compile(src)
+		if err != nil {
+			// Bounds rejections are legitimate generator outcomes; a
+			// parse error is not.
+			if strings.Contains(err.Error(), "ranges over") || strings.Contains(err.Error(), "too many constants") {
+				continue
+			}
+			t.Fatalf("seed %d: unexpected compile error: %v\nsource:\n%s", seed, err, src)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Mem.AccessTime = []int{1, 3, 6}[seed%3]
+		cfg.CacheBytes = []int{32, 128, 512}[seed%3]
+		sim, err := core.New(cfg, u.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+		ref := p.reference()
+		for name, want := range ref {
+			for idx, w := range want {
+				addr, ok := u.ArrayAddr(name, idx)
+				if !ok {
+					t.Fatalf("seed %d: no address for %s", seed, name)
+				}
+				got := math.Float32frombits(sim.ReadWord(addr))
+				if math.Float32bits(got) != math.Float32bits(w) {
+					t.Fatalf("seed %d: %s[%d] = %v (%#x), reference %v (%#x)\nsource:\n%s",
+						seed, name, idx, got, math.Float32bits(got), w, math.Float32bits(w), src)
+				}
+			}
+		}
+		tested++
+	}
+	if tested < seeds/2 {
+		t.Fatalf("only %d/%d random programs were in bounds; generator too loose", tested, seeds)
+	}
+}

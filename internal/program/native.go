@@ -1,0 +1,171 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"pipesim/internal/isa"
+)
+
+// Native-format support: the paper's simulation parameter (1) compares the
+// fixed 32-bit instruction format (used for all presented results) against
+// the PIPE chip's 16/32-bit two-parcel format. A native image keeps the
+// same instruction sequence but lays the instructions out at their parcel
+// addresses, so the fetch path sees the denser code.
+//
+// Images are fixed-format by default; ToNative derives the native layout.
+
+// InstAt returns the instruction word starting at addr together with its
+// byte length in this image's format. For fixed-format images this is
+// InstWord with a length of 4; for native images addresses are instruction
+// boundaries in the parcel layout and lengths are 2 or 4.
+func (im *Image) InstAt(addr uint32) (word uint32, nbytes uint32, ok bool) {
+	if !im.Native {
+		w, ok := im.InstWord(addr)
+		return w, isa.WordBytes, ok
+	}
+	i := sort.Search(len(im.nativeAddrs), func(i int) bool { return im.nativeAddrs[i] >= addr })
+	if i >= len(im.nativeAddrs) || im.nativeAddrs[i] != addr {
+		return 0, 0, false
+	}
+	return im.Text[i], uint32(im.nativeLens[i]), true
+}
+
+// NativeTextEnd returns one past the last instruction byte in the native
+// layout (TextEnd for fixed images).
+func (im *Image) NativeTextEnd() uint32 {
+	if !im.Native {
+		return im.TextEnd()
+	}
+	n := len(im.nativeAddrs)
+	return im.nativeAddrs[n-1] + uint32(im.nativeLens[n-1])
+}
+
+// RAMWords returns the text segment as it appears in word-addressed memory:
+// the fixed words for a fixed image, or the packed parcels for a native
+// image. The memory system preloads this at TextBase.
+func (im *Image) RAMWords() []uint32 {
+	if !im.Native {
+		return im.Text
+	}
+	return im.nativeRAM
+}
+
+// ToNative derives the native-format layout of a fixed-format image: the
+// same instruction sequence packed at parcel granularity, with SETB targets
+// into the text segment relocated to the new instruction addresses. Text
+// symbols are relocated too. It fails if an instruction cannot be encoded
+// natively (SETB beyond the 19-bit reach) or if a SETB targets a byte that
+// is not an instruction boundary.
+func ToNative(im *Image) (*Image, error) {
+	if im.Native {
+		return im, nil
+	}
+	n := len(im.Text)
+	addrs := make([]uint32, n)
+	lens := make([]uint8, n)
+	oldToNew := make(map[uint32]uint32, n)
+	pos := TextBase
+	for i, w := range im.Text {
+		in, err := isa.DecodeChecked(w)
+		if err != nil {
+			return nil, fmt.Errorf("program: instruction %d: %v", i, err)
+		}
+		l := uint8(isa.ParcelLen(in) * isa.ParcelBytes)
+		addrs[i] = pos
+		lens[i] = l
+		oldToNew[TextBase+uint32(i*isa.WordBytes)] = pos
+		pos += uint32(l)
+	}
+	textEndOld := im.TextEnd()
+	remap := func(a uint32) (uint32, bool) {
+		if a >= textEndOld {
+			return a, true // data/FPU addresses are unchanged
+		}
+		na, ok := oldToNew[a]
+		return na, ok
+	}
+	// Relocate SETB targets (the only text references our generators
+	// emit; LUI/ORI address pairs must not point into text).
+	text := make([]uint32, n)
+	copy(text, im.Text)
+	for i, w := range text {
+		in := isa.Decode(w)
+		switch in.Op {
+		case isa.OpSETB:
+			na, ok := remap(uint32(in.Imm))
+			if !ok {
+				return nil, fmt.Errorf("program: SETB at instruction %d targets %#x, not an instruction boundary", i, in.Imm)
+			}
+			if na > 0x7FFFF {
+				return nil, fmt.Errorf("program: native SETB target %#x exceeds the 19-bit reach", na)
+			}
+			in.Imm = int32(na)
+			text[i] = isa.Encode(in)
+		case isa.OpLUI:
+			// Guard against LUI/ORI address pairs that point into the
+			// text segment; those cannot be relocated reliably (address
+			// pairs target data or the FPU in all generated programs).
+			// A computed value of zero is allowed: it is register
+			// clearing, not an address.
+			if i+1 < n {
+				next := isa.Decode(text[i+1])
+				if next.Op == isa.OpORI && next.Rd == in.Rd && next.Ra == in.Rd {
+					a := uint32(in.Imm)<<16 | uint32(next.Imm)&0xFFFF
+					if a > TextBase && a < textEndOld {
+						return nil, fmt.Errorf("program: LUI/ORI pair at instruction %d targets text %#x; cannot relocate", i, a)
+					}
+				}
+			}
+		}
+		// Check native encodability.
+		if _, err := safeEncodeParcels(isa.Decode(text[i])); err != nil {
+			return nil, fmt.Errorf("program: instruction %d: %v", i, err)
+		}
+	}
+	// Pack parcels into word-addressed RAM.
+	totalBytes := int(pos - TextBase)
+	ram := make([]uint32, (totalBytes+3)/4)
+	for i, w := range text {
+		ps, _ := safeEncodeParcels(isa.Decode(w))
+		for k, p := range ps {
+			byteOff := int(addrs[i]-TextBase) + k*isa.ParcelBytes
+			// Little-endian parcel packing: the parcel at byte offset 0
+			// occupies the low half of word 0.
+			if byteOff%4 == 0 {
+				ram[byteOff/4] |= uint32(p)
+			} else {
+				ram[byteOff/4] |= uint32(p) << 16
+			}
+		}
+	}
+	syms := make(map[string]uint32, len(im.Symbols))
+	for name, a := range im.Symbols {
+		na, ok := remap(a)
+		if !ok {
+			return nil, fmt.Errorf("program: symbol %q at %#x is not an instruction boundary", name, a)
+		}
+		syms[name] = na
+	}
+	out := &Image{
+		Text:        text,
+		Data:        im.Data,
+		Entry:       TextBase,
+		Symbols:     syms,
+		Native:      true,
+		nativeAddrs: addrs,
+		nativeLens:  lens,
+		nativeRAM:   ram,
+	}
+	return out, nil
+}
+
+// safeEncodeParcels converts EncodeParcels panics into errors.
+func safeEncodeParcels(in isa.Inst) (ps []uint16, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return isa.EncodeParcels(in), nil
+}

@@ -1,0 +1,136 @@
+package program
+
+import (
+	"testing"
+
+	"pipesim/internal/isa"
+)
+
+func buildFixed(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder()
+	b.Label("start")
+	b.LI(1, 3)                  // 1 parcel (imm 3 fits)
+	b.RI(isa.OpADDI, 2, 1, 100) // 2 parcels
+	b.SetB(0, "loop", 0)        // 2 parcels
+	b.Label("loop")
+	b.R3(isa.OpADD, 2, 2, 1)   // 1 parcel
+	b.RI(isa.OpADDI, 1, 1, -1) // 2 parcels
+	b.PBR(isa.CondNE, 1, 0, 1) // 1 parcel
+	b.Nop()                    // 1 parcel
+	b.Halt()
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestToNativeLayoutAndInstAt(t *testing.T) {
+	img := buildFixed(t)
+	nat, err := ToNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nat.Native {
+		t.Fatal("image not marked native")
+	}
+	// Expected parcel lengths: LI=2? LI imm 3 fits 3 bits -> 1 parcel (2B).
+	wantLens := []uint32{2, 4, 4, 2, 4, 2, 2, 2}
+	addr := TextBase
+	for i, want := range wantLens {
+		w, n, ok := nat.InstAt(addr)
+		if !ok {
+			t.Fatalf("InstAt(%#x) failed at instruction %d", addr, i)
+		}
+		if n != want {
+			t.Fatalf("instruction %d: length %d, want %d", i, n, want)
+		}
+		if isa.Decode(w) != isa.Decode(img.Text[i]) && isa.Decode(img.Text[i]).Op != isa.OpSETB {
+			t.Fatalf("instruction %d decoded differently", i)
+		}
+		addr += n
+	}
+	if nat.NativeTextEnd() != addr {
+		t.Errorf("NativeTextEnd = %#x, want %#x", nat.NativeTextEnd(), addr)
+	}
+	// Non-boundary lookups fail.
+	if _, _, ok := nat.InstAt(TextBase + 1); ok {
+		t.Error("InstAt on odd address succeeded")
+	}
+	if _, _, ok := nat.InstAt(nat.NativeTextEnd()); ok {
+		t.Error("InstAt past end succeeded")
+	}
+}
+
+func TestToNativeRelocatesSETBAndSymbols(t *testing.T) {
+	img := buildFixed(t)
+	nat, err := ToNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "loop" was at fixed 12 (instruction 3); native address = 2+4+4 = 10... TextBase relative.
+	wantLoop := TextBase + 2 + 4 + 4
+	if got, _ := nat.Lookup("loop"); got != wantLoop {
+		t.Errorf("loop symbol = %#x, want %#x", got, wantLoop)
+	}
+	// The SETB instruction's immediate must point at the new loop address.
+	_, _, _ = nat.InstAt(TextBase)
+	var setb isa.Inst
+	for _, w := range nat.Text {
+		if in := isa.Decode(w); in.Op == isa.OpSETB {
+			setb = in
+		}
+	}
+	if uint32(setb.Imm) != wantLoop {
+		t.Errorf("SETB target = %#x, want %#x", setb.Imm, wantLoop)
+	}
+}
+
+func TestToNativeRAMWords(t *testing.T) {
+	img := buildFixed(t)
+	nat, err := ToNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram := nat.RAMWords()
+	// First instruction (LI r1, 3) is one parcel in the low half of word 0.
+	ps := isa.EncodeParcels(isa.Decode(img.Text[0]))
+	if uint16(ram[0]&0xFFFF) != ps[0] {
+		t.Errorf("ram[0] low = %#x, want parcel %#x", ram[0]&0xFFFF, ps[0])
+	}
+	// Fixed image RAM is the text itself.
+	if &img.RAMWords()[0] != &img.Text[0] {
+		t.Error("fixed RAMWords should alias Text")
+	}
+}
+
+func TestToNativeRejectsTextAddressPairs(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Nop()
+	b.LAAddr(3, TextBase+4) // LUI/ORI pair pointing into text
+	b.Halt()
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ToNative(img); err == nil {
+		t.Fatal("text-targeting LUI/ORI pair accepted")
+	}
+}
+
+func TestToNativeIdempotent(t *testing.T) {
+	img := buildFixed(t)
+	nat, err := ToNative(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ToNative(nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != nat {
+		t.Error("ToNative on a native image should return it unchanged")
+	}
+}

@@ -1,0 +1,190 @@
+package program
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipesim/internal/isa"
+)
+
+func TestBuilderBasicLink(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.LI(1, 42)
+	b.R3(isa.OpADD, 2, 1, 1)
+	b.Halt()
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != TextBase {
+		t.Errorf("Entry = %#x, want %#x", img.Entry, TextBase)
+	}
+	if len(img.Text) != 3 {
+		t.Fatalf("Text len = %d, want 3", len(img.Text))
+	}
+	if a, ok := img.Lookup("start"); !ok || a != TextBase {
+		t.Errorf("Lookup(start) = %#x,%v", a, ok)
+	}
+	in, err := isa.DecodeChecked(img.Text[0])
+	if err != nil || in.Op != isa.OpLI || in.Rd != 1 || in.Imm != 42 {
+		t.Errorf("Text[0] = %v, %v", in, err)
+	}
+}
+
+func TestBuilderForwardAndBackwardSETB(t *testing.T) {
+	b := NewBuilder()
+	b.SetB(0, "loop", 0)  // forward reference
+	b.SetB(1, "start", 0) // backward... also forward (defined below at same addr)
+	b.Label("start")      // at PC 8
+	b.Label("loop")       // same address
+	b.LI(1, 1)            // loop body
+	b.SetB(2, "loop", 8)  // with offset
+	b.Halt()
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in0 := isa.Decode(img.Text[0])
+	if in0.Op != isa.OpSETB || uint32(in0.Imm) != 8 {
+		t.Errorf("SETB0 target = %#x, want 8", in0.Imm)
+	}
+	in2 := isa.Decode(img.Text[3])
+	if uint32(in2.Imm) != 16 {
+		t.Errorf("SETB2 target = %#x, want 16 (loop+8)", in2.Imm)
+	}
+}
+
+func TestBuilderLA(t *testing.T) {
+	b := NewBuilder()
+	b.LA(3, "vec", 4)
+	b.Halt()
+	b.DataLabel("vec")
+	b.Word(7, 8, 9)
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lui := isa.Decode(img.Text[0])
+	ori := isa.Decode(img.Text[1])
+	if lui.Op != isa.OpLUI || ori.Op != isa.OpORI {
+		t.Fatalf("LA pair = %v / %v", lui, ori)
+	}
+	want := DataBase + 4
+	got := uint32(lui.Imm)<<16 | uint32(ori.Imm)&0xFFFF
+	if got != want {
+		t.Errorf("LA resolves to %#x, want %#x", got, want)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.SetB(0, "nowhere", 0)
+	b.Halt()
+	if _, err := b.Link(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("Link err = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Link(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Link err = %v, want duplicate label", err)
+	}
+}
+
+func TestBuilderInvalidInstructionDeferred(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(isa.Inst{Op: isa.OpADD, Rd: 12}) // bad register
+	b.Halt()
+	if len(b.Errors()) == 0 {
+		t.Fatal("invalid instruction not recorded")
+	}
+	if _, err := b.Link(); err == nil {
+		t.Fatal("Link succeeded despite invalid instruction")
+	}
+}
+
+func TestBuilderEmptyText(t *testing.T) {
+	if _, err := NewBuilder().Link(); err == nil {
+		t.Fatal("empty program linked without error")
+	}
+}
+
+func TestDataEmitters(t *testing.T) {
+	b := NewBuilder()
+	b.Halt()
+	b.DataLabel("a")
+	b.Word(1, 2)
+	b.DataLabel("f")
+	b.Float(1.5)
+	b.Space(3)
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Data) != 6 {
+		t.Fatalf("Data len = %d, want 6", len(img.Data))
+	}
+	if img.Data[2] != math.Float32bits(1.5) {
+		t.Errorf("float word = %#x", img.Data[2])
+	}
+	if a, _ := img.Lookup("f"); a != DataBase+8 {
+		t.Errorf("f = %#x, want %#x", a, DataBase+8)
+	}
+	for i := 3; i < 6; i++ {
+		if img.Data[i] != 0 {
+			t.Errorf("space word %d = %#x, want 0", i, img.Data[i])
+		}
+	}
+}
+
+func TestInstWord(t *testing.T) {
+	b := NewBuilder()
+	b.LI(1, 5)
+	b.Halt()
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := img.InstWord(TextBase); !ok || isa.Decode(w).Op != isa.OpLI {
+		t.Error("InstWord(entry) failed")
+	}
+	if _, ok := img.InstWord(TextBase + 2); ok {
+		t.Error("unaligned InstWord succeeded")
+	}
+	if _, ok := img.InstWord(img.TextEnd()); ok {
+		t.Error("InstWord past end succeeded")
+	}
+}
+
+func TestDisassembleContainsLabelsAndMnemonics(t *testing.T) {
+	b := NewBuilder()
+	b.Label("entry")
+	b.LI(2, 3)
+	b.Halt()
+	img, err := b.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := img.Disassemble()
+	for _, want := range []string{"entry:", "LI r2, 3", "HALT"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestNegativeSpaceRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Halt()
+	b.Space(-1)
+	if _, err := b.Link(); err == nil {
+		t.Fatal("negative space linked without error")
+	}
+}

@@ -1,0 +1,81 @@
+// Package stats defines the counters collected during simulation. Counters
+// live here, in a leaf package, so that the memory system, fetch engines and
+// CPU can all record into one shared structure without import cycles.
+package stats
+
+import "fmt"
+
+// ReqKind classifies off-chip memory traffic for arbitration accounting.
+type ReqKind int
+
+// Request kinds, in the order used for reporting.
+const (
+	ReqDataLoad  ReqKind = iota // CPU load (LAQ head)
+	ReqDataStore                // CPU store (SAQ+SDQ pair), incl. FPU operand stores
+	ReqFPUResult                // floating-point result return transfer
+	ReqIFetch                   // instruction demand fetch
+	ReqIPrefetch                // instruction prefetch
+	NumReqKinds
+)
+
+var reqKindNames = [...]string{"data-load", "data-store", "fpu-result", "ifetch", "iprefetch"}
+
+// String returns a short name for the request kind.
+func (k ReqKind) String() string {
+	if k >= 0 && int(k) < len(reqKindNames) {
+		return reqKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Mem counts memory-system activity.
+type Mem struct {
+	Accepted       [NumReqKinds]uint64 // requests accepted by the interface
+	WordsDelivered uint64              // 32-bit words returned on the input bus
+	InputBusCycles uint64              // cycles the input bus carried data
+	StoreWords     uint64              // words written to memory or the FPU
+	FPUOps         uint64              // floating-point operations started
+}
+
+// Fetch counts instruction-supply activity for one fetch engine.
+type Fetch struct {
+	CacheHits      uint64 // lookups satisfied by the on-chip cache
+	CacheMisses    uint64 // lookups that went (or wanted to go) off-chip
+	LineFetches    uint64 // demand line/word fetches issued off-chip
+	Prefetches     uint64 // prefetch requests issued off-chip
+	PrefetchBlocks uint64 // prefetches blocked by the execution guarantee
+	SupplyCycles   uint64 // cycles an instruction was handed to decode
+	StarvedCycles  uint64 // cycles decode wanted an instruction and got none
+	BranchFlushes  uint64 // taken branches that discarded queued words
+}
+
+// CPU counts pipeline activity.
+type CPU struct {
+	Instructions    uint64 // retired instructions (includes NOPs and HALT)
+	Branches        uint64 // retired PBR instructions
+	TakenBranches   uint64
+	Loads           uint64 // LD instructions retired
+	Stores          uint64 // ST instructions retired
+	StallLDQEmpty   uint64 // issue stalls waiting on the load data queue
+	StallQueueFull  uint64 // issue stalls on a full LAQ/SAQ/SDQ/LDQ reservation
+	StallFetchEmpty uint64 // cycles issue had no instruction to consider
+	DCacheHits      uint64 // loads served by the optional on-chip data cache
+	DCacheMisses    uint64 // loads that went to the bus despite the data cache
+}
+
+// Sim aggregates everything measured in one run.
+type Sim struct {
+	Cycles uint64 // total cycles to run the program to completion (the
+	// paper's performance metric)
+	Mem   Mem
+	Fetch Fetch
+	CPU   CPU
+}
+
+// CPI returns cycles per instruction, or 0 before any instruction retires.
+func (s *Sim) CPI() float64 {
+	if s.CPU.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.CPU.Instructions)
+}

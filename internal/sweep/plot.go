@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// plotGlyphs marks the series in a Plot, in order.
+var plotGlyphs = []byte{'c', '1', '2', '3', '4', '5', '6', '7', '8', '9'}
+
+// Plot renders the result as an ASCII chart: the x axis is the experiment's
+// sweep variable (log-spaced positions as given), the y axis is cycles,
+// and each series draws with its own glyph (legend below). Useful for
+// eyeballing the figures in a terminal; the paper's curve shapes —
+// crossovers, knees, compression — are all visible at this resolution.
+func (r *Result) Plot() string {
+	axis := r.axis()
+	if len(axis) == 0 {
+		return r.Title + "\n(no data)\n"
+	}
+	// Y range over valid points.
+	var lo, hi uint64 = ^uint64(0), 0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if !p.Valid {
+				continue
+			}
+			if p.Cycles < lo {
+				lo = p.Cycles
+			}
+			if p.Cycles > hi {
+				hi = p.Cycles
+			}
+		}
+	}
+	if hi == 0 || lo == ^uint64(0) {
+		return r.Title + "\n(no data)\n"
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+
+	const rows = 16
+	colWidth := 6
+	cols := len(axis) * colWidth
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	rowOf := func(c uint64) int {
+		// Row 0 is the top (hi); rows-1 the bottom (lo).
+		f := float64(c-lo) / float64(hi-lo)
+		row := int(float64(rows-1) * (1 - f))
+		if row < 0 {
+			row = 0
+		}
+		if row >= rows {
+			row = rows - 1
+		}
+		return row
+	}
+	colOf := func(x int) int {
+		for i, ax := range axis {
+			if ax == x {
+				return i*colWidth + colWidth/2
+			}
+		}
+		return 0
+	}
+	for si, s := range r.Series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			if !p.Valid {
+				continue
+			}
+			row, col := rowOf(p.Cycles), colOf(p.CacheBytes)
+			if grid[row][col] == ' ' {
+				grid[row][col] = g
+			} else if grid[row][col] != g {
+				grid[row][col] = '*' // overlapping series
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", r.Title)
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8d", hi)
+		case rows - 1:
+			label = fmt.Sprintf("%8d", lo)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(line))
+	}
+	sb.WriteString("         +")
+	sb.WriteString(strings.Repeat("-", cols))
+	sb.WriteByte('\n')
+	sb.WriteString("          ")
+	for _, x := range axis {
+		fmt.Fprintf(&sb, "%*d", colWidth, x)
+	}
+	fmt.Fprintf(&sb, "   (%s)\n", r.XLabel)
+	sb.WriteString("legend: ")
+	for si, s := range r.Series {
+		if si > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%c=%s", plotGlyphs[si%len(plotGlyphs)], s.Label)
+	}
+	sb.WriteString("  (*=overlap)\n")
+	return sb.String()
+}

@@ -1,0 +1,551 @@
+package sweep
+
+import (
+	"sync"
+	"testing"
+)
+
+// figCache runs each experiment at most once per test binary; the figures
+// are deterministic and several tests read the same ones.
+var (
+	figMu    sync.Mutex
+	figCache = map[string]*Result{}
+)
+
+func fig(t *testing.T, id string) *Result {
+	t.Helper()
+	figMu.Lock()
+	defer figMu.Unlock()
+	if r, ok := figCache[id]; ok {
+		return r
+	}
+	exp, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	r, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figCache[id] = r
+	return r
+}
+
+// series returns the named curve of a result.
+func series(t *testing.T, r *Result, label string) Series {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q", r.ID, label)
+	return Series{}
+}
+
+// at returns the cycles of a series at one cache size.
+func at(t *testing.T, s Series, size int) uint64 {
+	t.Helper()
+	for _, p := range s.Points {
+		if p.CacheBytes == size && p.Valid {
+			return p.Cycles
+		}
+	}
+	t.Fatalf("series %q has no valid point at %d bytes", s.Label, size)
+	return 0
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "noprefetch", "priority", "tib"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, ok := Lookup("nonexistent"); ok {
+		t.Error("Lookup found a nonexistent experiment")
+	}
+}
+
+// TestEveryExperimentRunsAndRenders executes the full registry once (the
+// claim tests below share the cached results) and checks both renderers
+// produce sane output for each.
+func TestEveryExperimentRunsAndRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range Experiments() {
+		r := fig(t, e.ID)
+		if len(r.Series) == 0 {
+			t.Errorf("%s: no series", e.ID)
+			continue
+		}
+		txt := r.Format()
+		csv := r.CSV()
+		if len(txt) == 0 || len(csv) == 0 {
+			t.Errorf("%s: empty render", e.ID)
+		}
+		// The CSV header names every series.
+		header := csv[:indexOf(csv, "\n")]
+		for _, s := range r.Series {
+			if !contains(header, csvLabel(s.Label)) {
+				t.Errorf("%s: CSV header %q missing series %q", e.ID, header, s.Label)
+			}
+		}
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				if p.Valid && p.Cycles == 0 && e.ID != "table2" {
+					t.Errorf("%s/%s: zero-cycle point at x=%d", e.ID, s.Label, p.CacheBytes)
+				}
+			}
+		}
+	}
+}
+
+// csvLabel mirrors the CSV escaping for lookup purposes.
+func csvLabel(s string) string {
+	if !contains(s, ",") {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r := fig(t, "table1")
+	want := []uint64{116, 204, 64, 80, 76, 72, 288, 732, 272, 260, 56, 56, 328, 224}
+	s := r.Series[0]
+	if len(s.Points) != 14 {
+		t.Fatalf("%d loops", len(s.Points))
+	}
+	for i, p := range s.Points {
+		if p.Cycles != want[i] {
+			t.Errorf("loop %d = %d bytes, want %d", i+1, p.Cycles, want[i])
+		}
+	}
+}
+
+// TestClaimPipeWinsWheneverMemoryIsSlow is the paper's central result: "For
+// a memory access time larger than 1 clock cycle, all PIPE configurations
+// always perform better than the conventional cache."
+func TestClaimPipeWinsWheneverMemoryIsSlow(t *testing.T) {
+	for _, id := range []string{"fig5a", "fig5b", "fig6b", "access2", "access3"} {
+		r := fig(t, id)
+		conv := series(t, r, "conv")
+		for _, v := range TableII {
+			s := series(t, r, v.Name)
+			for _, size := range CacheSizes {
+				if size < v.Line || size < ConvLineBytes {
+					continue
+				}
+				if at(t, s, size) >= at(t, conv, size) {
+					t.Errorf("%s: PIPE %s (%d cycles) not faster than conventional (%d) at %dB",
+						id, v.Name, at(t, s, size), at(t, conv, size), size)
+				}
+			}
+		}
+	}
+}
+
+// TestClaimConvWinsOnlyAtT1Bus4 checks the flip side: with a 1-cycle memory
+// and a 4-byte bus the conventional cache beats at least some PIPE
+// configuration (the paper's only such regime).
+func TestClaimConvWinsOnlyAtT1Bus4(t *testing.T) {
+	r := fig(t, "fig4a")
+	conv := series(t, r, "conv")
+	beatsSome := false
+	for _, v := range TableII {
+		s := series(t, r, v.Name)
+		for _, size := range CacheSizes {
+			if size < v.Line || size < ConvLineBytes {
+				continue
+			}
+			if at(t, conv, size) < at(t, s, size) {
+				beatsSome = true
+			}
+		}
+	}
+	if !beatsSome {
+		t.Error("conventional cache should win somewhere at T=1, bus 4B")
+	}
+}
+
+// TestClaimBusWidthMattersBelowTheKnee: "the bus width can have a dramatic
+// impact on performance for cache sizes less than 128 bytes" — and the
+// effect grows with memory access time.
+func TestClaimBusWidthMattersBelowTheKnee(t *testing.T) {
+	narrow := fig(t, "fig5a")
+	wide := fig(t, "fig5b")
+	for _, label := range []string{"conv", "16-16"} {
+		n := at(t, series(t, narrow, label), 32)
+		w := at(t, series(t, wide, label), 32)
+		if w >= n {
+			t.Errorf("%s at 32B: 8-byte bus (%d) not faster than 4-byte (%d)", label, w, n)
+		}
+	}
+	// Once the cache is large, width matters much less (paper: "once the
+	// cache size has grown to 256 bytes, the bus width does not make a
+	// significant difference").
+	for _, label := range []string{"conv", "16-16"} {
+		n := at(t, series(t, narrow, label), 512)
+		w := at(t, series(t, wide, label), 512)
+		gain := float64(n-w) / float64(n)
+		if gain > 0.10 {
+			t.Errorf("%s at 512B: bus width still changes cycles by %.0f%%", label, gain*100)
+		}
+	}
+}
+
+// TestClaimPipeLessSensitiveToBusWidth: at T=6 with small caches, the PIPE
+// configurations lose less from a narrow bus than the conventional cache.
+func TestClaimPipeLessSensitiveToBusWidth(t *testing.T) {
+	narrow := fig(t, "fig5a")
+	wide := fig(t, "fig5b")
+	sensitivity := func(label string, size int) float64 {
+		n := at(t, series(t, narrow, label), size)
+		w := at(t, series(t, wide, label), size)
+		return float64(n) / float64(w)
+	}
+	convSens := sensitivity("conv", 32)
+	pipeSens := sensitivity("16-16", 32)
+	if pipeSens >= convSens {
+		t.Errorf("PIPE 16-16 bus sensitivity %.3f not below conventional %.3f", pipeSens, convSens)
+	}
+}
+
+// TestClaimPipelinedMemoryShiftsAndCompresses: Figure 6b's curves sit below
+// Figure 6a's at every point, and the spread between best and worst
+// configurations shrinks.
+func TestClaimPipelinedMemoryShiftsAndCompresses(t *testing.T) {
+	nonPipe := fig(t, "fig6a")
+	pipelined := fig(t, "fig6b")
+	var spreadNon, spreadPipe float64
+	for _, label := range []string{"conv", "8-8", "16-16", "16-32", "32-32"} {
+		for _, size := range CacheSizes {
+			sn := series(t, nonPipe, label)
+			sp := series(t, pipelined, label)
+			var n, p uint64
+			for _, pt := range sn.Points {
+				if pt.CacheBytes == size && pt.Valid {
+					n = pt.Cycles
+				}
+			}
+			for _, pt := range sp.Points {
+				if pt.CacheBytes == size && pt.Valid {
+					p = pt.Cycles
+				}
+			}
+			if n == 0 || p == 0 {
+				continue
+			}
+			if p >= n {
+				t.Errorf("%s at %dB: pipelined (%d) not below non-pipelined (%d)", label, size, p, n)
+			}
+		}
+	}
+	minMax := func(r *Result, size int) (uint64, uint64) {
+		lo, hi := ^uint64(0), uint64(0)
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				if p.CacheBytes == size && p.Valid {
+					if p.Cycles < lo {
+						lo = p.Cycles
+					}
+					if p.Cycles > hi {
+						hi = p.Cycles
+					}
+				}
+			}
+		}
+		return lo, hi
+	}
+	lo, hi := minMax(nonPipe, 64)
+	spreadNon = float64(hi-lo) / float64(lo)
+	lo, hi = minMax(pipelined, 64)
+	spreadPipe = float64(hi-lo) / float64(lo)
+	if spreadPipe >= spreadNon {
+		t.Errorf("pipelined spread %.3f not compressed below non-pipelined %.3f", spreadPipe, spreadNon)
+	}
+}
+
+// TestClaimBestLineSizeFlipsWithMemorySpeed: 8-byte lines win at a 1-cycle
+// access time; 16/32-byte lines win at 6 cycles (paper, Figures 4 vs 6).
+func TestClaimBestLineSizeFlipsWithMemorySpeed(t *testing.T) {
+	fast := fig(t, "fig4b")
+	slow := fig(t, "fig5b")
+	if a, b := at(t, series(t, fast, "8-8"), 64), at(t, series(t, fast, "32-32"), 64); a >= b {
+		t.Errorf("T=1: 8-8 (%d) should beat 32-32 (%d)", a, b)
+	}
+	if a, b := at(t, series(t, slow, "32-32"), 64), at(t, series(t, slow, "8-8"), 64); a >= b {
+		t.Errorf("T=6: 32-32 (%d) should beat 8-8 (%d)", a, b)
+	}
+}
+
+// TestClaimSmallPipeCacheRivalsLargeConventional: "using a 16 or 32 byte
+// cache with an IQ and IQB one can achieve close to the performance of a
+// 512 byte cache" (Figure 4b).
+func TestClaimSmallPipeCacheRivalsLargeConventional(t *testing.T) {
+	r := fig(t, "fig4b")
+	small := at(t, series(t, r, "8-8"), 16)
+	large := at(t, series(t, r, "conv"), 512)
+	if ratio := float64(small) / float64(large); ratio > 1.12 {
+		t.Errorf("PIPE 8-8 with a 16B cache is %.2fx a 512B conventional cache; want within ~10%%", ratio)
+	}
+}
+
+// TestClaimCurvesConvergeAtLargeCaches: all strategies approach the same
+// data-bound floor as the cache grows.
+func TestClaimCurvesConvergeAtLargeCaches(t *testing.T) {
+	for _, id := range []string{"fig4a", "fig5b", "fig6b"} {
+		r := fig(t, id)
+		var lo, hi uint64 = ^uint64(0), 0
+		for _, s := range r.Series {
+			c := at(t, s, 512)
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if spread := float64(hi-lo) / float64(lo); spread > 0.05 {
+			t.Errorf("%s: 512B spread %.1f%%, want convergence within 5%%", id, spread*100)
+		}
+	}
+}
+
+// TestClaimMonotoneImprovementWithCacheSize: bigger caches never hurt, for
+// every strategy and memory speed.
+func TestClaimMonotoneImprovementWithCacheSize(t *testing.T) {
+	for _, id := range []string{"fig4a", "fig4b", "fig5a", "fig5b", "fig6b"} {
+		r := fig(t, id)
+		for _, s := range r.Series {
+			var prev uint64
+			for _, p := range s.Points {
+				if !p.Valid {
+					continue
+				}
+				if prev != 0 && p.Cycles > prev+prev/50 { // 2% tolerance for conflict noise
+					t.Errorf("%s %s: %dB (%d cycles) worse than smaller cache (%d)",
+						id, s.Label, p.CacheBytes, p.Cycles, prev)
+				}
+				prev = p.Cycles
+			}
+		}
+	}
+}
+
+// TestAblationTruePrefetch: the guaranteed-execution policy of the original
+// chip never beats true prefetch, and costs measurably at some point.
+func TestAblationTruePrefetch(t *testing.T) {
+	r := fig(t, "noprefetch")
+	someCost := false
+	for _, T := range []string{"T=1", "T=6"} {
+		on := series(t, r, T+" true-prefetch")
+		off := series(t, r, T+" guaranteed-only")
+		for _, size := range CacheSizes {
+			if size < 16 {
+				continue
+			}
+			a, b := at(t, on, size), at(t, off, size)
+			if b+b/100 < a {
+				t.Errorf("%s at %dB: guaranteed-only (%d) beats true prefetch (%d)", T, size, b, a)
+			}
+			if b > a {
+				someCost = true
+			}
+		}
+	}
+	if !someCost {
+		t.Error("disallowing true prefetch never cost a cycle; the paper reports a penalty")
+	}
+}
+
+// TestKneeSitsAtCacheSize: cycles per iteration are flat while the loop
+// fits in the 128-byte cache and step up sharply past it, with PIPE
+// degrading more gracefully than the conventional cache.
+func TestKneeSitsAtCacheSize(t *testing.T) {
+	r := fig(t, "knee")
+	pipe := series(t, r, "pipe 16-16")
+	conv := series(t, r, "conv")
+	perInstr := func(s Series, size int) float64 {
+		return float64(at(t, s, size)) / float64(size/4)
+	}
+	// Fitting loops run near one cycle per instruction for both.
+	for _, size := range []int{48, 96} {
+		for _, s := range []Series{pipe, conv} {
+			if cpi := perInstr(s, size); cpi > 2.0 {
+				t.Errorf("%s at %dB (fits): %.2f cycles/instr, want near 1", s.Label, size, cpi)
+			}
+		}
+	}
+	// Non-fitting loops cost much more...
+	for _, s := range []Series{pipe, conv} {
+		if perInstr(s, 192) < 1.5*perInstr(s, 96) {
+			t.Errorf("%s: no knee between 96B and 192B", s.Label)
+		}
+	}
+	// ...and PIPE degrades more gracefully past the knee.
+	for _, size := range []int{192, 256, 512} {
+		if at(t, pipe, size) >= at(t, conv, size) {
+			t.Errorf("at %dB: PIPE (%d) not faster than conventional (%d) past the knee",
+				size, at(t, pipe, size), at(t, conv, size))
+		}
+	}
+}
+
+// TestDCacheCrossover: the paper's future-density suggestion pays off once
+// the instruction cache already covers the loops.
+func TestDCacheCrossover(t *testing.T) {
+	r := fig(t, "dcache")
+	iOnly := series(t, r, "all i-cache")
+	split := series(t, r, "i+d split")
+	if at(t, split, 128) <= at(t, iOnly, 128) {
+		t.Error("at 128 total bytes the split machine should not win yet (i-cache too small)")
+	}
+	if at(t, split, 1024) >= at(t, iOnly, 1024) {
+		t.Error("at 1024 total bytes the data cache should win")
+	}
+}
+
+// TestFormatSimNativeActsLikeBiggerCache: the simulated native format beats
+// the fixed format at every cache size (denser code = larger effective
+// cache) and roughly matches the fixed format one cache size up.
+func TestFormatSimNativeActsLikeBiggerCache(t *testing.T) {
+	r := fig(t, "formatsim")
+	for _, pair := range [][2]string{{"pipe fixed", "pipe native"}, {"conv fixed", "conv native"}} {
+		fixed := series(t, r, pair[0])
+		native := series(t, r, pair[1])
+		for _, size := range CacheSizes {
+			if size < 16 {
+				continue
+			}
+			f, n := at(t, fixed, size), at(t, native, size)
+			if n >= f {
+				t.Errorf("%s at %dB: native (%d) not faster than fixed (%d)", pair[1], size, n, f)
+			}
+		}
+		// Native at 64B should be at least as good as fixed at 128B.
+		if at(t, native, 64) > at(t, fixed, 128) {
+			t.Errorf("%s: native@64B (%d) worse than fixed@128B (%d); density should buy a cache size",
+				pair[1], at(t, native, 64), at(t, fixed, 128))
+		}
+	}
+}
+
+// TestFormatDensity: the native 16/32-bit encoding is substantially denser.
+func TestFormatDensity(t *testing.T) {
+	r := fig(t, "format")
+	fixed := series(t, r, "fixed-32 (B)")
+	native := series(t, r, "native (B)")
+	for i := range fixed.Points {
+		f, n := fixed.Points[i].Cycles, native.Points[i].Cycles
+		if n >= f {
+			t.Errorf("loop %d: native %dB not smaller than fixed %dB", i+1, n, f)
+		}
+		if float64(n) < 0.5*float64(f) {
+			t.Errorf("loop %d: native %dB implausibly below half of fixed %dB", i+1, n, f)
+		}
+	}
+}
+
+// TestPerLoopAdvantageComesFromNonFittingLoops: loops that fit the 128-byte
+// cache cost both strategies about the same; every loop that does not fit
+// costs the conventional cache measurably more (the knee argument seen from
+// the other side).
+func TestPerLoopAdvantageComesFromNonFittingLoops(t *testing.T) {
+	r := fig(t, "perloop")
+	pipe := series(t, r, "pipe 16-16")
+	conv := series(t, r, "conv")
+	fitting := map[int]bool{1: true, 3: true, 4: true, 5: true, 6: true, 11: true, 12: true}
+	for loop := 1; loop <= 14; loop++ {
+		p, c := at(t, pipe, loop), at(t, conv, loop)
+		ratio := float64(c) / float64(p)
+		if fitting[loop] {
+			if ratio > 1.02 {
+				t.Errorf("loop %d fits the cache but conv/pipe = %.3f; should be near 1", loop, ratio)
+			}
+		} else {
+			if ratio < 1.05 {
+				t.Errorf("loop %d does not fit but conv/pipe = %.3f; PIPE should win clearly", loop, ratio)
+			}
+		}
+	}
+}
+
+// TestDelaySlotsHideResolutionLatency: each slot recovers cycles until the
+// PBR resolution latency is covered, then the curve is flat (paper §3.1.3).
+func TestDelaySlotsHideResolutionLatency(t *testing.T) {
+	r := fig(t, "slots")
+	for _, s := range r.Series {
+		var prev uint64
+		for i, p := range s.Points {
+			if i > 0 && p.Cycles > prev {
+				t.Errorf("%s: %d slots (%d cycles) worse than %d slots (%d)",
+					s.Label, p.CacheBytes, p.Cycles, p.CacheBytes-1, prev)
+			}
+			prev = p.Cycles
+		}
+		first, last := s.Points[0].Cycles, s.Points[len(s.Points)-1].Cycles
+		if first <= last {
+			t.Errorf("%s: slots saved nothing (%d -> %d)", s.Label, first, last)
+		}
+		// Flat tail: 4..7 slots identical.
+		if s.Points[4].Cycles != s.Points[7].Cycles {
+			t.Errorf("%s: curve not flat once resolution is covered", s.Label)
+		}
+	}
+}
+
+// TestFormatRendersAllSeries sanity-checks the text renderer.
+func TestFormatRendersAllSeries(t *testing.T) {
+	r := fig(t, "table1")
+	out := r.Format()
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	for _, want := range []string{"Table I", "bytes", "116", "732"} {
+		if !contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotRendersLegendAndScale(t *testing.T) {
+	r := fig(t, "table1")
+	out := r.Plot()
+	for _, want := range []string{"legend:", "bytes", "732", "56", "loop number"} {
+		if !contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	empty := &Result{Title: "empty", XLabel: "x"}
+	if out := empty.Plot(); !contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+	flat := &Result{Title: "flat", XLabel: "x", Series: []Series{{
+		Label:  "s",
+		Points: []Point{{CacheBytes: 1, Cycles: 5, Valid: true}, {CacheBytes: 2, Cycles: 5, Valid: true}},
+	}}}
+	if out := flat.Plot(); !contains(out, "s") {
+		t.Errorf("flat plot = %q", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

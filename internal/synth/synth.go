@@ -1,0 +1,197 @@
+// Package synth generates synthetic PIPE workloads: parameterized loops
+// for sensitivity studies (e.g. the cache-size "knee" as a function of
+// inner-loop size) and random — but always well-formed and halting —
+// programs for differential testing of the fetch engines.
+//
+// Differential testing is the package's main verification role: any two
+// fetch strategies must execute the identical dynamic instruction stream
+// and produce identical memory contents for every program; only cycle
+// counts may differ. Random programs explore corner cases (branch delay
+// slots of every length, not-taken branches, queue pressure, mid-line
+// branch targets) that hand-written kernels miss.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipesim/internal/isa"
+	"pipesim/internal/program"
+)
+
+// LoopSpec parameterizes one synthetic inner loop.
+type LoopSpec struct {
+	// BodyInstr is the inner-loop size in instructions (including the
+	// counter decrement, PBR and delay slots). Minimum 6.
+	BodyInstr int
+	// Iterations is the trip count (1..32767).
+	Iterations int
+	// Loads and Stores per iteration (data traffic knobs).
+	Loads  int
+	Stores int
+	// DelaySlots for the loop-closing PBR (0..7; capped by body size).
+	DelaySlots int
+}
+
+// Validate reports errors in the specification.
+func (s LoopSpec) Validate() error {
+	if s.BodyInstr < 6 {
+		return fmt.Errorf("synth: body of %d instructions too small (min 6)", s.BodyInstr)
+	}
+	if s.Iterations < 1 || s.Iterations > 0x7FFF {
+		return fmt.Errorf("synth: iterations %d out of range", s.Iterations)
+	}
+	if s.DelaySlots < 0 || s.DelaySlots > isa.MaxDelaySlots {
+		return fmt.Errorf("synth: %d delay slots out of range", s.DelaySlots)
+	}
+	minBody := 2 + s.DelaySlots + 2*s.Stores + s.Loads*2
+	if s.BodyInstr < minBody {
+		return fmt.Errorf("synth: body %d too small for %d loads, %d stores and %d slots (need %d)",
+			s.BodyInstr, s.Loads, s.Stores, s.DelaySlots, minBody)
+	}
+	return nil
+}
+
+// Loop builds a standalone program with one synthetic inner loop of the
+// exact requested size. Register use: r2 = moving pointer, r3 = value
+// accumulator, r5 = counter.
+func Loop(spec LoopSpec) (*program.Image, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	b := program.NewBuilder()
+	b.LA(2, "data", 0)
+	b.LI(3, 1)
+	b.LI(5, int32(spec.Iterations))
+	b.SetB(0, "loop", 0)
+	b.Label("loop")
+	emitted := 0
+	budget := spec.BodyInstr - 2 - spec.DelaySlots // minus ADDI ctr + PBR
+	// Loads followed by pops keep the LDQ balanced.
+	for i := 0; i < spec.Loads && emitted+2 <= budget-2*spec.Stores; i++ {
+		b.LD(2, int32(4*i))
+		b.RI(isa.OpADDI, 3, isa.QueueReg, 0)
+		emitted += 2
+	}
+	for i := 0; i < spec.Stores && emitted+2 <= budget; i++ {
+		b.ST(2, int32(4*i))
+		b.RI(isa.OpADDI, isa.QueueReg, 3, 0)
+		emitted += 2
+	}
+	for emitted < budget {
+		b.RI(isa.OpADDI, 4, 4, 1)
+		emitted++
+	}
+	b.RI(isa.OpADDI, 5, 5, -1)
+	b.PBR(isa.CondNE, 5, 0, uint8(spec.DelaySlots))
+	slots := 0
+	if spec.DelaySlots > 0 {
+		b.RI(isa.OpADDI, 2, 2, 4) // advance pointer in the first slot
+		slots++
+	}
+	for ; slots < spec.DelaySlots; slots++ {
+		b.Nop()
+	}
+	b.Halt()
+	b.DataLabel("data")
+	b.Space(spec.Iterations + 64)
+	return b.Link()
+}
+
+// RandomOptions bounds random program generation.
+type RandomOptions struct {
+	MaxBlocks     int // straight-line blocks (default 6)
+	MaxBlockInstr int // instructions per block (default 12)
+	MaxLoopIters  int // trip count bound for backward branches (default 6)
+}
+
+func (o RandomOptions) withDefaults() RandomOptions {
+	if o.MaxBlocks == 0 {
+		o.MaxBlocks = 6
+	}
+	if o.MaxBlockInstr == 0 {
+		o.MaxBlockInstr = 12
+	}
+	if o.MaxLoopIters == 0 {
+		o.MaxLoopIters = 6
+	}
+	return o
+}
+
+// Random generates a random, well-formed, halting program.
+//
+// Structure: a sequence of blocks. Each block is straight-line code over
+// registers r0..r4 with optional loads/stores through r2 into a private
+// data region; some blocks become counted loops closed by a PBR with a
+// random delay-slot count (counter r5, branch register b1..b7 round-robin).
+// R7 reads always follow an earlier LD or FPU result in the same block, so
+// the LDQ stays balanced; HALT terminates the final block.
+func Random(rng *rand.Rand, opts RandomOptions) (*program.Image, error) {
+	o := opts.withDefaults()
+	b := program.NewBuilder()
+	b.LA(2, "data", 0)
+	b.LI(3, int32(rng.Intn(100)))
+	b.LI(4, 1)
+
+	nBlocks := 1 + rng.Intn(o.MaxBlocks)
+	breg := uint8(1)
+	for blk := 0; blk < nBlocks; blk++ {
+		loop := rng.Intn(2) == 0
+		label := fmt.Sprintf("blk%d", blk)
+		var iters int
+		if loop {
+			iters = 1 + rng.Intn(o.MaxLoopIters)
+			b.LI(5, int32(iters))
+			b.SetB(breg, label, 0)
+		}
+		b.Label(label)
+		n := 1 + rng.Intn(o.MaxBlockInstr)
+		pendingPops := 0
+		// Scratch registers exclude r2 (the data pointer — clobbering it
+		// would turn loads into format-dependent reads of the program's
+		// own code) and the loop counter r5.
+		scratch := []uint8{0, 1, 3, 4}
+		pick := func() uint8 { return scratch[rng.Intn(len(scratch))] }
+		for i := 0; i < n; i++ {
+			switch rng.Intn(7) {
+			case 0: // load + later pop
+				b.LD(2, int32(4*rng.Intn(16)))
+				pendingPops++
+			case 1: // store pair
+				b.ST(2, int32(4*rng.Intn(16)))
+				b.RI(isa.OpADDI, isa.QueueReg, 3, 0)
+			case 2, 3:
+				b.R3(isa.OpADD, pick(), pick(), pick())
+			case 4:
+				b.RI(isa.OpADDI, pick(), pick(), int32(rng.Intn(64)-32))
+			case 5:
+				b.RI(isa.OpXORI, pick(), pick(), int32(rng.Intn(255)))
+			case 6:
+				b.Nop()
+			}
+			if pendingPops > 0 && rng.Intn(2) == 0 {
+				b.RI(isa.OpADDI, pick(), isa.QueueReg, 0)
+				pendingPops--
+			}
+		}
+		for ; pendingPops > 0; pendingPops-- {
+			b.RI(isa.OpADDI, pick(), isa.QueueReg, 0)
+		}
+		if loop {
+			slots := rng.Intn(isa.MaxDelaySlots + 1)
+			b.RI(isa.OpADDI, 5, 5, -1)
+			b.PBR(isa.CondNE, 5, breg, uint8(slots))
+			for s := 0; s < slots; s++ {
+				b.RI(isa.OpADDI, 4, 4, 1)
+			}
+			breg++
+			if breg >= isa.NumBranchRegs {
+				breg = 1
+			}
+		}
+	}
+	b.Halt()
+	b.DataLabel("data")
+	b.Space(128)
+	return b.Link()
+}

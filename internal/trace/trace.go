@@ -1,0 +1,96 @@
+// Package trace provides the lightweight event-tracing facility used for
+// debugging simulations and for tests that assert on dynamic instruction
+// order. Producers call Record on a Recorder; two recorders are provided: a
+// bounded Ring that keeps the most recent events, and a Writer that streams
+// formatted events.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"pipesim/internal/isa"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	Cycle uint64
+	PC    uint32
+	Inst  isa.Inst
+}
+
+// String formats the event as one trace line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10d  %05x  %s", e.Cycle, e.PC, e.Inst)
+}
+
+// Recorder consumes events.
+type Recorder interface {
+	Record(Event)
+}
+
+// Ring keeps the most recent events in a fixed-size buffer.
+type Ring struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding up to n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("trace: ring size must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Record stores the event, evicting the oldest when full.
+func (r *Ring) Record(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns how many events were recorded overall.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Writer streams formatted events to an io.Writer, optionally stopping
+// after a limit (0 = unlimited).
+type Writer struct {
+	W     io.Writer
+	Limit uint64
+	n     uint64
+}
+
+// Record writes one line per event until the limit is reached.
+func (w *Writer) Record(e Event) {
+	if w.Limit > 0 && w.n >= w.Limit {
+		return
+	}
+	w.n++
+	fmt.Fprintln(w.W, e.String())
+}
+
+// Multi fans events out to several recorders.
+type Multi []Recorder
+
+// Record forwards the event to every recorder.
+func (m Multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pipesim/internal/isa"
+)
+
+func ev(c uint64) Event {
+	return Event{Cycle: c, PC: uint32(4 * c), Inst: isa.Inst{Op: isa.OpNOP}}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for c := uint64(1); c <= 5; c++ {
+		r.Record(ev(c))
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d", len(got))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i].Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d", i, got[i].Cycle, want)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Record(ev(1))
+	r.Record(ev(2))
+	got := r.Events()
+	if len(got) != 2 || got[0].Cycle != 1 || got[1].Cycle != 2 {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestRingZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestWriterLimit(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb, Limit: 2}
+	for c := uint64(1); c <= 5; c++ {
+		w.Record(ev(c))
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 2 {
+		t.Errorf("wrote %d lines, want 2", lines)
+	}
+	if !strings.Contains(sb.String(), "NOP") {
+		t.Error("line missing mnemonic")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := Multi{a, b}
+	m.Record(ev(7))
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Error("multi did not fan out")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 42, PC: 0x100, Inst: isa.Inst{Op: isa.OpLI, Rd: 3, Imm: 9}}
+	s := e.String()
+	for _, want := range []string{"42", "00100", "LI r3, 9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

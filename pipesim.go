@@ -1,0 +1,440 @@
+// Package pipesim is a cycle-accurate simulator of the PIPE single-chip
+// processor and its instruction-fetch strategies, reproducing Farrens &
+// Pleszkun, "Improving Performance of Small On-Chip Instruction Caches"
+// (ISCA 1989).
+//
+// The library models the complete system of the paper's Figure 3: a
+// five-stage decoupled processor with architectural load/store queues, a
+// small on-chip instruction cache, separate input and output busses to a
+// large external cache (100% hit rate), and a memory-mapped external
+// floating point unit. Three instruction-supply strategies are provided:
+//
+//   - StrategyPIPE — the paper's contribution: instruction cache +
+//     Instruction Queue (IQ) + Instruction Queue Buffer (IQB) with
+//     prepare-to-branch lookahead and off-chip prefetch;
+//   - StrategyConventional — Hill's always-prefetch sub-blocked cache, the
+//     strongest conventional baseline in the paper;
+//   - StrategyTIB — a Target Instruction Buffer front end (paper §2.1).
+//
+// Quick start:
+//
+//	prog, _, err := pipesim.LivermoreProgram()
+//	if err != nil { ... }
+//	cfg := pipesim.DefaultConfig()
+//	res, err := pipesim.Run(cfg, prog)
+//	fmt.Println(res.Cycles, res.CPI())
+//
+// The workload is the paper's benchmark: the first 14 Lawrence Livermore
+// Loops, calibrated so each inner loop matches the paper's Table I byte
+// sizes exactly and one run executes exactly 150,575 instructions. Custom
+// workloads can be written in PIPE assembly (Assemble) or in the
+// kernel-description language (CompileKernel).
+//
+// Every knob of the paper's simulation study is a Config field: cache and
+// line size, the IQ/IQB sizes of Table II, memory access time, bus width,
+// memory pipelining, arbitration priority, the off-chip prefetch policy,
+// and the instruction format (fixed 32-bit or the chip's native 16/32-bit
+// parcels). Beyond-paper extensions — an on-chip data cache, deeper IQB
+// lookahead, and the architecture's single-level interrupt — are off by
+// default.
+package pipesim
+
+import (
+	"fmt"
+	"io"
+
+	"pipesim/internal/asm"
+	"pipesim/internal/core"
+	"pipesim/internal/cpu"
+	"pipesim/internal/kernels"
+	"pipesim/internal/mem"
+	"pipesim/internal/minic"
+	"pipesim/internal/program"
+	"pipesim/internal/stats"
+	"pipesim/internal/trace"
+)
+
+// Strategy names an instruction-fetch strategy.
+type Strategy string
+
+// Available strategies.
+const (
+	StrategyPIPE         Strategy = "pipe"
+	StrategyConventional Strategy = "conventional"
+	StrategyTIB          Strategy = "tib"
+)
+
+// Config selects one simulated machine. The zero value is not runnable;
+// start from DefaultConfig.
+type Config struct {
+	// Strategy picks the instruction-fetch front end.
+	Strategy Strategy
+
+	// CacheBytes and LineBytes shape the on-chip instruction cache. For
+	// the PIPE strategy LineBytes is also the off-chip fetch unit; for
+	// the conventional strategy it is the tag granularity (fills are
+	// per-instruction sub-blocks).
+	CacheBytes int
+	LineBytes  int
+
+	// IQBytes and IQBBytes size the PIPE Instruction Queue and
+	// Instruction Queue Buffer (paper Table II).
+	IQBytes  int
+	IQBBytes int
+
+	// TruePrefetch permits the PIPE engine to fetch lines off-chip before
+	// they are guaranteed to contain an executed instruction. All results
+	// presented in the paper enable it; disabling reproduces the original
+	// PIPE chip policy.
+	TruePrefetch bool
+
+	// DeepPrefetch (beyond-paper extension) refills the IQB whenever a
+	// full line of space is free instead of only when empty, so an IQB
+	// larger than one line provides real lookahead.
+	DeepPrefetch bool
+
+	// NativeFormat runs the workload in the PIPE chip's native 16/32-bit
+	// two-parcel instruction encoding (paper simulation parameter 1)
+	// instead of the fixed 32-bit format the presented results use. Code
+	// is ~40% denser, so a given cache holds more of each loop. Not
+	// supported with StrategyTIB.
+	NativeFormat bool
+
+	// TIBEntries and TIBLineBytes size the Target Instruction Buffer.
+	TIBEntries   int
+	TIBLineBytes int
+
+	// MemAccessTime is the external memory access time in cycles (the
+	// paper sweeps 1, 2, 3 and 6).
+	MemAccessTime int
+	// BusWidthBytes is the input (return) bus width (4 or 8 in the
+	// paper).
+	BusWidthBytes int
+	// PipelinedMemory lets the memory accept a new request every cycle.
+	PipelinedMemory bool
+	// InstrPriority gives instruction fetches priority over data at the
+	// memory interface (selected for all presented results).
+	InstrPriority bool
+	// FPULatency is the external floating-point operation time (the
+	// paper holds it at 4).
+	FPULatency int
+
+	// Queue depths of the architectural data queues.
+	LAQDepth, LDQDepth, SAQDepth, SDQDepth int
+
+	// DCacheBytes enables a small on-chip data cache (0 = none; the
+	// paper's machine has none — its conclusion proposes spending future
+	// density on exactly this). Write-through, word-allocating, one-cycle
+	// hits.
+	DCacheBytes     int
+	DCacheLineBytes int
+
+	// InterruptAt raises the PIPE architecture's single-level interrupt
+	// at the given cycle (0 = never): at the next clean instruction
+	// boundary the CPU saves the resume address in B7, switches to the
+	// background register bank and redirects fetch to InterruptVector.
+	// The handler must not touch R7 or the data queues and returns with
+	// `bank` followed by `pbr al, r0, b7, 0`.
+	InterruptAt     uint64
+	InterruptVector uint32
+
+	// MaxCycles aborts runaway simulations; zero selects a generous
+	// default.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's baseline presentation point: the PIPE
+// 16-16 configuration, 128-byte cache, true prefetch, instruction priority,
+// 1-cycle non-pipelined memory with a 4-byte bus, 4-cycle FPU.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:      StrategyPIPE,
+		CacheBytes:    128,
+		LineBytes:     16,
+		IQBytes:       16,
+		IQBBytes:      16,
+		TruePrefetch:  true,
+		TIBEntries:    4,
+		TIBLineBytes:  16,
+		MemAccessTime: 1,
+		BusWidthBytes: 4,
+		InstrPriority: true,
+		FPULatency:    4,
+		LAQDepth:      8,
+		LDQDepth:      8,
+		SAQDepth:      8,
+		SDQDepth:      8,
+	}
+}
+
+// TableIIConfig returns DefaultConfig with the named Table II IQ/IQB
+// arrangement: "8-8", "16-16", "16-32" or "32-32".
+func TableIIConfig(name string) (Config, error) {
+	cfg := DefaultConfig()
+	switch name {
+	case "8-8":
+		cfg.LineBytes, cfg.IQBytes, cfg.IQBBytes = 8, 8, 8
+	case "16-16":
+		cfg.LineBytes, cfg.IQBytes, cfg.IQBBytes = 16, 16, 16
+	case "16-32":
+		cfg.LineBytes, cfg.IQBytes, cfg.IQBBytes = 32, 16, 32
+	case "32-32":
+		cfg.LineBytes, cfg.IQBytes, cfg.IQBBytes = 32, 32, 32
+	default:
+		return Config{}, fmt.Errorf("pipesim: unknown Table II configuration %q", name)
+	}
+	return cfg, nil
+}
+
+// toCore translates the public configuration to the internal one.
+func (c Config) toCore() (core.Config, error) {
+	var strat core.FetchStrategy
+	switch c.Strategy {
+	case StrategyPIPE:
+		strat = core.FetchPIPE
+	case StrategyConventional:
+		strat = core.FetchConventional
+	case StrategyTIB:
+		strat = core.FetchTIB
+	default:
+		return core.Config{}, fmt.Errorf("pipesim: unknown strategy %q", c.Strategy)
+	}
+	return core.Config{
+		Fetch:        strat,
+		CacheBytes:   c.CacheBytes,
+		LineBytes:    c.LineBytes,
+		IQBytes:      c.IQBytes,
+		IQBBytes:     c.IQBBytes,
+		TruePrefetch: c.TruePrefetch,
+		DeepPrefetch: c.DeepPrefetch,
+		NativeFormat: c.NativeFormat,
+		TIBEntries:   c.TIBEntries,
+		TIBLineBytes: c.TIBLineBytes,
+		Mem: mem.Config{
+			AccessTime:    c.MemAccessTime,
+			BusWidthBytes: c.BusWidthBytes,
+			Pipelined:     c.PipelinedMemory,
+			InstrPriority: c.InstrPriority,
+			FPULatency:    c.FPULatency,
+		},
+		CPU: cpu.Config{
+			LAQDepth:        c.LAQDepth,
+			LDQDepth:        c.LDQDepth,
+			SAQDepth:        c.SAQDepth,
+			SDQDepth:        c.SDQDepth,
+			DCacheBytes:     c.DCacheBytes,
+			DCacheLineBytes: c.DCacheLineBytes,
+		},
+		InterruptAt:     c.InterruptAt,
+		InterruptVector: c.InterruptVector,
+		MaxCycles:       c.MaxCycles,
+	}, nil
+}
+
+// Program is an executable PIPE program image.
+type Program struct {
+	img *program.Image
+}
+
+// LoopInfo describes one Livermore loop of the benchmark workload.
+type LoopInfo = kernels.LoopInfo
+
+// BenchmarkInstructions is the exact executed-instruction count of the
+// Livermore benchmark, matching the paper.
+const BenchmarkInstructions = kernels.TotalInstructions
+
+// LivermoreProgram builds the paper's benchmark program (the first 14
+// Lawrence Livermore Loops) and returns it along with per-loop metadata.
+func LivermoreProgram() (*Program, []LoopInfo, error) {
+	img, _, err := kernels.Program()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Program{img: img}, kernels.TableI(), nil
+}
+
+// LivermoreKernel builds a single Livermore loop (1..14) as a standalone
+// program.
+func LivermoreKernel(index int) (*Program, error) {
+	img, err := kernels.KernelProgram(index)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{img: img}, nil
+}
+
+// Assemble translates PIPE assembly source into a program. See the
+// internal/asm package documentation (or cmd/pipeasm -help) for the syntax.
+func Assemble(src string) (*Program, error) {
+	img, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{img: img}, nil
+}
+
+// Compiled is a program produced by the kernel-description language
+// compiler, with symbol information for inspecting results.
+type Compiled struct {
+	// Program is the runnable image.
+	Program *Program
+	unit    *minic.Unit
+}
+
+// CompileKernel compiles kernel-description-language source (see the
+// internal/minic package documentation or cmd/pipekc -help for the syntax:
+// const/array declarations plus counted loops of float32 array
+// assignments) into a runnable program. It plays the role of the paper's
+// Fortran compiler for custom workloads.
+func CompileKernel(src string) (*Compiled, error) {
+	u, err := minic.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Program: &Program{img: u.Image}, unit: u}, nil
+}
+
+// ArrayAddr returns the byte address of array element name[idx] for use
+// with Simulation.ReadWord.
+func (c *Compiled) ArrayAddr(name string, idx int) (uint32, bool) {
+	return c.unit.ArrayAddr(name, idx)
+}
+
+// Disassemble renders the program's text segment.
+func (p *Program) Disassemble() string { return p.img.Disassemble() }
+
+// Lookup returns the byte address of an assembly label.
+func (p *Program) Lookup(symbol string) (uint32, bool) { return p.img.Lookup(symbol) }
+
+// Instructions returns the static instruction count of the text segment.
+func (p *Program) Instructions() int { return len(p.img.Text) }
+
+// Result collects everything measured in one run. Cycles is the paper's
+// performance metric: the total number of cycles to execute the program to
+// completion (including draining all memory traffic).
+type Result struct {
+	Cycles       uint64
+	Instructions uint64
+
+	// Pipeline activity.
+	Branches      uint64
+	TakenBranches uint64
+	Loads         uint64
+	Stores        uint64
+
+	// Issue-stall attribution.
+	StallLDQEmpty   uint64 // waiting on the load data queue (memory latency)
+	StallQueueFull  uint64 // a full architectural queue
+	StallFetchEmpty uint64 // instruction supply starved
+
+	// Optional data-cache activity (zero when DCacheBytes is 0).
+	DCacheHits   uint64
+	DCacheMisses uint64
+
+	// Fetch-engine activity.
+	CacheHits      uint64
+	CacheMisses    uint64
+	DemandFetches  uint64
+	Prefetches     uint64
+	PrefetchBlocks uint64
+	BranchFlushes  uint64
+
+	// Off-chip traffic by class.
+	MemAccepted    map[string]uint64
+	WordsDelivered uint64
+	FPUOps         uint64
+}
+
+// CPI returns cycles per instruction.
+func (r *Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+func resultFrom(st *stats.Sim) *Result {
+	accepted := make(map[string]uint64, stats.NumReqKinds)
+	for k := stats.ReqKind(0); k < stats.NumReqKinds; k++ {
+		accepted[k.String()] = st.Mem.Accepted[k]
+	}
+	return &Result{
+		Cycles:          st.Cycles,
+		Instructions:    st.CPU.Instructions,
+		Branches:        st.CPU.Branches,
+		TakenBranches:   st.CPU.TakenBranches,
+		Loads:           st.CPU.Loads,
+		Stores:          st.CPU.Stores,
+		StallLDQEmpty:   st.CPU.StallLDQEmpty,
+		StallQueueFull:  st.CPU.StallQueueFull,
+		StallFetchEmpty: st.CPU.StallFetchEmpty,
+		DCacheHits:      st.CPU.DCacheHits,
+		DCacheMisses:    st.CPU.DCacheMisses,
+		CacheHits:       st.Fetch.CacheHits,
+		CacheMisses:     st.Fetch.CacheMisses,
+		DemandFetches:   st.Fetch.LineFetches,
+		Prefetches:      st.Fetch.Prefetches,
+		PrefetchBlocks:  st.Fetch.PrefetchBlocks,
+		BranchFlushes:   st.Fetch.BranchFlushes,
+		MemAccepted:     accepted,
+		WordsDelivered:  st.Mem.WordsDelivered,
+		FPUOps:          st.Mem.FPUOps,
+	}
+}
+
+// Run executes the program under the configuration and returns the
+// measurements.
+func Run(cfg Config, prog *Program) (*Result, error) {
+	sim, err := NewSimulation(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// Simulation is one configured machine loaded with a program, for callers
+// that want to inspect memory after the run.
+type Simulation struct {
+	inner *core.Simulator
+}
+
+// NewSimulation builds a machine for the program.
+func NewSimulation(cfg Config, prog *Program) (*Simulation, error) {
+	ccfg, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.New(ccfg, prog.img)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{inner: inner}, nil
+}
+
+// Run executes to completion (once per Simulation).
+func (s *Simulation) Run() (*Result, error) {
+	st, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(st), nil
+}
+
+// TraceTo streams every retired instruction (cycle, PC, disassembly) to w,
+// stopping after limit lines (0 = unlimited). Call before Run.
+func (s *Simulation) TraceTo(w io.Writer, limit uint64) {
+	s.inner.SetRetireTracer(&trace.Writer{W: w, Limit: limit})
+}
+
+// ReadWord returns the final memory word at a 4-byte-aligned address.
+func (s *Simulation) ReadWord(addr uint32) uint32 { return s.inner.ReadWord(addr) }
+
+// Reg returns a data register's final value.
+func (s *Simulation) Reg(r int) int32 { return s.inner.Reg(r) }
+
+// LivermoreArrayAddr returns the address of array element name[idx] of
+// Livermore loop `loop` within a program built by LivermoreProgram, for
+// inspecting kernel results.
+func LivermoreArrayAddr(prog *Program, loop int, name string, idx int32) (uint32, error) {
+	return kernels.ArrayAddr(prog.img, loop, name, idx)
+}

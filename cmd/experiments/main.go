@@ -2,27 +2,37 @@
 // evaluation section (plus the ablations and extensions documented in
 // DESIGN.md) and prints them as text tables.
 //
+// Experiments run on a fault-isolated parallel worker pool: a failing,
+// panicking or timed-out experiment is reported in the final pass/fail
+// summary without aborting the rest of the sweep, and the process exits
+// non-zero only after every experiment has had its chance.
+//
 // Usage:
 //
-//	experiments              # run everything
-//	experiments -list        # list experiment IDs
-//	experiments -exp fig5b   # run one experiment
+//	experiments                    # run everything, one worker per CPU
+//	experiments -list              # list experiment IDs
+//	experiments -exp fig5b         # run one experiment
+//	experiments -parallel 2        # limit the worker pool
+//	experiments -timeout 2m       	# per-experiment deadline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pipesim/internal/sweep"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "run a single experiment by ID (default: all)")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
-		csv  = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
-		plot = flag.Bool("plot", false, "draw ASCII charts instead of aligned tables")
+		exp      = flag.String("exp", "", "run a single experiment by ID (default: all)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		csv      = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+		plot     = flag.Bool("plot", false, "draw ASCII charts instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "number of concurrent experiments (0 = one per CPU)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -41,19 +51,24 @@ func main() {
 		}
 		run = []sweep.Experiment{e}
 	}
-	for _, e := range run {
-		res, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-			os.Exit(1)
+
+	sum := sweep.RunAll(run, sweep.Options{Workers: *parallel, Timeout: *timeout})
+	for _, o := range sum.Outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Experiment.ID, o.Err)
+			continue
 		}
 		switch {
 		case *csv:
-			fmt.Printf("# %s\n%s\n", res.Title, res.CSV())
+			fmt.Printf("# %s\n%s\n", o.Result.Title, o.Result.CSV())
 		case *plot:
-			fmt.Println(res.Plot())
+			fmt.Println(o.Result.Plot())
 		default:
-			fmt.Println(res.Format())
+			fmt.Println(o.Result.Format())
 		}
+	}
+	fmt.Fprint(os.Stderr, sum.String())
+	if sum.Err() != nil {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,155 @@
+package pipesim_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pipesim"
+)
+
+// fuzzKernelSrc is a small but complete workload: an integer
+// read-modify-write reduction over the data queues, a counted
+// prepare-to-branch loop with a delay slot, and one memory-mapped FPU
+// multiply. It exercises every architectural path a configuration can
+// perturb while finishing in a few hundred cycles on sane machines.
+const fuzzKernelSrc = `
+        la    r2, vec
+        li    r5, 8
+        li    r4, 0
+        setb  b0, loop
+loop:   ld    0(r2)             ; vec[i]
+        mov   r3, r7
+        add   r4, r4, r3
+        st    0(r2)             ; vec[i] = running sum
+        mov   r7, r4
+        addi  r5, r5, -1
+        pbr   ne, r5, b0, 1
+        addi  r2, r2, 4
+        la    r1, FPU_A
+        la    r6, fa
+        ld    0(r6)
+        st    0(r1)             ; FPU A <- fa
+        mov   r7, r7
+        ld    4(r6)
+        st    4(r1)             ; FPU MUL <- fb, start multiply
+        mov   r7, r7
+        la    r3, prod
+        st    0(r3)             ; prod <- product (returned via the LDQ)
+        mov   r7, r7
+        halt
+        .data
+vec:    .word 1, 2, 3, 4, 5, 6, 7, 8
+fa:     .float 1.5
+fb:     .float 2.0
+prod:   .word 0
+`
+
+var (
+	fuzzOnce sync.Once
+	fuzzProg *pipesim.Program
+	fuzzErr  error
+)
+
+func fuzzKernel(t *testing.T) *pipesim.Program {
+	t.Helper()
+	fuzzOnce.Do(func() { fuzzProg, fuzzErr = pipesim.Assemble(fuzzKernelSrc) })
+	if fuzzErr != nil {
+		t.Fatal(fuzzErr)
+	}
+	return fuzzProg
+}
+
+// FuzzConfig is the acceptance test for the hardened public API: an
+// arbitrary Config must either fail Validate with a structured error, or —
+// if Validate accepts it — run a real kernel to completion with no panic,
+// no deadlock and no machine check.
+func FuzzConfig(f *testing.F) {
+	seed := func(c pipesim.Config) {
+		f.Add(string(c.Strategy), c.CacheBytes, c.LineBytes, c.IQBytes, c.IQBBytes,
+			c.TIBEntries, c.TIBLineBytes, c.MemAccessTime, c.BusWidthBytes, c.FPULatency,
+			c.LAQDepth, c.LDQDepth, c.SAQDepth, c.SDQDepth, c.DCacheBytes, c.DCacheLineBytes,
+			c.TruePrefetch, c.DeepPrefetch, c.NativeFormat, c.PipelinedMemory, c.InstrPriority)
+	}
+	seed(pipesim.DefaultConfig())
+	for _, name := range []string{"8-8", "16-16", "16-32", "32-32"} {
+		cfg, err := pipesim.TableIIConfig(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed(cfg)
+	}
+	conv := pipesim.DefaultConfig()
+	conv.Strategy = pipesim.StrategyConventional
+	conv.MemAccessTime, conv.BusWidthBytes = 6, 8
+	seed(conv)
+	tib := pipesim.DefaultConfig()
+	tib.Strategy = pipesim.StrategyTIB
+	seed(tib)
+	native := pipesim.DefaultConfig()
+	native.NativeFormat = true
+	seed(native)
+	dcache := pipesim.DefaultConfig()
+	dcache.DCacheBytes, dcache.DCacheLineBytes = 256, 16
+	dcache.PipelinedMemory = true
+	seed(dcache)
+
+	f.Fuzz(func(t *testing.T, strategy string, cacheBytes, lineBytes, iqBytes, iqbBytes,
+		tibEntries, tibLineBytes, memAccessTime, busWidthBytes, fpuLatency,
+		laq, ldq, saq, sdq, dcacheBytes, dcacheLineBytes int,
+		truePrefetch, deepPrefetch, nativeFormat, pipelinedMemory, instrPriority bool) {
+		cfg := pipesim.Config{
+			Strategy:        pipesim.Strategy(strategy),
+			CacheBytes:      cacheBytes,
+			LineBytes:       lineBytes,
+			IQBytes:         iqBytes,
+			IQBBytes:        iqbBytes,
+			TruePrefetch:    truePrefetch,
+			DeepPrefetch:    deepPrefetch,
+			NativeFormat:    nativeFormat,
+			TIBEntries:      tibEntries,
+			TIBLineBytes:    tibLineBytes,
+			MemAccessTime:   memAccessTime,
+			BusWidthBytes:   busWidthBytes,
+			PipelinedMemory: pipelinedMemory,
+			InstrPriority:   instrPriority,
+			FPULatency:      fpuLatency,
+			LAQDepth:        laq,
+			LDQDepth:        ldq,
+			SAQDepth:        saq,
+			SDQDepth:        sdq,
+			DCacheBytes:     dcacheBytes,
+			DCacheLineBytes: dcacheLineBytes,
+			// Harness bounds: a validated machine must finish the kernel
+			// well inside these (the worst extreme-but-valid geometry
+			// measured needs ~150k cycles); anything else is a finding.
+			MaxCycles:      2_000_000,
+			WatchdogCycles: 200_000,
+		}
+		if err := cfg.Validate(); err != nil {
+			if !errors.Is(err, pipesim.ErrInvalidConfig) {
+				t.Fatalf("Validate error not tagged ErrInvalidConfig: %v", err)
+			}
+			// The constructor must agree with Validate.
+			if _, err := pipesim.NewSimulation(cfg, fuzzKernel(t)); err == nil {
+				t.Fatalf("NewSimulation accepted a config Validate rejected: %+v", cfg)
+			}
+			return
+		}
+		res, err := pipesim.Run(cfg, fuzzKernel(t))
+		if err != nil {
+			var mce *pipesim.MachineCheckError
+			if errors.As(err, &mce) {
+				t.Fatalf("validated config machine-checked:\n%s", mce.Detail())
+			}
+			var dl *pipesim.DeadlockError
+			if errors.As(err, &dl) {
+				t.Fatalf("validated config deadlocked:\n%s", dl.Detail())
+			}
+			t.Fatalf("validated config failed to run: %v\nconfig: %+v", err, cfg)
+		}
+		if res.Instructions == 0 {
+			t.Fatalf("run retired no instructions: %+v", cfg)
+		}
+	})
+}

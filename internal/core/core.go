@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"pipesim/internal/cache"
 	"pipesim/internal/cpu"
@@ -81,6 +82,13 @@ type Config struct {
 	// MaxCycles aborts a run that fails to complete (simulator-bug guard).
 	// Zero selects a generous default.
 	MaxCycles uint64
+
+	// WatchdogCycles is the forward-progress watchdog window: a run that
+	// retires no instruction for this many consecutive cycles is declared
+	// deadlocked and returns a DeadlockError with a diagnosis of the
+	// fetch-engine, CPU and memory-system state, long before MaxCycles
+	// would fire. Zero selects DefaultWatchdogCycles.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig returns the configuration used as the paper's baseline
@@ -122,6 +130,10 @@ type Simulator struct {
 	cpu *cpu.CPU
 	st  stats.Sim
 	ran bool
+
+	cycle   uint64      // current cycle, for machine-check context
+	ring    *trace.Ring // tail of the retirement stream, for diagnostics
+	userRec trace.Recorder
 }
 
 // New builds a simulator for the image.
@@ -184,18 +196,52 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.ring, err = trace.NewRing(RetireTraceDepth)
+	if err != nil {
+		return nil, err
+	}
+	// The diagnostic ring always observes retirements; a user tracer
+	// installed with SetRetireTracer rides along.
+	s.cpu.OnRetire = func(cycle uint64, pc uint32, in isa.Inst) {
+		e := trace.Event{Cycle: cycle, PC: pc, Inst: in}
+		s.ring.Record(e)
+		if s.userRec != nil {
+			s.userRec.Record(e)
+		}
+	}
 	return s, nil
 }
 
 // Run executes the program to completion (HALT retired and all memory
 // traffic drained) and returns the collected statistics. Run may be called
 // once per Simulator.
-func (s *Simulator) Run() (*stats.Sim, error) {
+//
+// Run is total: it never panics. A panic escaping the internal packages —
+// a simulator bug — is recovered and returned as a *MachineCheckError
+// carrying the cycle, PC, strategy, configuration and the tail of the
+// retirement trace. A run that stops retiring instructions trips the
+// forward-progress watchdog (Config.WatchdogCycles) and returns a
+// *DeadlockError diagnosing the stuck machine state.
+func (s *Simulator) Run() (st *stats.Sim, err error) {
 	if s.ran {
 		return nil, fmt.Errorf("core: Run called twice")
 	}
 	s.ran = true
+	defer func() {
+		if p := recover(); p != nil {
+			st, err = nil, s.machineCheck(p, debug.Stack())
+		}
+	}()
+	watchdog := s.cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = DefaultWatchdogCycles
+	}
+	var (
+		lastRetired  uint64 // retirement count at the last progress cycle
+		lastProgress uint64 // most recent cycle that retired an instruction
+	)
 	for cycle := uint64(1); ; cycle++ {
+		s.cycle = cycle
 		s.sys.BeginCycle(cycle)
 		s.eng.Tick()
 		if s.cfg.InterruptAt != 0 && cycle == s.cfg.InterruptAt {
@@ -210,6 +256,12 @@ func (s *Simulator) Run() (*stats.Sim, error) {
 			s.st.Cycles = cycle
 			break
 		}
+		if s.st.CPU.Instructions != lastRetired {
+			lastRetired = s.st.CPU.Instructions
+			lastProgress = cycle
+		} else if !s.cpu.Halted() && cycle-lastProgress >= watchdog {
+			return nil, s.deadlock(cycle, lastProgress, watchdog)
+		}
 		if cycle >= s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: no completion within %d cycles (instructions retired: %d)",
 				s.cfg.MaxCycles, s.st.CPU.Instructions)
@@ -222,9 +274,7 @@ func (s *Simulator) Run() (*stats.Sim, error) {
 // SetRetireTracer installs a recorder observing every retired instruction.
 // Call before Run.
 func (s *Simulator) SetRetireTracer(rec trace.Recorder) {
-	s.cpu.OnRetire = func(cycle uint64, pc uint32, in isa.Inst) {
-		rec.Record(trace.Event{Cycle: cycle, PC: pc, Inst: in})
-	}
+	s.userRec = rec
 }
 
 // ReadWord returns the final memory word at addr (after Run), letting

@@ -85,7 +85,10 @@ func TestRetireTracerSeesDynamicStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ring := trace.NewRing(1024)
+	ring, err := trace.NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sim.SetRetireTracer(ring)
 	st, err := sim.Run()
 	if err != nil {
@@ -150,7 +153,10 @@ func TestStrategiesAgreeOnArchitecture(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ring := trace.NewRing(4096)
+		ring, err := trace.NewRing(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
 		sim.SetRetireTracer(ring)
 		if _, err := sim.Run(); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,142 @@
+package core
+
+// This file is the robustness layer: the machine-check error path and the
+// forward-progress watchdog. Together they make Simulator.Run total —
+// internal inconsistencies (panics escaping the substrates) and silent
+// deadlocks surface as structured, diagnosable errors instead of crashing
+// the caller or burning cycles until MaxCycles.
+
+import (
+	"fmt"
+	"strings"
+
+	"pipesim/internal/trace"
+)
+
+// RetireTraceDepth is how many recently retired instructions the simulator
+// keeps for machine-check and deadlock diagnostics.
+const RetireTraceDepth = 32
+
+// DefaultWatchdogCycles is the forward-progress watchdog window used when
+// Config.WatchdogCycles is zero: the longest a run may go without retiring
+// an instruction before it is declared deadlocked. It is far above any
+// legitimate stall (the worst validated memory configuration drains its
+// request queues in well under a quarter of this) yet far below the
+// MaxCycles runaway guard, so deadlocks are reported in seconds, not hours.
+const DefaultWatchdogCycles = 1_000_000
+
+// MachineCheckError reports a simulator bug: a panic escaped the internal
+// packages during Run. It carries enough context — cycle, PC, strategy, the
+// offending configuration and the tail of the retirement trace — to
+// reproduce and diagnose the fault without a debugger. Callers sweeping
+// many configurations can log it and move on; the process never crashes.
+type MachineCheckError struct {
+	PanicValue   any           // the recovered panic value
+	Stack        string        // goroutine stack captured at the recovery point
+	Cycle        uint64        // cycle during which the panic escaped
+	PC           uint32        // PC of the most recently retired instruction
+	Instructions uint64        // instructions retired before the fault
+	Strategy     string        // fetch strategy name
+	Config       Config        // the offending configuration
+	Trace        []trace.Event // recently retired instructions, oldest first
+}
+
+// Error summarizes the machine check in one line.
+func (e *MachineCheckError) Error() string {
+	return fmt.Sprintf("core: machine check at cycle %d (pc %#05x, %d retired, strategy %s): %v",
+		e.Cycle, e.PC, e.Instructions, e.Strategy, e.PanicValue)
+}
+
+// Detail renders the full diagnostic report: the summary line, the retained
+// retirement trace and the capture-point stack.
+func (e *MachineCheckError) Detail() string {
+	var sb strings.Builder
+	sb.WriteString(e.Error())
+	sb.WriteString("\nconfig: ")
+	fmt.Fprintf(&sb, "%+v", e.Config)
+	if len(e.Trace) > 0 {
+		fmt.Fprintf(&sb, "\nlast %d retired instructions:\n", len(e.Trace))
+		for _, ev := range e.Trace {
+			sb.WriteString("  ")
+			sb.WriteString(ev.String())
+			sb.WriteByte('\n')
+		}
+	}
+	if e.Stack != "" {
+		sb.WriteString("stack:\n")
+		sb.WriteString(e.Stack)
+	}
+	return sb.String()
+}
+
+// DeadlockError reports that the forward-progress watchdog fired: the run
+// retired no instruction for a full watchdog window, long before MaxCycles.
+// The fetch-engine, CPU and memory-system state strings describe where the
+// machine is stuck (e.g. an issue stall on an empty Load Data Queue with no
+// load in flight).
+type DeadlockError struct {
+	Cycle        uint64        // cycle at which the watchdog fired
+	LastProgress uint64        // last cycle that retired an instruction (0 = never)
+	Window       uint64        // the watchdog window that elapsed
+	Instructions uint64        // instructions retired before the stall
+	Strategy     string        // fetch strategy name
+	FetchState   string        // fetch-engine occupancy and cursor state
+	CPUState     string        // architectural queue occupancy and pipeline state
+	MemState     string        // memory-system queue occupancy
+	Trace        []trace.Event // recently retired instructions, oldest first
+}
+
+// Error summarizes the deadlock in one line.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("core: no forward progress for %d cycles (cycle %d, last retirement at cycle %d, %d retired, strategy %s)",
+		e.Window, e.Cycle, e.LastProgress, e.Instructions, e.Strategy)
+}
+
+// Detail renders the full deadlock diagnosis.
+func (e *DeadlockError) Detail() string {
+	var sb strings.Builder
+	sb.WriteString(e.Error())
+	fmt.Fprintf(&sb, "\nfetch: %s\ncpu:   %s\nmem:   %s\n", e.FetchState, e.CPUState, e.MemState)
+	if len(e.Trace) > 0 {
+		fmt.Fprintf(&sb, "last %d retired instructions:\n", len(e.Trace))
+		for _, ev := range e.Trace {
+			sb.WriteString("  ")
+			sb.WriteString(ev.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// machineCheck wraps a recovered panic in a MachineCheckError with the
+// run's current context.
+func (s *Simulator) machineCheck(p any, stack []byte) *MachineCheckError {
+	e := &MachineCheckError{
+		PanicValue:   p,
+		Stack:        string(stack),
+		Cycle:        s.cycle,
+		Instructions: s.st.CPU.Instructions,
+		Strategy:     s.cfg.Fetch.String(),
+		Config:       s.cfg,
+		Trace:        s.ring.Events(),
+	}
+	if n := len(e.Trace); n > 0 {
+		e.PC = e.Trace[n-1].PC
+	}
+	return e
+}
+
+// deadlock builds the watchdog's diagnosis of a stalled run.
+func (s *Simulator) deadlock(cycle, lastProgress, window uint64) *DeadlockError {
+	return &DeadlockError{
+		Cycle:        cycle,
+		LastProgress: lastProgress,
+		Window:       window,
+		Instructions: s.st.CPU.Instructions,
+		Strategy:     s.cfg.Fetch.String(),
+		FetchState:   s.eng.DebugState(),
+		CPUState:     s.cpu.DebugState(),
+		MemState:     s.sys.DebugState(),
+		Trace:        s.ring.Events(),
+	}
+}

@@ -181,15 +181,31 @@ func New(cfg Config, eng fetch.Engine, sys *mem.System, st *stats.CPU) (*CPU, er
 	if st == nil {
 		st = &stats.CPU{}
 	}
+	laq, err := queue.New[laqEntry](cfg.LAQDepth)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: LAQ: %w", err)
+	}
+	ldq, err := queue.New[int32](cfg.LDQDepth)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: LDQ: %w", err)
+	}
+	saq, err := queue.New[saqEntry](cfg.SAQDepth)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: SAQ: %w", err)
+	}
+	sdq, err := queue.New[int32](cfg.SDQDepth)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: SDQ: %w", err)
+	}
 	c := &CPU{
 		cfg:     cfg,
 		eng:     eng,
 		sys:     sys,
 		st:      st,
-		laq:     queue.New[laqEntry](cfg.LAQDepth),
-		ldq:     queue.New[int32](cfg.LDQDepth),
-		saq:     queue.New[saqEntry](cfg.SAQDepth),
-		sdq:     queue.New[int32](cfg.SDQDepth),
+		laq:     laq,
+		ldq:     ldq,
+		saq:     saq,
+		sdq:     sdq,
 		arrived: make(map[uint64]int32),
 	}
 	if cfg.DCacheBytes > 0 {
@@ -224,6 +240,18 @@ func (c *CPU) Reg(r int) int32 { return c.regs[r] }
 
 // LDQLen returns the current Load Data Queue occupancy (for tests).
 func (c *CPU) LDQLen() int { return c.ldq.Len() }
+
+// DebugState renders the architectural-queue occupancy and pipeline state
+// in one line, for deadlock and machine-check diagnostics: a stall on an
+// empty LDQ with no load in flight, for example, reads directly off it.
+func (c *CPU) DebugState() string {
+	return fmt.Sprintf("cpu{laq %d/%d ldq %d/%d saq %d/%d sdq %d/%d inflight-loads %d "+
+		"stalls[ldq-empty %d queue-full %d fetch-empty %d] pbr-inflight %d halted=%v fetch-halted=%v}",
+		c.laq.Len(), c.laq.Cap(), c.ldq.Len(), c.ldq.Cap(),
+		c.saq.Len(), c.saq.Cap(), c.sdq.Len(), c.sdq.Cap(), c.inflightLoads,
+		c.st.StallLDQEmpty, c.st.StallQueueFull, c.st.StallFetchEmpty,
+		c.pbrInFlight, c.halted, c.fetchHalted)
+}
 
 // RaiseInterrupt requests the single-level interrupt: at the next clean
 // instruction boundary the CPU saves the resume address in B7, switches to

@@ -107,7 +107,10 @@ func TestInterruptIsSingleLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ring := trace.NewRing(1 << 14)
+	ring, err := trace.NewRing(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sim.SetRetireTracer(ring)
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)

@@ -83,6 +83,13 @@ func NewConv(cfg ConvConfig, cacheArr *cache.Cache, img *program.Image, sys *mem
 // Stats returns the engine's counters.
 func (c *Conv) Stats() *stats.Fetch { return &c.st }
 
+// DebugState renders the outstanding-request state for deadlock
+// diagnostics.
+func (c *Conv) DebugState() string {
+	return fmt.Sprintf("conv{%s outstanding=%v demand=%v chunk %#05x}",
+		c.str.String(), c.outstanding, c.outDemand, c.outChunk)
+}
+
 // Head performs this cycle's tag and array lookup for the stream PC. An
 // instruction is present only when every one of its sub-blocks is valid
 // (one word in the fixed format; one or two parcels in the native format).

@@ -105,13 +105,21 @@ func NewPipe(cfg PipeConfig, cacheArr *cache.Cache, img *program.Image, sys *mem
 	if cacheArr.LineBytes() != cfg.LineBytes {
 		return nil, fmt.Errorf("fetch: cache line %d != config line %d", cacheArr.LineBytes(), cfg.LineBytes)
 	}
+	iq, err := queue.New[entry](cfg.IQBytes / isa.WordBytes)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: IQ: %w", err)
+	}
+	iqb, err := queue.New[entry](cfg.IQBBytes / isa.WordBytes)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: IQB: %w", err)
+	}
 	p := &Pipe{
 		cfg:   cfg,
 		cache: cacheArr,
 		img:   img,
 		sys:   sys,
-		iq:    queue.New[entry](cfg.IQBytes / isa.WordBytes),
-		iqb:   queue.New[entry](cfg.IQBBytes / isa.WordBytes),
+		iq:    iq,
+		iqb:   iqb,
 	}
 	p.str.reset(pc)
 	p.str.varlen = img.Native
@@ -121,6 +129,14 @@ func NewPipe(cfg PipeConfig, cacheArr *cache.Cache, img *program.Image, sys *mem
 
 // Stats returns the engine's counters.
 func (p *Pipe) Stats() *stats.Fetch { return &p.st }
+
+// DebugState renders the IQ/IQB occupancy and fetch cursor state for
+// deadlock diagnostics.
+func (p *Pipe) DebugState() string {
+	return fmt.Sprintf("pipe{%s iq %d/%d iqb %d/%d fetchAddr %#05x inflight=%v(line %#05x insert=%v) redirects %d}",
+		p.str.String(), p.iq.Len(), p.iq.Cap(), p.iqb.Len(), p.iqb.Cap(),
+		p.fetchAddr, p.inflight, p.inflightLine, p.inflightInsert, len(p.redirects))
+}
 
 // Head reports the instruction at the head of the IQ when it matches the
 // next PC of the dynamic stream.

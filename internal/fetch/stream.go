@@ -45,6 +45,9 @@ type Engine interface {
 	ResumePC() uint32
 	// Stats returns the engine's activity counters.
 	Stats() *stats.Fetch
+	// DebugState renders the engine's occupancy and cursor state in one
+	// line, for deadlock and machine-check diagnostics.
+	DebugState() string
 }
 
 // pendingBranch tracks one PBR between its consumption and the moment the

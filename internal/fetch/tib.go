@@ -79,11 +79,15 @@ func NewTIB(cfg TIBConfig, img *program.Image, sys *mem.System, pc uint32) (*TIB
 	if img.Native {
 		return nil, fmt.Errorf("fetch: the TIB front end does not support the native instruction format")
 	}
+	buf, err := queue.New[entry](2 * cfg.LineBytes / isa.WordBytes)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: TIB buffer: %w", err)
+	}
 	t := &TIB{
 		cfg:     cfg,
 		img:     img,
 		sys:     sys,
-		buf:     queue.New[entry](2 * cfg.LineBytes / isa.WordBytes),
+		buf:     buf,
 		entries: make([]tibEntry, cfg.Entries),
 	}
 	t.str.reset(pc)
@@ -93,6 +97,13 @@ func NewTIB(cfg TIBConfig, img *program.Image, sys *mem.System, pc uint32) (*TIB
 
 // Stats returns the engine's counters.
 func (t *TIB) Stats() *stats.Fetch { return &t.st }
+
+// DebugState renders the fetch-buffer occupancy and allocation state for
+// deadlock diagnostics.
+func (t *TIB) DebugState() string {
+	return fmt.Sprintf("tib{%s buf %d/%d fetchAddr %#05x inflight=%v alloc=%v}",
+		t.str.String(), t.buf.Len(), t.buf.Cap(), t.fetchAddr, t.inflight, t.allocActive)
+}
 
 // Head reports the next stream instruction if buffered.
 func (t *TIB) Head() (uint32, uint32, bool) {

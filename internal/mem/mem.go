@@ -190,7 +190,11 @@ func New(cfg Config, img *program.Image, st *stats.Mem) (*System, error) {
 		s.ram[(program.DataBase/4)+uint32(i)] = w
 	}
 	for k := range s.queues {
-		s.queues[k] = queue.New[*Request](64)
+		q, err := queue.New[*Request](64)
+		if err != nil {
+			return nil, fmt.Errorf("mem: request queue: %w", err)
+		}
+		s.queues[k] = q
 	}
 	return s, nil
 }
@@ -198,6 +202,15 @@ func New(cfg Config, img *program.Image, st *stats.Mem) (*System, error) {
 // Cycle returns the current cycle number (the cycle most recently passed to
 // Tick).
 func (s *System) Cycle() uint64 { return s.cycle }
+
+// DebugState renders the per-class queue occupancy and in-flight state in
+// one line, for deadlock and machine-check diagnostics.
+func (s *System) DebugState() string {
+	return fmt.Sprintf("mem{ifetch %d data %d fpu-result %d iprefetch %d inflight %d fpu-ops %d mem-free-at %d bus-free-at %d}",
+		s.queues[classIFetch].Len(), s.queues[classData].Len(),
+		s.queues[classFPUResult].Len(), s.queues[classIPrefetch].Len(),
+		len(s.inflight), len(s.fpuOps), s.memFreeAt, s.inputBusFreeAt)
+}
 
 // ReadWord returns the current memory word at a 4-byte-aligned address.
 // Used by tests and examples to inspect results after a run.

@@ -17,13 +17,14 @@ type Queue[T any] struct {
 	n    int // number of elements
 }
 
-// New returns an empty queue with the given capacity. It panics if capacity
-// is not positive, since a zero-capacity hardware queue cannot exist.
-func New[T any](capacity int) *Queue[T] {
+// New returns an empty queue with the given capacity. It returns an error
+// if capacity is not positive, since a zero-capacity hardware queue cannot
+// exist; constructors propagate the error instead of crashing the caller.
+func New[T any](capacity int) (*Queue[T], error) {
 	if capacity <= 0 {
-		panic(fmt.Sprintf("queue.New: capacity %d must be positive", capacity))
+		return nil, fmt.Errorf("queue: capacity %d must be positive", capacity)
 	}
-	return &Queue[T]{buf: make([]T, capacity)}
+	return &Queue[T]{buf: make([]T, capacity)}, nil
 }
 
 // Cap returns the queue's fixed capacity.

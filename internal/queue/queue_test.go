@@ -6,21 +6,25 @@ import (
 	"testing/quick"
 )
 
-func TestNewPanicsOnNonPositiveCapacity(t *testing.T) {
+func mustNew[T any](t *testing.T, capacity int) *Queue[T] {
+	t.Helper()
+	q, err := New[T](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewRejectsNonPositiveCapacity(t *testing.T) {
 	for _, c := range []int{0, -1, -100} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%d) did not panic", c)
-				}
-			}()
-			New[int](c)
-		}()
+		if q, err := New[int](c); err == nil || q != nil {
+			t.Errorf("New(%d) = %v, %v; want nil, error", c, q, err)
+		}
 	}
 }
 
 func TestPushPopFIFO(t *testing.T) {
-	q := New[int](4)
+	q := mustNew[int](t, 4)
 	for i := 1; i <= 4; i++ {
 		if !q.Push(i) {
 			t.Fatalf("Push(%d) failed on non-full queue", i)
@@ -44,7 +48,7 @@ func TestPushPopFIFO(t *testing.T) {
 }
 
 func TestWrapAround(t *testing.T) {
-	q := New[int](3)
+	q := mustNew[int](t, 3)
 	// Fill, drain partially, refill repeatedly to force head wrapping.
 	next, expect := 0, 0
 	for round := 0; round < 20; round++ {
@@ -62,7 +66,7 @@ func TestWrapAround(t *testing.T) {
 }
 
 func TestPeekAndAt(t *testing.T) {
-	q := New[string](4)
+	q := mustNew[string](t, 4)
 	if _, ok := q.Peek(); ok {
 		t.Fatal("Peek on empty queue reported ok")
 	}
@@ -91,7 +95,7 @@ func TestPeekAndAt(t *testing.T) {
 }
 
 func TestClear(t *testing.T) {
-	q := New[int](2)
+	q := mustNew[int](t, 2)
 	q.MustPush(1)
 	q.MustPush(2)
 	q.Clear()
@@ -110,11 +114,11 @@ func TestMustPopPanicsOnEmpty(t *testing.T) {
 			t.Fatal("MustPop on empty queue did not panic")
 		}
 	}()
-	New[int](1).MustPop()
+	mustNew[int](t, 1).MustPop()
 }
 
 func TestMustPushPanicsOnFull(t *testing.T) {
-	q := New[int](1)
+	q := mustNew[int](t, 1)
 	q.MustPush(1)
 	defer func() {
 		if recover() == nil {
@@ -125,7 +129,7 @@ func TestMustPushPanicsOnFull(t *testing.T) {
 }
 
 func TestSlice(t *testing.T) {
-	q := New[int](4)
+	q := mustNew[int](t, 4)
 	q.MustPush(1)
 	q.MustPush(2)
 	q.MustPop()
@@ -150,7 +154,10 @@ func TestQuickFIFOOrder(t *testing.T) {
 	f := func(seed int64, capRaw uint8) bool {
 		capacity := int(capRaw%16) + 1
 		rng := rand.New(rand.NewSource(seed))
-		q := New[int](capacity)
+		q, err := New[int](capacity)
+		if err != nil {
+			return false
+		}
 		var ref []int
 		next := 0
 		for op := 0; op < 500; op++ {

@@ -1,0 +1,208 @@
+package sweep
+
+// This file is the fault-isolated parallel sweep runner. The paper's
+// results come from sweeping a large parameter space; one bad point must
+// not abort the whole experiment set. Each experiment runs on a worker
+// goroutine behind its own panic recovery and deadline, and the runner
+// returns every outcome — results for the experiments that finished,
+// structured errors for the ones that did not.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options tunes the parallel runner. The zero value runs every experiment
+// with one worker per CPU and no deadline.
+type Options struct {
+	// Workers is the number of concurrent experiments (<= 0 selects
+	// runtime.NumCPU).
+	Workers int
+	// Timeout is the per-experiment deadline (<= 0 disables it). A timed
+	// out experiment is reported as a *TimeoutError; its goroutine is
+	// abandoned (experiment bodies are pure CPU work with no handle to
+	// cancel, exactly like a wedged simulation) and the sweep moves on.
+	Timeout time.Duration
+}
+
+// TimeoutError reports an experiment that exceeded the per-run deadline.
+type TimeoutError struct {
+	ID      string
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("sweep: experiment %s exceeded the %s deadline", e.ID, e.Timeout)
+}
+
+// PanicError reports an experiment that panicked outside the simulator core
+// (the core converts its own panics to machine-check errors; this catches
+// everything else, e.g. a bug in workload generation or result rendering).
+type PanicError struct {
+	ID    string
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: experiment %s panicked: %v", e.ID, e.Value)
+}
+
+// Outcome is the result of one experiment under the runner: exactly one of
+// Result and Err is set.
+type Outcome struct {
+	Experiment Experiment
+	Result     *Result
+	Err        error
+	Elapsed    time.Duration
+}
+
+// Summary collects every outcome of one sweep, in the order the experiments
+// were submitted.
+type Summary struct {
+	Outcomes []Outcome
+	Elapsed  time.Duration
+}
+
+// Failed returns the outcomes that did not produce a result.
+func (s *Summary) Failed() []Outcome {
+	var out []Outcome
+	for _, o := range s.Outcomes {
+		if o.Err != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Passed returns how many experiments completed successfully.
+func (s *Summary) Passed() int { return len(s.Outcomes) - len(s.Failed()) }
+
+// Err returns nil when every experiment passed, otherwise one error
+// summarizing every failure.
+func (s *Summary) Err() error {
+	failed := s.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep: %d of %d experiments failed:", len(failed), len(s.Outcomes))
+	for _, o := range failed {
+		fmt.Fprintf(&sb, "\n  %s: %v", o.Experiment.ID, o.Err)
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// String renders the pass/fail table.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	for _, o := range s.Outcomes {
+		status := "ok  "
+		if o.Err != nil {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%s %-12s %8.2fs", status, o.Experiment.ID, o.Elapsed.Seconds())
+		if o.Err != nil {
+			fmt.Fprintf(&sb, "  %v", o.Err)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%d/%d passed in %.2fs\n", s.Passed(), len(s.Outcomes), s.Elapsed.Seconds())
+	return sb.String()
+}
+
+// RunAll runs every experiment on a bounded worker pool, isolating each in
+// its own goroutine with panic recovery and an optional deadline. It always
+// returns a complete Summary: a failing — even crashing — experiment costs
+// exactly its own slot, and every other result is still delivered.
+func RunAll(exps []Experiment, opt Options) *Summary {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	start := time.Now()
+	sum := &Summary{Outcomes: make([]Outcome, len(exps))}
+	if len(exps) == 0 {
+		return sum
+	}
+	type job struct {
+		idx int
+		exp Experiment
+	}
+	jobs := make(chan job)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				t0 := time.Now()
+				res, err := runIsolated(j.exp, opt.Timeout)
+				sum.Outcomes[j.idx] = Outcome{
+					Experiment: j.exp,
+					Result:     res,
+					Err:        err,
+					Elapsed:    time.Since(t0),
+				}
+				done <- struct{}{}
+			}
+		}()
+	}
+	go func() {
+		for i, e := range exps {
+			jobs <- job{idx: i, exp: e}
+		}
+		close(jobs)
+	}()
+	for range exps {
+		<-done
+	}
+	sum.Elapsed = time.Since(start)
+	return sum
+}
+
+// runIsolated executes one experiment body behind panic recovery and an
+// optional deadline.
+func runIsolated(e Experiment, timeout time.Duration) (*Result, error) {
+	type reply struct {
+		res *Result
+		err error
+	}
+	// Buffered so an abandoned (timed out) experiment can still finish and
+	// let its goroutine exit.
+	ch := make(chan reply, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- reply{err: &PanicError{ID: e.ID, Value: p, Stack: string(debug.Stack())}}
+			}
+		}()
+		res, err := e.Run()
+		ch <- reply{res: res, err: err}
+	}()
+	if timeout <= 0 {
+		r := <-ch
+		return r.res, r.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.res, r.err
+	case <-timer.C:
+		return nil, &TimeoutError{ID: e.ID, Timeout: timeout}
+	}
+}
+
+// SortByID orders outcomes by experiment ID (RunAll already preserves
+// submission order; this is for callers that merge several sweeps).
+func SortByID(outcomes []Outcome) {
+	sort.Slice(outcomes, func(i, j int) bool {
+		return outcomes[i].Experiment.ID < outcomes[j].Experiment.ID
+	})
+}

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fake builds a lightweight experiment for runner tests (no simulation).
+func fake(id string, run func() (*Result, error)) Experiment {
+	return Experiment{ID: id, Title: "fake " + id, Run: run}
+}
+
+func passing(id string) Experiment {
+	return fake(id, func() (*Result, error) { return &Result{ID: id}, nil })
+}
+
+func TestRunAllIsolatesFailures(t *testing.T) {
+	exps := []Experiment{
+		passing("ok1"),
+		fake("boom", func() (*Result, error) { panic("experiment bug") }),
+		fake("err", func() (*Result, error) { return nil, errors.New("bad point") }),
+		passing("ok2"),
+	}
+	sum := RunAll(exps, Options{Workers: 2})
+	if len(sum.Outcomes) != len(exps) {
+		t.Fatalf("got %d outcomes, want %d", len(sum.Outcomes), len(exps))
+	}
+	// Submission order is preserved regardless of completion order.
+	for i, o := range sum.Outcomes {
+		if o.Experiment.ID != exps[i].ID {
+			t.Errorf("outcome %d is %s, want %s", i, o.Experiment.ID, exps[i].ID)
+		}
+	}
+	if sum.Passed() != 2 || len(sum.Failed()) != 2 {
+		t.Errorf("passed %d failed %d, want 2/2", sum.Passed(), len(sum.Failed()))
+	}
+	// The panic is wrapped, attributed and carries the stack.
+	var pe *PanicError
+	if !errors.As(sum.Outcomes[1].Err, &pe) {
+		t.Fatalf("outcome[1].Err = %v, want *PanicError", sum.Outcomes[1].Err)
+	}
+	if pe.ID != "boom" || pe.Value != "experiment bug" || !strings.Contains(pe.Stack, "runner_test") {
+		t.Errorf("panic not attributed: %+v", pe)
+	}
+	// Successful experiments still delivered their results.
+	if sum.Outcomes[0].Result == nil || sum.Outcomes[3].Result == nil {
+		t.Error("passing experiments lost their results")
+	}
+	if err := sum.Err(); err == nil || !strings.Contains(err.Error(), "2 of 4") {
+		t.Errorf("Summary.Err() = %v", err)
+	}
+	table := sum.String()
+	for _, want := range []string{"ok  ", "FAIL", "boom", "2/4 passed"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("summary table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunAllEmptyAndAllPass(t *testing.T) {
+	if sum := RunAll(nil, Options{}); len(sum.Outcomes) != 0 || sum.Err() != nil {
+		t.Errorf("empty sweep: %+v", sum)
+	}
+	exps := make([]Experiment, 20)
+	for i := range exps {
+		exps[i] = passing(fmt.Sprintf("e%02d", i))
+	}
+	sum := RunAll(exps, Options{Workers: 8})
+	if sum.Err() != nil {
+		t.Fatalf("Err() = %v", sum.Err())
+	}
+	if sum.Passed() != len(exps) {
+		t.Errorf("passed %d of %d", sum.Passed(), len(exps))
+	}
+}
+
+func TestRunAllTimeout(t *testing.T) {
+	release := make(chan struct{})
+	exps := []Experiment{
+		passing("fast"),
+		fake("stuck", func() (*Result, error) { <-release; return &Result{}, nil }),
+	}
+	sum := RunAll(exps, Options{Workers: 2, Timeout: 50 * time.Millisecond})
+	close(release) // let the abandoned goroutine exit
+	var te *TimeoutError
+	if !errors.As(sum.Outcomes[1].Err, &te) {
+		t.Fatalf("stuck outcome err = %v, want *TimeoutError", sum.Outcomes[1].Err)
+	}
+	if te.ID != "stuck" || te.Timeout != 50*time.Millisecond {
+		t.Errorf("timeout not attributed: %+v", te)
+	}
+	if sum.Outcomes[0].Err != nil {
+		t.Errorf("fast experiment caught in the deadline: %v", sum.Outcomes[0].Err)
+	}
+	if !strings.Contains(te.Error(), "deadline") {
+		t.Errorf("Error() = %q", te.Error())
+	}
+}
+
+func TestSortByID(t *testing.T) {
+	out := []Outcome{
+		{Experiment: Experiment{ID: "fig5"}},
+		{Experiment: Experiment{ID: "fig4a"}},
+		{Experiment: Experiment{ID: "table1"}},
+	}
+	SortByID(out)
+	got := []string{out[0].Experiment.ID, out[1].Experiment.ID, out[2].Experiment.ID}
+	want := []string{"fig4a", "fig5", "table1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"pipesim/internal/core"
 	"pipesim/internal/isa"
@@ -65,19 +66,21 @@ type Result struct {
 	Series      []Series
 }
 
-// benchImage caches the built benchmark (it is immutable across runs).
-var benchImage *program.Image
+// benchImage caches the built benchmark (it is immutable across runs). The
+// once guard makes the cache safe under the parallel sweep runner.
+var (
+	benchOnce  sync.Once
+	benchImage *program.Image
+	benchErr   error
+)
 
-// BenchmarkImage returns the shared Livermore benchmark image.
+// BenchmarkImage returns the shared Livermore benchmark image. It is safe
+// for concurrent use: the image is built once and never mutated.
 func BenchmarkImage() (*program.Image, error) {
-	if benchImage == nil {
-		img, _, err := kernels.Program()
-		if err != nil {
-			return nil, err
-		}
-		benchImage = img
-	}
-	return benchImage, nil
+	benchOnce.Do(func() {
+		benchImage, _, benchErr = kernels.Program()
+	})
+	return benchImage, benchErr
 }
 
 // memConfig assembles the paper's memory-system settings.

@@ -73,7 +73,10 @@ func runWithTrace(t *testing.T, cfg core.Config, img *program.Image) ([]uint32, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	ring := trace.NewRing(1 << 16)
+	ring, err := trace.NewRing(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sim.SetRetireTracer(ring)
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)

@@ -36,12 +36,13 @@ type Ring struct {
 	total uint64
 }
 
-// NewRing returns a ring holding up to n events.
-func NewRing(n int) *Ring {
+// NewRing returns a ring holding up to n events. It returns an error if n
+// is not positive.
+func NewRing(n int) (*Ring, error) {
 	if n <= 0 {
-		panic("trace: ring size must be positive")
+		return nil, fmt.Errorf("trace: ring size %d must be positive", n)
 	}
-	return &Ring{buf: make([]Event, 0, n)}
+	return &Ring{buf: make([]Event, 0, n)}, nil
 }
 
 // Record stores the event, evicting the oldest when full.

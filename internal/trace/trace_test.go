@@ -11,8 +11,17 @@ func ev(c uint64) Event {
 	return Event{Cycle: c, PC: uint32(4 * c), Inst: isa.Inst{Op: isa.OpNOP}}
 }
 
+func mustRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	r, err := NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestRingKeepsMostRecent(t *testing.T) {
-	r := NewRing(3)
+	r := mustRing(t, 3)
 	for c := uint64(1); c <= 5; c++ {
 		r.Record(ev(c))
 	}
@@ -31,7 +40,7 @@ func TestRingKeepsMostRecent(t *testing.T) {
 }
 
 func TestRingPartial(t *testing.T) {
-	r := NewRing(8)
+	r := mustRing(t, 8)
 	r.Record(ev(1))
 	r.Record(ev(2))
 	got := r.Events()
@@ -40,13 +49,12 @@ func TestRingPartial(t *testing.T) {
 	}
 }
 
-func TestRingZeroSizePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func TestRingZeroSizeRejected(t *testing.T) {
+	for _, n := range []int{0, -4} {
+		if r, err := NewRing(n); err == nil || r != nil {
+			t.Fatalf("NewRing(%d) = %v, %v; want nil, error", n, r, err)
 		}
-	}()
-	NewRing(0)
+	}
 }
 
 func TestWriterLimit(t *testing.T) {
@@ -65,7 +73,7 @@ func TestWriterLimit(t *testing.T) {
 }
 
 func TestMulti(t *testing.T) {
-	a, b := NewRing(4), NewRing(4)
+	a, b := mustRing(t, 4), mustRing(t, 4)
 	m := Multi{a, b}
 	m.Record(ev(7))
 	if a.Total() != 1 || b.Total() != 1 {

@@ -141,6 +141,13 @@ type Config struct {
 	// MaxCycles aborts runaway simulations; zero selects a generous
 	// default.
 	MaxCycles uint64
+
+	// WatchdogCycles is the forward-progress watchdog window: a run that
+	// retires no instruction for this many consecutive cycles is declared
+	// deadlocked and returns a *DeadlockError diagnosing the stuck
+	// machine state — long before MaxCycles would fire. Zero selects a
+	// default (one million cycles) that no legitimate stall approaches.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig returns the paper's baseline presentation point: the PIPE
@@ -228,8 +235,22 @@ func (c Config) toCore() (core.Config, error) {
 		InterruptAt:     c.InterruptAt,
 		InterruptVector: c.InterruptVector,
 		MaxCycles:       c.MaxCycles,
+		WatchdogCycles:  c.WatchdogCycles,
 	}, nil
 }
+
+// MachineCheckError reports a simulator bug: a panic escaping the internal
+// packages during a run is recovered and wrapped with the cycle, PC,
+// strategy, offending configuration and the tail of the retirement trace
+// (its Detail method renders the full report). Simulation never crashes the
+// calling process; extract with errors.As.
+type MachineCheckError = core.MachineCheckError
+
+// DeadlockError reports that the forward-progress watchdog fired: the run
+// retired no instruction for a full WatchdogCycles window. It carries a
+// diagnosis of the fetch-engine, CPU-queue and memory-system state at the
+// moment the watchdog tripped. Extract with errors.As.
+type DeadlockError = core.DeadlockError
 
 // Program is an executable PIPE program image.
 type Program struct {
@@ -398,8 +419,13 @@ type Simulation struct {
 	inner *core.Simulator
 }
 
-// NewSimulation builds a machine for the program.
+// NewSimulation builds a machine for the program. The configuration is
+// checked with Validate first, so every invalid field is reported as an
+// error before any machine state is built.
 func NewSimulation(cfg Config, prog *Program) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	ccfg, err := cfg.toCore()
 	if err != nil {
 		return nil, err

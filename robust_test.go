@@ -1,0 +1,52 @@
+package pipesim_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pipesim"
+)
+
+// TestPublicWatchdogDeadlock drives the whole public path: a program that
+// reads R7 with no load outstanding deadlocks the machine, and Run reports
+// a typed diagnosis instead of hanging until MaxCycles or panicking.
+func TestPublicWatchdogDeadlock(t *testing.T) {
+	prog, err := pipesim.Assemble(`
+        li   r1, 1
+        add  r2, r7, r1
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	cfg.WatchdogCycles = 2_000
+	_, err = pipesim.Run(cfg, prog)
+	var dl *pipesim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run err = %v, want *pipesim.DeadlockError", err)
+	}
+	if dl.Cycle > 100_000 {
+		t.Errorf("watchdog fired only at cycle %d", dl.Cycle)
+	}
+	if !strings.Contains(dl.Detail(), "no forward progress") {
+		t.Errorf("Detail() = %q", dl.Detail())
+	}
+}
+
+// TestMachineCheckTypeIsExported pins the re-exported machine-check type:
+// sweep drivers must be able to errors.As against it from outside the
+// internal packages.
+func TestMachineCheckTypeIsExported(t *testing.T) {
+	var mce *pipesim.MachineCheckError
+	if errors.As(errors.New("plain"), &mce) {
+		t.Fatal("errors.As matched a plain error")
+	}
+	mce = &pipesim.MachineCheckError{Cycle: 7, Strategy: "pipe", PanicValue: "boom"}
+	for _, want := range []string{"machine check", "cycle 7", "boom"} {
+		if !strings.Contains(mce.Error(), want) {
+			t.Errorf("Error() missing %q: %s", want, mce.Error())
+		}
+	}
+}

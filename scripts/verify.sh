@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repository verification: vet, the full test suite under the race detector
+# (the parallel sweep runner and the benchmark-image cache are exercised
+# concurrently), and every fuzz target's seed corpus (run automatically by
+# `go test`, including in -short mode).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "verify: OK"

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"pipesim"
 	"pipesim/internal/mem"
 	"pipesim/internal/sweep"
 )
@@ -172,4 +173,55 @@ func BenchmarkSingleRun(b *testing.B) {
 		cycles = st.Cycles
 	}
 	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// nullProbe receives the full event stream and discards it — the cheapest
+// possible attached probe, isolating the event-emission cost itself.
+type nullProbe struct{ n uint64 }
+
+func (p *nullProbe) Event(e pipesim.ProbeEvent) { p.n++ }
+
+// BenchmarkProbeOverhead compares a full Livermore-benchmark run with no
+// probe attached (only nil checks at the event sites) against the same run
+// feeding a do-nothing probe and a timeline collector. The no-probe case is
+// the observability layer's headline cost and must stay within noise of the
+// pre-instrumentation simulator.
+func BenchmarkProbeOverhead(b *testing.B) {
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	run := func(b *testing.B, observe func(s *pipesim.Simulation)) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			sim, err := pipesim.NewSimulation(cfg, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if observe != nil {
+				observe(sim)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.Cycles
+		}
+		b.ReportMetric(float64(cycles), "sim_cycles")
+	}
+	b.Run("no-probe", func(b *testing.B) { run(b, nil) })
+	b.Run("null-probe", func(b *testing.B) {
+		run(b, func(s *pipesim.Simulation) { s.Observe(&nullProbe{}) })
+	})
+	b.Run("perloop", func(b *testing.B) {
+		run(b, func(s *pipesim.Simulation) {
+			if err := s.CollectPerLoop(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("timeline", func(b *testing.B) {
+		run(b, func(s *pipesim.Simulation) { s.Observe(pipesim.NewTimeline()) })
+	})
 }

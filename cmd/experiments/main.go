@@ -13,7 +13,9 @@
 //	experiments -list              # list experiment IDs
 //	experiments -exp fig5b         # run one experiment
 //	experiments -parallel 2        # limit the worker pool
-//	experiments -timeout 2m       	# per-experiment deadline
+//	experiments -timeout 2m        # per-experiment deadline
+//	experiments -progress          # report each experiment as it finishes
+//	experiments -metrics out.json  # write machine-readable sweep metrics
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		plot     = flag.Bool("plot", false, "draw ASCII charts instead of aligned tables")
 		parallel = flag.Int("parallel", 0, "number of concurrent experiments (0 = one per CPU)")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment deadline (0 = none)")
+		progress = flag.Bool("progress", false, "print each experiment's status and wall time as it finishes")
+		metrics  = flag.String("metrics", "", "write machine-readable sweep metrics (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -52,7 +56,33 @@ func main() {
 		run = []sweep.Experiment{e}
 	}
 
-	sum := sweep.RunAll(run, sweep.Options{Workers: *parallel, Timeout: *timeout})
+	opt := sweep.Options{Workers: *parallel, Timeout: *timeout}
+	if *progress {
+		opt.Progress = func(o sweep.Outcome, done, total int) {
+			status := "ok"
+			if o.Err != nil {
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-12s %-4s %6.2fs\n",
+				done, total, o.Experiment.ID, status, o.Elapsed.Seconds())
+		}
+	}
+	sum := sweep.RunAll(run, opt)
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for _, o := range sum.Outcomes {
 		if o.Err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Experiment.ID, o.Err)

@@ -6,9 +6,16 @@
 //	pipesim -strategy pipe -cache 128 -line 16 -iq 16 -iqb 16 -access 6 -bus 8
 //	pipesim -strategy conventional -cache 512 -access 1 -bus 4
 //	pipesim -asm prog.s -strategy pipe
+//
+// Observability:
+//
+//	pipesim -json                  # machine-readable result (full Result struct)
+//	pipesim -perloop               # per-Livermore-loop cycle/miss/stall table
+//	pipesim -timeline trace.json   # Chrome-trace timeline (chrome://tracing, Perfetto)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +44,9 @@ func main() {
 		kernel    = flag.Int("kernel", 0, "run a single Livermore loop (1..14) instead of the full benchmark")
 		verbose   = flag.Bool("v", false, "print the full measurement breakdown")
 		traceN    = flag.Uint64("trace", 0, "print the first N retired instructions (cycle, PC, disassembly)")
+		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of text")
+		perloop   = flag.Bool("perloop", false, "collect and print per-Livermore-loop statistics (benchmark workloads only)")
+		timeline  = flag.String("timeline", "", "write a Chrome-trace timeline of the run to this file")
 	)
 	flag.Parse()
 
@@ -83,13 +93,61 @@ func main() {
 	if *traceN > 0 {
 		sim.TraceTo(os.Stdout, *traceN)
 	}
+	if *perloop {
+		if err := sim.CollectPerLoop(); err != nil {
+			fail(err)
+		}
+	}
+	var tl *pipesim.Timeline
+	if *timeline != "" {
+		tl = pipesim.NewTimeline()
+		sim.Observe(tl)
+	}
 	res, err := sim.Run()
 	if err != nil {
 		fail(err)
 	}
+	if tl != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := tl.WriteTo(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipesim: wrote %d timeline events to %s\n", tl.Events(), *timeline)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("cycles        %d\n", res.Cycles)
 	fmt.Printf("instructions  %d\n", res.Instructions)
 	fmt.Printf("CPI           %.3f\n", res.CPI())
+	a := res.Attribution
+	fmt.Printf("attribution   issue=%d fetch-starved=%d ldq-wait=%d queue-full=%d drain=%d other=%d\n",
+		a.Issue, a.FetchStarved, a.LDQWait, a.QueueFull, a.Drain, a.Other)
+	if res.PerLoop != nil {
+		fmt.Printf("\n%-5s %-21s %10s %8s %12s %8s %8s %10s\n",
+			"loop", "name", "cycles", "cyc%", "instructions", "misses", "flushes", "bus words")
+		for _, l := range res.PerLoop {
+			name := l.Name
+			if l.Loop == 0 {
+				name = "(outside)"
+			}
+			fmt.Printf("%-5d %-21s %10d %7.1f%% %12d %8d %8d %10d\n",
+				l.Loop, name, l.Cycles, 100*float64(l.Cycles)/float64(res.Cycles),
+				l.Instructions, l.CacheMisses, l.BranchFlush, l.OffChipWords)
+		}
+		fmt.Println()
+	}
 	if *verbose {
 		fmt.Printf("branches      %d (%d taken, %d flushes)\n", res.Branches, res.TakenBranches, res.BranchFlushes)
 		fmt.Printf("loads/stores  %d / %d\n", res.Loads, res.Stores)

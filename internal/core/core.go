@@ -14,6 +14,7 @@ import (
 	"pipesim/internal/fetch"
 	"pipesim/internal/isa"
 	"pipesim/internal/mem"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/stats"
 	"pipesim/internal/trace"
@@ -134,6 +135,11 @@ type Simulator struct {
 	cycle   uint64      // current cycle, for machine-check context
 	ring    *trace.Ring // tail of the retirement stream, for diagnostics
 	userRec trace.Recorder
+
+	probe    obs.Probe       // stamped user probe, or nil
+	loops    []obs.LoopRange // configured loop ranges, by ascending Start
+	curLoop  int             // loop number the retirement stream is inside (0 = outside)
+	loopSeen bool            // a retirement has initialized curLoop
 }
 
 // New builds a simulator for the image.
@@ -208,9 +214,69 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 		if s.userRec != nil {
 			s.userRec.Record(e)
 		}
+		if s.probe != nil {
+			if s.loops != nil {
+				s.trackLoop(pc)
+			}
+			s.probe.Event(obs.Event{Kind: obs.KindRetire, Addr: pc})
+		}
 	}
 	return s, nil
 }
+
+// SetProbe attaches p to every instrumented component — memory system,
+// fetch engine, CPU and the core's own retirement/loop tracking — wrapped
+// in an obs.Stamper sharing the simulator clock, so every event carries the
+// cycle it occurred in. Call before Run; a nil probe detaches.
+func (s *Simulator) SetProbe(p obs.Probe) {
+	if p == nil {
+		s.probe = nil
+		s.sys.SetProbe(nil)
+		s.eng.SetProbe(nil)
+		s.cpu.SetProbe(nil)
+		return
+	}
+	stamped := &obs.Stamper{Clock: &s.cycle, Target: p}
+	s.probe = stamped
+	s.sys.SetProbe(stamped)
+	s.eng.SetProbe(stamped)
+	s.cpu.SetProbe(stamped)
+}
+
+// SetLoopRanges configures the PC ranges the retirement stream is matched
+// against; transitions emit KindLoopEnter/KindLoopExit to the attached
+// probe. Call before Run, with ranges resolved against Image().
+func (s *Simulator) SetLoopRanges(ranges []obs.LoopRange) { s.loops = ranges }
+
+// trackLoop emits loop-transition events when the retirement PC moves
+// between configured ranges. A loop's enter event precedes the retire event
+// of its first instruction, so collectors attribute that instruction — and
+// the rest of the cycle — to the loop being entered.
+func (s *Simulator) trackLoop(pc uint32) {
+	loop := 0
+	for i := range s.loops {
+		if pc >= s.loops[i].Start && pc < s.loops[i].End {
+			loop = s.loops[i].Loop
+			break
+		}
+	}
+	if s.loopSeen && loop == s.curLoop {
+		return
+	}
+	if s.loopSeen && s.curLoop != 0 {
+		s.probe.Event(obs.Event{Kind: obs.KindLoopExit, Arg: uint32(s.curLoop)})
+	}
+	s.curLoop = loop
+	s.loopSeen = true
+	if loop != 0 {
+		s.probe.Event(obs.Event{Kind: obs.KindLoopEnter, Arg: uint32(loop)})
+	}
+}
+
+// Image returns the program image the simulator actually runs — after any
+// native-format relayout — so callers can resolve symbols (for example
+// Livermore loop ranges) against the final address map.
+func (s *Simulator) Image() *program.Image { return s.img }
 
 // Run executes the program to completion (HALT retired and all memory
 // traffic drained) and returns the collected statistics. Run may be called

@@ -32,6 +32,7 @@ import (
 	"pipesim/internal/fetch"
 	"pipesim/internal/isa"
 	"pipesim/internal/mem"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/queue"
 	"pipesim/internal/stats"
@@ -158,6 +159,13 @@ type CPU struct {
 	// tracing facility). It must not mutate simulator state.
 	OnRetire func(cycle uint64, pc uint32, in isa.Inst)
 
+	// probe, when set, receives typed observability events; the per-cycle
+	// attribution event (obs.KindCycle) is emitted exactly once per Tick.
+	// lastDepth tracks the last-emitted occupancy of each architectural
+	// queue so depth events fire only on change.
+	probe     obs.Probe
+	lastDepth [obs.NumQueues]int
+
 	// Single-level interrupt state (paper §3.1: "a single-level
 	// interrupt"). Entry waits for a clean boundary: no open delay-slot
 	// window, no unresolved PBR, pipeline drained. The hardware then
@@ -229,6 +237,14 @@ func New(cfg Config, eng fetch.Engine, sys *mem.System, st *stats.CPU) (*CPU, er
 	return c, nil
 }
 
+// SetProbe attaches an observability probe. Call before the first Tick.
+func (c *CPU) SetProbe(p obs.Probe) {
+	c.probe = p
+	for i := range c.lastDepth {
+		c.lastDepth[i] = -1
+	}
+}
+
 // Halted reports whether the HALT instruction has retired.
 func (c *CPU) Halted() bool { return c.halted }
 
@@ -283,20 +299,52 @@ func (c *CPU) loadArrived(seq uint64, value uint32) {
 
 // Tick advances the processor one cycle. Call after the fetch engine's Tick
 // and before the memory system's EndCycle.
+//
+// Every Tick attributes its cycle to exactly one stats.CycleBucket, so the
+// buckets always sum to the run's total cycle count.
 func (c *CPU) Tick() {
 	c.cycle++
 	if c.halted || c.execErr != nil {
+		c.account(stats.CycleDrain)
 		c.dispatchMemory()
 		return
 	}
 	c.retire()  // EX2
 	c.execute() // EX1 (timed effects of the instruction that issued last cycle)
-	stalled := c.issue()
+	stalled, bucket := c.issue()
 	if !stalled {
 		c.decodeAndFetch()
 	}
+	c.account(bucket)
 	c.maybeEnterInterrupt()
 	c.dispatchMemory()
+	if c.probe != nil {
+		c.sampleQueues()
+	}
+}
+
+// account classifies the current cycle.
+func (c *CPU) account(bucket stats.CycleBucket) {
+	c.st.CycleBuckets[bucket]++
+	if c.probe != nil {
+		c.probe.Event(obs.Event{Kind: obs.KindCycle, Arg: uint32(bucket)})
+	}
+}
+
+// sampleQueues emits occupancy events for the architectural queues that
+// changed since the last sample (probe attached only).
+func (c *CPU) sampleQueues() {
+	sample := func(q obs.Queue, n int) {
+		if c.lastDepth[q] == n {
+			return
+		}
+		c.lastDepth[q] = n
+		c.probe.Event(obs.Event{Kind: obs.KindQueueDepth, Arg: uint32(q), Value: uint64(n)})
+	}
+	sample(obs.QueueLAQ, c.laq.Len())
+	sample(obs.QueueLDQ, c.ldq.Len())
+	sample(obs.QueueSAQ, c.saq.Len())
+	sample(obs.QueueSDQ, c.sdq.Len())
 }
 
 // maybeEnterInterrupt performs interrupt entry once the pipeline has
@@ -372,10 +420,17 @@ func (c *CPU) execute() {
 }
 
 // issue reads operands, computes the result, and moves the instruction from
-// IS to EX1. It reports whether issue stalled (freezing ID and IF).
-func (c *CPU) issue() (stalled bool) {
+// IS to EX1. It reports whether issue stalled (freezing ID and IF) and the
+// attribution bucket for this cycle.
+func (c *CPU) issue() (stalled bool, bucket stats.CycleBucket) {
 	if !c.is.valid {
-		return false
+		// Nothing to issue: a front-end bubble. While the fetch side is
+		// merely slow this is starvation; once HALT has been fetched or an
+		// interrupt entry is draining, the emptiness is intentional.
+		if c.fetchHalted || c.irqDraining {
+			return false, stats.CycleOther
+		}
+		return false, stats.CycleFetchStarved
 	}
 	in := c.is.in
 
@@ -398,7 +453,7 @@ func (c *CPU) issue() (stalled bool) {
 		in.Op == isa.OpST && c.saq.Len()+pendingSAQ >= c.saq.Cap(),
 		in.WritesSDQ() && c.sdq.Len()+pendingSDQ >= c.sdq.Cap():
 		c.st.StallQueueFull++
-		return true
+		return true, stats.CycleQueueFull
 	}
 
 	// R7 source operands pop the LDQ; stall until enough data arrived.
@@ -412,7 +467,7 @@ func (c *CPU) issue() (stalled bool) {
 	}
 	if c.ldq.Len() < need {
 		c.st.StallLDQEmpty++
-		return true
+		return true, stats.CycleLDQWait
 	}
 
 	readReg := func(r uint8) int32 {
@@ -433,13 +488,13 @@ func (c *CPU) issue() (stalled bool) {
 	c.is.valid = false
 	if err := c.compute(&s, a, b); err != nil {
 		c.execErr = err
-		return true
+		return true, stats.CycleOther
 	}
 	if c.ex1.valid {
 		panic("cpu: EX1 occupied at issue")
 	}
 	c.ex1 = s
-	return false
+	return false, stats.CycleIssue
 }
 
 // operandReads reports which register operand fields the opcode actually
@@ -547,6 +602,7 @@ func (c *CPU) decodeAndFetch() {
 	pc, w, ok := c.eng.Head()
 	if !ok {
 		c.st.StallFetchEmpty++
+		c.eng.Stats().StarvedCycles++
 		return
 	}
 	c.eng.Consume()

@@ -6,6 +6,7 @@ import (
 	"pipesim/internal/cache"
 	"pipesim/internal/isa"
 	"pipesim/internal/mem"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/stats"
 )
@@ -58,6 +59,18 @@ type Conv struct {
 	// a first parcel that a tail-line fill might otherwise evict.
 	capAddr  uint32
 	capValid bool
+
+	probe obs.Probe
+}
+
+// SetProbe attaches an observability probe. Call before the first Tick.
+func (c *Conv) SetProbe(p obs.Probe) { c.probe = p }
+
+// emit sends an event when a probe is attached.
+func (c *Conv) emit(kind obs.Kind, addr uint32) {
+	if c.probe != nil {
+		c.probe.Event(obs.Event{Kind: kind, Addr: addr})
+	}
 }
 
 var _ Engine = (*Conv)(nil)
@@ -133,6 +146,7 @@ func (c *Conv) Consume() {
 	}
 	c.st.SupplyCycles++
 	c.st.CacheHits++
+	c.emit(obs.KindCacheHit, pc)
 	if c.capValid && c.capAddr == pc {
 		c.capValid = false
 	}
@@ -145,6 +159,7 @@ func (c *Conv) Resolve(taken bool, target uint32) {
 	c.str.resolve(taken, target)
 	if taken {
 		c.st.BranchFlushes++
+		c.emit(obs.KindBranchFlush, target)
 	}
 }
 
@@ -223,6 +238,7 @@ func (c *Conv) demand(pc uint32) {
 	}
 	c.st.CacheMisses++
 	c.st.LineFetches++
+	c.emit(obs.KindCacheMiss, pc)
 	c.issue(chunk, true)
 }
 
@@ -241,6 +257,11 @@ func (c *Conv) issue(chunk uint32, demand bool) {
 	if demand {
 		kind = stats.ReqIFetch
 	}
+	if demand {
+		c.emit(obs.KindFetchIssue, chunk)
+	} else {
+		c.emit(obs.KindPrefetchIssue, chunk)
+	}
 	c.outstanding = true
 	c.outDemand = demand
 	c.outChunk = chunk
@@ -256,6 +277,11 @@ func (c *Conv) issue(chunk uint32, demand bool) {
 		},
 		OnComplete: func(_ uint64) {
 			c.outstanding = false
+			if demand {
+				c.emit(obs.KindFetchComplete, chunk)
+			} else {
+				c.emit(obs.KindPrefetchComplete, chunk)
+			}
 		},
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"pipesim/internal/cache"
 	"pipesim/internal/isa"
 	"pipesim/internal/mem"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/queue"
 	"pipesim/internal/stats"
@@ -93,6 +94,25 @@ type Pipe struct {
 	// modeled by capAddr/capValid.
 	capAddr  uint32
 	capValid bool
+
+	// probe, when set, observes fetch events; lastIQ/lastIQB track the
+	// last-emitted queue occupancies so depth events fire only on change.
+	probe  obs.Probe
+	lastIQ int
+	lastIQB int
+}
+
+// SetProbe attaches an observability probe. Call before the first Tick.
+func (p *Pipe) SetProbe(pr obs.Probe) {
+	p.probe = pr
+	p.lastIQ, p.lastIQB = -1, -1
+}
+
+// emit sends an event when a probe is attached.
+func (p *Pipe) emit(kind obs.Kind, addr uint32) {
+	if p.probe != nil {
+		p.probe.Event(obs.Event{Kind: kind, Addr: addr})
+	}
 }
 
 var _ Engine = (*Pipe)(nil)
@@ -186,6 +206,7 @@ func (p *Pipe) Resolve(taken bool, target uint32) {
 		return
 	}
 	p.st.BranchFlushes++
+	p.emit(obs.KindBranchFlush, target)
 	if p.img.Native {
 		// Window-end addresses are unknowable in the variable-length
 		// format, so the early trim is skipped: the fetch path keeps
@@ -324,6 +345,22 @@ func (p *Pipe) Tick() {
 	}
 	p.fillIQBFromCache()
 	p.refillIQ()
+	if p.probe != nil {
+		p.sampleQueues()
+	}
+}
+
+// sampleQueues emits occupancy events for queues whose depth changed since
+// the last sample.
+func (p *Pipe) sampleQueues() {
+	if n := p.iq.Len(); n != p.lastIQ {
+		p.lastIQ = n
+		p.probe.Event(obs.Event{Kind: obs.KindQueueDepth, Arg: uint32(obs.QueueIQ), Value: uint64(n)})
+	}
+	if n := p.iqb.Len(); n != p.lastIQB {
+		p.lastIQB = n
+		p.probe.Event(obs.Event{Kind: obs.KindQueueDepth, Arg: uint32(obs.QueueIQB), Value: uint64(n)})
+	}
 }
 
 // refillIQ moves words from the IQB into an empty IQ ("when the IQ becomes
@@ -374,6 +411,7 @@ func (p *Pipe) fillIQBFromCache() {
 	}
 	if p.cache.LookupLine(p.fetchAddr) {
 		p.st.CacheHits++
+		p.emit(obs.KindCacheHit, p.fetchAddr)
 		stop, hasStop := p.stopAt()
 		lineEnd := lineAddr + uint32(p.cfg.LineBytes)
 		for a := p.fetchAddr; a < lineEnd; a += isa.WordBytes {
@@ -406,16 +444,20 @@ func (p *Pipe) requestLine(lineAddr uint32) {
 		// end.
 		if limit, bounded := p.guaranteeEnd(); bounded && p.fetchAddr >= limit {
 			p.st.PrefetchBlocks++
+			p.emit(obs.KindPrefetchBlocked, p.fetchAddr)
 			return
 		}
 	}
 	p.st.CacheMisses++
+	p.emit(obs.KindCacheMiss, p.fetchAddr)
 	kind := stats.ReqIPrefetch
 	if demand {
 		kind = stats.ReqIFetch
 		p.st.LineFetches++
+		p.emit(obs.KindFetchIssue, lineAddr)
 	} else {
 		p.st.Prefetches++
+		p.emit(obs.KindPrefetchIssue, lineAddr)
 	}
 	p.inflight = true
 	p.inflightLine = lineAddr
@@ -450,6 +492,11 @@ func (p *Pipe) requestLine(lineAddr uint32) {
 			}
 			p.inflight = false
 			p.inflightInsert = false
+			if demand {
+				p.emit(obs.KindFetchComplete, lineAddr)
+			} else {
+				p.emit(obs.KindPrefetchComplete, lineAddr)
+			}
 		},
 	})
 }
@@ -516,8 +563,10 @@ func (p *Pipe) drainNative() bool {
 // is cache-resident at the fetch cursor; otherwise request the line holding
 // the first missing parcel.
 func (p *Pipe) fillNative() {
+	start := p.fetchAddr
 	if p.drainNative() {
 		p.st.CacheHits++
+		p.emit(obs.KindCacheHit, start)
 		return
 	}
 	if p.iqb.Full() {

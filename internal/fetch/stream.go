@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"pipesim/internal/isa"
+	"pipesim/internal/obs"
 	"pipesim/internal/stats"
 )
 
@@ -45,6 +46,11 @@ type Engine interface {
 	ResumePC() uint32
 	// Stats returns the engine's activity counters.
 	Stats() *stats.Fetch
+	// SetProbe attaches an observability probe receiving the engine's
+	// typed events (cache hits/misses, fetch and prefetch issue/complete,
+	// blocked prefetches, branch flushes, queue occupancy). Call before
+	// the first Tick; a nil probe disables emission.
+	SetProbe(p obs.Probe)
 	// DebugState renders the engine's occupancy and cursor state in one
 	// line, for deadlock and machine-check diagnostics.
 	DebugState() string

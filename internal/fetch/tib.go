@@ -5,6 +5,7 @@ import (
 
 	"pipesim/internal/isa"
 	"pipesim/internal/mem"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/queue"
 	"pipesim/internal/stats"
@@ -67,6 +68,22 @@ type TIB struct {
 	inflight     bool
 	inflightFrom uint32
 	inflightIns  bool
+
+	probe   obs.Probe
+	lastBuf int
+}
+
+// SetProbe attaches an observability probe. Call before the first Tick.
+func (t *TIB) SetProbe(p obs.Probe) {
+	t.probe = p
+	t.lastBuf = -1
+}
+
+// emit sends an event when a probe is attached.
+func (t *TIB) emit(kind obs.Kind, addr uint32) {
+	if t.probe != nil {
+		t.probe.Event(obs.Event{Kind: kind, Addr: addr})
+	}
 }
 
 var _ Engine = (*TIB)(nil)
@@ -139,6 +156,7 @@ func (t *TIB) Resolve(taken bool, target uint32) {
 	}
 	if taken {
 		t.st.BranchFlushes++
+		t.emit(obs.KindBranchFlush, target)
 	}
 }
 
@@ -164,6 +182,7 @@ func (t *TIB) redirect(target uint32) {
 	t.allocActive = false
 	if idx := t.lookup(target); idx >= 0 {
 		t.st.CacheHits++
+		t.emit(obs.KindCacheHit, target)
 		e := &t.entries[idx]
 		for i, w := range e.words {
 			t.buf.MustPush(entry{addr: target + uint32(i*isa.WordBytes), word: w})
@@ -172,6 +191,7 @@ func (t *TIB) redirect(target uint32) {
 		return
 	}
 	t.st.CacheMisses++
+	t.emit(obs.KindCacheMiss, target)
 	t.fetchAddr = target
 	// Allocate a TIB entry for this target (FIFO replacement) and fill it
 	// from the arriving stream.
@@ -196,6 +216,12 @@ func (t *TIB) lookup(target uint32) int {
 // Tick keeps the sequential stream flowing: one outstanding line-sized
 // fetch whenever the buffer has room.
 func (t *TIB) Tick() {
+	if t.probe != nil {
+		if n := t.buf.Len(); n != t.lastBuf {
+			t.lastBuf = n
+			t.probe.Event(obs.Event{Kind: obs.KindQueueDepth, Arg: uint32(obs.QueueTIB), Value: uint64(n)})
+		}
+	}
 	if t.str.halted || t.inflight {
 		return
 	}
@@ -205,11 +231,14 @@ func (t *TIB) Tick() {
 		return
 	}
 	kind := stats.ReqIPrefetch
-	if t.buf.Empty() {
+	demand := t.buf.Empty()
+	if demand {
 		kind = stats.ReqIFetch
 		t.st.LineFetches++
+		t.emit(obs.KindFetchIssue, t.fetchAddr)
 	} else {
 		t.st.Prefetches++
+		t.emit(obs.KindPrefetchIssue, t.fetchAddr)
 	}
 	t.inflight = true
 	t.inflightFrom = t.fetchAddr
@@ -238,6 +267,11 @@ func (t *TIB) Tick() {
 		},
 		OnComplete: func(_ uint64) {
 			t.inflight = false
+			if demand {
+				t.emit(obs.KindFetchComplete, from)
+			} else {
+				t.emit(obs.KindPrefetchComplete, from)
+			}
 		},
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pipesim/internal/isa"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 )
 
@@ -169,6 +170,34 @@ func ArrayAddr(img *program.Image, index int, name string, idx int32) (uint32, e
 		off += int32(a.words)
 	}
 	return 0, fmt.Errorf("kernels: loop %d has no array %q", index, name)
+}
+
+// LoopRanges resolves the PC range of each Livermore loop (prologue through
+// epilogue) against the image's symbol table, for per-loop cycle
+// attribution. Loop i spans from its ll<i>.code label to the next loop's
+// label; the last loop ends at the text segment's end, so the trailing
+// filler and HALT fall outside every range. Pass the image the simulator
+// actually runs (Simulation/core Image()), since the native-format relayout
+// moves every symbol.
+func LoopRanges(img *program.Image) ([]obs.LoopRange, error) {
+	defs := kernelDefs(0)
+	out := make([]obs.LoopRange, 0, len(defs))
+	for i, d := range defs {
+		start, ok := img.Lookup(fmt.Sprintf("ll%d.code", d.index))
+		if !ok {
+			return nil, fmt.Errorf("kernels: image has no code symbol for loop %d", d.index)
+		}
+		end := img.TextEnd()
+		if i+1 < len(defs) {
+			next, ok := img.Lookup(fmt.Sprintf("ll%d.code", defs[i+1].index))
+			if !ok {
+				return nil, fmt.Errorf("kernels: image has no code symbol for loop %d", defs[i+1].index)
+			}
+			end = next
+		}
+		out = append(out, obs.LoopRange{Loop: d.index, Name: d.name, Start: start, End: end})
+	}
+	return out, nil
 }
 
 // Program builds the paper's benchmark: all 14 loops compiled as one

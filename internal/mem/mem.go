@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/queue"
 	"pipesim/internal/stats"
@@ -171,7 +172,13 @@ type System struct {
 	// FPUSink receives floating-point results (set by the CPU). It is
 	// invoked via the normal input-bus delivery path.
 	FPUSink func(seq uint64, value uint32)
+
+	// probe, when set, observes bus transfers and request acceptances.
+	probe obs.Probe
 }
+
+// SetProbe attaches an observability probe. Call before the first cycle.
+func (s *System) SetProbe(p obs.Probe) { s.probe = p }
 
 // New builds a memory system preloaded with the program image's text and
 // data segments.
@@ -327,6 +334,7 @@ func (s *System) deliver() {
 				s.st.InputBusCycles++
 				wordsPerTransfer := s.cfg.BusWidthBytes / 4
 				totalWords := f.req.Size / 4
+				wordsBefore := f.delivered
 				for k := 0; k < wordsPerTransfer && f.delivered < totalWords; k++ {
 					addr := f.req.Addr + uint32(f.delivered*4)
 					var w uint32
@@ -341,6 +349,10 @@ func (s *System) deliver() {
 					}
 					f.delivered++
 					s.st.WordsDelivered++
+				}
+				if s.probe != nil && f.delivered > wordsBefore {
+					s.probe.Event(obs.Event{Kind: obs.KindBusBusy, Addr: f.req.Addr,
+						Value: uint64(f.delivered - wordsBefore)})
 				}
 			}
 		}
@@ -389,6 +401,9 @@ func (s *System) accept() {
 func (s *System) start(r *Request) {
 	r.accepted = true
 	s.st.Accepted[r.Kind]++
+	if s.probe != nil {
+		s.probe.Event(obs.Event{Kind: obs.KindMemAccept, Addr: r.Addr, Arg: uint32(r.Kind)})
+	}
 	T := uint64(s.cfg.AccessTime)
 	if r.Store {
 		done := s.cycle + T

@@ -1,0 +1,115 @@
+package obs
+
+import "pipesim/internal/stats"
+
+// LoopStat aggregates everything attributed to one Livermore loop (or to
+// the region outside every configured range: Loop 0, the program prologue
+// and trailing filler).
+type LoopStat struct {
+	Loop         int    // loop number (1..14); 0 = outside every range
+	Name         string // kernel name, empty for loop 0
+	Cycles       uint64 // cycles spent while this loop was the current one
+	Instructions uint64 // instructions retired in the loop's PC range
+	CacheHits    uint64 // fetch-engine lookups satisfied on chip
+	CacheMisses  uint64 // fetch-engine lookups that went off chip
+	BranchFlush  uint64 // taken-branch flushes
+	OffChipWords uint64 // 32-bit words the input bus delivered during the loop
+
+	// Buckets is the loop's share of the run's cycle attribution, indexed
+	// by stats.CycleBucket. Buckets sum to Cycles.
+	Buckets [stats.NumCycleBuckets]uint64
+}
+
+// StallCycles returns the loop's non-issuing cycles (everything but
+// CycleIssue).
+func (s *LoopStat) StallCycles() uint64 {
+	var sum uint64
+	for b, n := range s.Buckets {
+		if stats.CycleBucket(b) != stats.CycleIssue {
+			sum += n
+		}
+	}
+	return sum
+}
+
+// PerLoop folds the event stream into per-Livermore-loop statistics — the
+// Table-I-style view the paper's explanations ask for: which loops fit the
+// cache, which starve, which saturate the bus. The current loop follows the
+// KindLoopEnter events the simulator core emits from the retirement stream;
+// cycles, misses, stalls and bus words land on whichever loop is current
+// when they happen, so the per-loop cycle counts sum exactly to the run's
+// total cycles.
+type PerLoop struct {
+	stats   []LoopStat  // index 0 = outside any range, 1.. = loops
+	byLoop  map[int]int // loop number -> stats index
+	current int         // stats index receiving events
+}
+
+// NewPerLoop builds a collector for the given loop ranges (the ranges
+// themselves live in the core's transition watcher; the collector only
+// needs the numbering).
+func NewPerLoop(ranges []LoopRange) *PerLoop {
+	p := &PerLoop{
+		stats:  make([]LoopStat, 1, len(ranges)+1),
+		byLoop: make(map[int]int, len(ranges)),
+	}
+	p.stats[0] = LoopStat{Loop: 0, Name: "outside"}
+	for _, r := range ranges {
+		p.byLoop[r.Loop] = len(p.stats)
+		p.stats = append(p.stats, LoopStat{Loop: r.Loop, Name: r.Name})
+	}
+	return p
+}
+
+// Event consumes one simulator event.
+func (p *PerLoop) Event(e Event) {
+	switch e.Kind {
+	case KindLoopEnter:
+		idx, ok := p.byLoop[int(e.Arg)]
+		if !ok {
+			idx = 0
+		}
+		p.current = idx
+		return
+	case KindLoopExit:
+		p.current = 0
+		return
+	}
+	s := &p.stats[p.current]
+	switch e.Kind {
+	case KindCycle:
+		s.Cycles++
+		if int(e.Arg) < len(s.Buckets) {
+			s.Buckets[e.Arg]++
+		}
+	case KindRetire:
+		s.Instructions++
+	case KindCacheHit:
+		s.CacheHits++
+	case KindCacheMiss:
+		s.CacheMisses++
+	case KindBranchFlush:
+		s.BranchFlush++
+	case KindBusBusy:
+		s.OffChipWords += e.Value
+	}
+}
+
+// Stats returns the collected per-loop statistics: index 0 is the region
+// outside every range (prologue, trailing filler, drain after the last
+// loop exit), followed by the configured loops in range order.
+func (p *PerLoop) Stats() []LoopStat {
+	out := make([]LoopStat, len(p.stats))
+	copy(out, p.stats)
+	return out
+}
+
+// TotalCycles sums the per-loop cycle counts — by construction equal to the
+// run's total cycles.
+func (p *PerLoop) TotalCycles() uint64 {
+	var sum uint64
+	for i := range p.stats {
+		sum += p.stats[i].Cycles
+	}
+	return sum
+}

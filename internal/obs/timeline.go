@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pipesim/internal/stats"
+)
+
+// Chrome trace event format constants. The exported file loads in
+// chrome://tracing and https://ui.perfetto.dev: one process ("pipesim"),
+// one thread per pipeline resource, counter tracks for the queues and the
+// input bus, and complete ("X") events for stall spans, off-chip fetches
+// and Livermore loops. Timestamps are simulated cycles expressed as
+// microseconds (1 cycle = 1 µs).
+const (
+	tidPipeline = 1 // issue-stage attribution spans
+	tidIFetch   = 2 // demand fetch / prefetch spans and instants
+	tidLoops    = 3 // Livermore loop spans
+)
+
+// chromeEvent is one entry of the trace's traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format of the Chrome trace event spec.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Timeline is a probe that renders the event stream as a Chrome-trace /
+// Perfetto timeline: duration events for the pipeline's per-cycle stall
+// attribution (coalesced into spans), off-chip demand fetches and
+// prefetches, and Livermore loops; counter events for queue occupancy and
+// input-bus words; instant events for branch flushes and blocked
+// prefetches. Attach with Simulation.Observe, run, then WriteTo.
+type Timeline struct {
+	events []chromeEvent
+	last   uint64 // highest cycle seen, to close open spans
+
+	// Pipeline attribution span state.
+	bucketOpen  bool
+	bucket      uint32
+	bucketStart uint64
+
+	// Fetch/prefetch span state: issue cycle of the pending request, or 0.
+	// A second issue before the complete means the first was canceled at
+	// the memory interface and is dropped.
+	fetchIssue    uint64
+	fetchAddr     uint32
+	prefetchIssue uint64
+	prefetchAddr  uint32
+
+	// Loop span state.
+	loopOpen  bool
+	loopArg   uint32
+	loopStart uint64
+
+	// Input-bus counter state: cycle of the last busy sample, so idle
+	// gaps get an explicit zero sample and the counter renders as steps.
+	busLast uint64
+}
+
+// NewTimeline returns an empty timeline with the process/thread metadata
+// pre-recorded.
+func NewTimeline() *Timeline {
+	t := &Timeline{}
+	t.meta(0, "process_name", "pipesim")
+	t.meta(tidPipeline, "thread_name", "pipeline")
+	t.meta(tidIFetch, "thread_name", "ifetch")
+	t.meta(tidLoops, "thread_name", "loops")
+	return t
+}
+
+func (t *Timeline) meta(tid int, name, value string) {
+	e := chromeEvent{Name: name, Ph: "M", Pid: 1, Args: map[string]any{"name": value}}
+	if tid != 0 {
+		e.Tid = tid
+	}
+	t.events = append(t.events, e)
+}
+
+// Event consumes one simulator event.
+func (t *Timeline) Event(e Event) {
+	if e.Cycle > t.last {
+		t.last = e.Cycle
+	}
+	switch e.Kind {
+	case KindCycle:
+		if t.bucketOpen && t.bucket == e.Arg {
+			return // span continues
+		}
+		t.closeBucket(e.Cycle)
+		t.bucketOpen, t.bucket, t.bucketStart = true, e.Arg, e.Cycle
+	case KindFetchIssue:
+		t.fetchIssue, t.fetchAddr = e.Cycle, e.Addr
+	case KindFetchComplete:
+		if t.fetchIssue != 0 {
+			t.span(tidIFetch, "demand-fetch", t.fetchIssue, e.Cycle+1,
+				map[string]any{"addr": fmt.Sprintf("%#05x", t.fetchAddr)})
+			t.fetchIssue = 0
+		}
+	case KindPrefetchIssue:
+		t.prefetchIssue, t.prefetchAddr = e.Cycle, e.Addr
+	case KindPrefetchComplete:
+		if t.prefetchIssue != 0 {
+			t.span(tidIFetch, "prefetch", t.prefetchIssue, e.Cycle+1,
+				map[string]any{"addr": fmt.Sprintf("%#05x", t.prefetchAddr)})
+			t.prefetchIssue = 0
+		}
+	case KindPrefetchBlocked:
+		t.instant(tidIFetch, "prefetch-blocked")
+	case KindBranchFlush:
+		t.instant(tidIFetch, "branch-flush")
+	case KindLoopEnter:
+		t.closeLoop(e.Cycle)
+		t.loopOpen, t.loopArg, t.loopStart = true, e.Arg, e.Cycle
+	case KindLoopExit:
+		t.closeLoop(e.Cycle)
+	case KindQueueDepth:
+		t.counter(Queue(e.Arg).String(), e.Cycle, map[string]any{"entries": e.Value})
+	case KindBusBusy:
+		if t.busLast != 0 && e.Cycle > t.busLast+1 {
+			t.counter("input-bus", t.busLast+1, map[string]any{"words": 0})
+		}
+		t.counter("input-bus", e.Cycle, map[string]any{"words": e.Value})
+		t.busLast = e.Cycle
+	}
+}
+
+func (t *Timeline) closeBucket(now uint64) {
+	if !t.bucketOpen {
+		return
+	}
+	t.span(tidPipeline, stats.CycleBucket(t.bucket).String(), t.bucketStart, now, nil)
+	t.bucketOpen = false
+}
+
+func (t *Timeline) closeLoop(now uint64) {
+	if !t.loopOpen {
+		return
+	}
+	name := "outside"
+	if t.loopArg != 0 {
+		name = fmt.Sprintf("loop %d", t.loopArg)
+	}
+	t.span(tidLoops, name, t.loopStart, now, nil)
+	t.loopOpen = false
+}
+
+func (t *Timeline) span(tid int, name string, start, end uint64, args map[string]any) {
+	if end <= start {
+		end = start + 1
+	}
+	t.events = append(t.events, chromeEvent{
+		Name: name, Ph: "X", Ts: start, Dur: end - start, Pid: 1, Tid: tid, Args: args,
+	})
+}
+
+func (t *Timeline) instant(tid int, name string) {
+	t.events = append(t.events, chromeEvent{Name: name, Ph: "i", Ts: t.last, Pid: 1, Tid: tid, S: "t"})
+}
+
+func (t *Timeline) counter(name string, ts uint64, args map[string]any) {
+	t.events = append(t.events, chromeEvent{Name: name, Ph: "C", Ts: ts, Pid: 1, Tid: 0, Args: args})
+}
+
+// Events returns how many trace events have been recorded (including
+// metadata), for tests and size diagnostics.
+func (t *Timeline) Events() int { return len(t.events) }
+
+// WriteTo finalizes the timeline (closing any open spans one cycle past the
+// last event) and writes the Chrome trace JSON object. Call after the run
+// completes.
+func (t *Timeline) WriteTo(w io.Writer) (int64, error) {
+	t.closeBucket(t.last + 1)
+	t.closeLoop(t.last + 1)
+	if t.busLast != 0 {
+		t.counter("input-bus", t.busLast+1, map[string]any{"words": 0})
+		t.busLast = 0
+	}
+	data, err := json.Marshal(chromeTrace{TraceEvents: t.events, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}

@@ -49,6 +49,37 @@ type Fetch struct {
 	BranchFlushes  uint64 // taken branches that discarded queued words
 }
 
+// CycleBucket classifies one simulated cycle by what the issue stage did,
+// for exact cycle attribution: the CPU assigns every cycle of a run to
+// exactly one bucket, so the buckets always sum to the run's total cycle
+// count (the invariant the observability layer is built on).
+type CycleBucket int
+
+// Attribution buckets. The issue stage is the arbiter: a cycle in which an
+// instruction issues is CycleIssue regardless of what the memory system or
+// fetch engine were doing at the same time.
+const (
+	CycleIssue        CycleBucket = iota // an instruction moved from issue to execute
+	CycleFetchStarved                    // nothing to issue: instruction supply empty
+	CycleLDQWait                         // issue blocked reading an empty Load Data Queue
+	CycleQueueFull                       // issue blocked on a full LAQ/SAQ/SDQ
+	CycleDrain                           // post-HALT cycles draining memory traffic
+	CycleOther                           // interrupt-entry drain, front-end halt bubbles, execution faults
+	NumCycleBuckets
+)
+
+var cycleBucketNames = [...]string{
+	"issue", "fetch-starved", "ldq-wait", "queue-full", "drain", "other",
+}
+
+// String returns a short name for the bucket.
+func (b CycleBucket) String() string {
+	if b >= 0 && int(b) < len(cycleBucketNames) {
+		return cycleBucketNames[b]
+	}
+	return fmt.Sprintf("bucket(%d)", int(b))
+}
+
 // CPU counts pipeline activity.
 type CPU struct {
 	Instructions    uint64 // retired instructions (includes NOPs and HALT)
@@ -61,6 +92,11 @@ type CPU struct {
 	StallFetchEmpty uint64 // cycles issue had no instruction to consider
 	DCacheHits      uint64 // loads served by the optional on-chip data cache
 	DCacheMisses    uint64 // loads that went to the bus despite the data cache
+
+	// CycleBuckets is the exact cycle attribution: every simulated cycle
+	// is classified into exactly one bucket, so the entries sum to the
+	// run's total cycle count.
+	CycleBuckets [NumCycleBuckets]uint64
 }
 
 // Sim aggregates everything measured in one run.

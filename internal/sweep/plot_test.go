@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotNoData(t *testing.T) {
+	empty := &Result{Title: "empty figure"}
+	if got := empty.Plot(); got != "empty figure\n(no data)\n" {
+		t.Errorf("empty result Plot = %q", got)
+	}
+	// Points exist but none are valid: same degenerate rendering.
+	invalid := &Result{
+		Title: "all invalid",
+		Series: []Series{{Label: "pipe", Points: []Point{
+			{CacheBytes: 8, Cycles: 100, Valid: false},
+			{CacheBytes: 16, Cycles: 200, Valid: false},
+		}}},
+	}
+	if got := invalid.Plot(); got != "all invalid\n(no data)\n" {
+		t.Errorf("invalid-only result Plot = %q", got)
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	// Every valid point has the same cycle count: lo == hi must not divide
+	// by zero, and the single value labels the bottom row.
+	r := &Result{
+		Title:  "flat",
+		XLabel: "cache bytes",
+		Series: []Series{{Label: "pipe", Points: []Point{
+			{CacheBytes: 32, Cycles: 500, Valid: true},
+			{CacheBytes: 64, Cycles: 500, Valid: true},
+		}}},
+	}
+	out := r.Plot()
+	if !strings.Contains(out, "     500 |") {
+		t.Errorf("flat plot missing lo label:\n%s", out)
+	}
+	if !strings.Contains(out, "     501 |") {
+		t.Errorf("flat plot missing widened hi label:\n%s", out)
+	}
+	if n := strings.Count(gridArea(out), "c"); n != 2 {
+		t.Errorf("flat plot has %d series glyphs, want 2:\n%s", n, out)
+	}
+}
+
+// gridArea strips each line to the chart area right of the y-axis '|', so
+// glyph searches cannot match axis labels or legend text.
+func gridArea(out string) string {
+	var sb strings.Builder
+	for _, l := range strings.Split(out, "\n") {
+		if _, grid, ok := strings.Cut(l, "|"); ok {
+			sb.WriteString(grid)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func TestPlotAxisLegendAndGlyphs(t *testing.T) {
+	r := &Result{
+		Title:  "figure 5a",
+		XLabel: "cache bytes",
+		Series: []Series{
+			{Label: "conventional", Points: []Point{
+				{CacheBytes: 64, Cycles: 1000, Valid: true},
+				{CacheBytes: 128, Cycles: 400, Valid: true},
+				{CacheBytes: 4, Cycles: 0, Valid: false}, // must not widen the axis row glyphs
+			}},
+			{Label: "pipe", Points: []Point{
+				{CacheBytes: 64, Cycles: 600, Valid: true},
+				{CacheBytes: 128, Cycles: 800, Valid: true},
+			}},
+		},
+	}
+	out := r.Plot()
+	lines := strings.Split(out, "\n")
+	if lines[0] != "figure 5a" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(out, "    1000 |") {
+		t.Errorf("hi label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "     400 |") {
+		t.Errorf("lo label missing:\n%s", out)
+	}
+	// Axis row lists every x value, including the invalid point's.
+	var axisRow string
+	for _, l := range lines {
+		if strings.Contains(l, "(cache bytes)") {
+			axisRow = l
+		}
+	}
+	if axisRow == "" {
+		t.Fatalf("no axis row in:\n%s", out)
+	}
+	for _, x := range []string{"4", "64", "128"} {
+		if !strings.Contains(axisRow, x) {
+			t.Errorf("axis row %q missing x value %s", axisRow, x)
+		}
+	}
+	if !strings.Contains(out, "legend: c=conventional, 1=pipe  (*=overlap)") {
+		t.Errorf("legend line wrong:\n%s", out)
+	}
+	// The curves cross between 64 and 128: each series plots both its
+	// glyphs, with conventional above pipe at 64 and below at 128.
+	var cRows, oneRows []int
+	for i, l := range lines {
+		_, grid, ok := strings.Cut(l, "|")
+		if !ok {
+			continue
+		}
+		if strings.ContainsRune(grid, 'c') {
+			cRows = append(cRows, i)
+		}
+		if strings.ContainsRune(grid, '1') {
+			oneRows = append(oneRows, i)
+		}
+	}
+	if len(cRows) != 2 || len(oneRows) != 2 {
+		t.Fatalf("got %d 'c' rows and %d '1' rows, want 2 each:\n%s", len(cRows), len(oneRows), out)
+	}
+	// Row 0 is the top: 1000 cycles. The conventional point at 64 B must
+	// render above (smaller row index than) the pipe point at 64 B.
+	if cRows[0] >= oneRows[0] {
+		t.Errorf("crossover not visible: 'c' first at row %d, '1' at row %d:\n%s", cRows[0], oneRows[0], out)
+	}
+}
+
+func TestPlotOverlapMarker(t *testing.T) {
+	r := &Result{
+		Title:  "overlap",
+		XLabel: "cache bytes",
+		Series: []Series{
+			{Label: "a", Points: []Point{
+				{CacheBytes: 16, Cycles: 100, Valid: true},
+				{CacheBytes: 32, Cycles: 900, Valid: true},
+			}},
+			{Label: "b", Points: []Point{
+				{CacheBytes: 16, Cycles: 100, Valid: true}, // same cell as series a
+				{CacheBytes: 32, Cycles: 100, Valid: true},
+			}},
+		},
+	}
+	out := r.Plot()
+	if !strings.Contains(gridArea(out), "*") {
+		t.Errorf("coincident points not marked with '*':\n%s", out)
+	}
+	// A series overlapping itself keeps its own glyph.
+	self := &Result{
+		Title:  "self",
+		XLabel: "x",
+		Series: []Series{{Label: "a", Points: []Point{
+			{CacheBytes: 16, Cycles: 100, Valid: true},
+			{CacheBytes: 16, Cycles: 101, Valid: true},
+			{CacheBytes: 32, Cycles: 5000, Valid: true},
+		}}},
+	}
+	if out := self.Plot(); strings.Contains(gridArea(out), "*") {
+		t.Errorf("same-series overlap wrongly marked with '*':\n%s", out)
+	}
+}

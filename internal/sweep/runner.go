@@ -8,7 +8,9 @@ package sweep
 // structured errors for the ones that did not.
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -27,6 +29,11 @@ type Options struct {
 	// abandoned (experiment bodies are pure CPU work with no handle to
 	// cancel, exactly like a wedged simulation) and the sweep moves on.
 	Timeout time.Duration
+	// Progress, when set, is called once per finished experiment with its
+	// outcome and the running completion count. Calls are serialized on the
+	// collector goroutine (no locking needed) but arrive in completion
+	// order, not submission order.
+	Progress func(o Outcome, done, total int)
 }
 
 // TimeoutError reports an experiment that exceeded the per-run deadline.
@@ -137,7 +144,7 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 		exp Experiment
 	}
 	jobs := make(chan job)
-	done := make(chan struct{})
+	done := make(chan int)
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
@@ -149,7 +156,7 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 					Err:        err,
 					Elapsed:    time.Since(t0),
 				}
-				done <- struct{}{}
+				done <- j.idx
 			}
 		}()
 	}
@@ -159,11 +166,83 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 		}
 		close(jobs)
 	}()
-	for range exps {
-		<-done
+	for n := 1; n <= len(exps); n++ {
+		idx := <-done
+		if opt.Progress != nil {
+			opt.Progress(sum.Outcomes[idx], n, len(exps))
+		}
 	}
 	sum.Elapsed = time.Since(start)
 	return sum
+}
+
+// jsonPoint, jsonSeries and jsonOutcome shape the machine-readable sweep
+// metrics: stable lower_snake field names, durations in seconds, errors as
+// strings. The full per-point stats structures are deliberately omitted —
+// the metrics file is for dashboards and regression tracking, not replay.
+type jsonPoint struct {
+	X      int    `json:"x"`
+	Cycles uint64 `json:"cycles"`
+	Valid  bool   `json:"valid"`
+}
+
+type jsonSeries struct {
+	Label  string      `json:"label"`
+	Points []jsonPoint `json:"points"`
+}
+
+type jsonOutcome struct {
+	ID             string       `json:"id"`
+	Title          string       `json:"title"`
+	OK             bool         `json:"ok"`
+	Error          string       `json:"error,omitempty"`
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	XLabel         string       `json:"x_label,omitempty"`
+	Series         []jsonSeries `json:"series,omitempty"`
+}
+
+type jsonSummary struct {
+	Total          int           `json:"total"`
+	Passed         int           `json:"passed"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Outcomes       []jsonOutcome `json:"outcomes"`
+}
+
+// WriteJSON writes the sweep's machine-readable metrics: per-experiment
+// status, wall time and result series, plus the aggregate counts. The
+// format is stable for scripting (see EXPERIMENTS.md).
+func (s *Summary) WriteJSON(w io.Writer) error {
+	out := jsonSummary{
+		Total:          len(s.Outcomes),
+		Passed:         s.Passed(),
+		ElapsedSeconds: s.Elapsed.Seconds(),
+		Outcomes:       make([]jsonOutcome, 0, len(s.Outcomes)),
+	}
+	for _, o := range s.Outcomes {
+		jo := jsonOutcome{
+			ID:             o.Experiment.ID,
+			Title:          o.Experiment.Title,
+			OK:             o.Err == nil,
+			ElapsedSeconds: o.Elapsed.Seconds(),
+		}
+		if o.Err != nil {
+			jo.Error = o.Err.Error()
+		}
+		if o.Result != nil {
+			jo.XLabel = o.Result.XLabel
+			for _, sr := range o.Result.Series {
+				js := jsonSeries{Label: sr.Label, Points: make([]jsonPoint, 0, len(sr.Points))}
+				for _, p := range sr.Points {
+					js.Points = append(js.Points, jsonPoint{X: p.CacheBytes, Cycles: p.Cycles, Valid: p.Valid})
+				}
+				jo.Series = append(jo.Series, js)
+			}
+		}
+		out.Outcomes = append(out.Outcomes, jo)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // runIsolated executes one experiment body behind panic recovery and an

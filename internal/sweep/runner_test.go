@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -113,5 +114,114 @@ func TestSortByID(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("order %v, want %v", got, want)
 		}
+	}
+}
+
+func TestRunAllProgress(t *testing.T) {
+	exps := []Experiment{
+		passing("a"),
+		fake("bad", func() (*Result, error) { return nil, errors.New("nope") }),
+		passing("c"),
+	}
+	var (
+		calls []string
+		dones []int
+	)
+	sum := RunAll(exps, Options{Workers: 2, Progress: func(o Outcome, done, total int) {
+		// Serialized on the collector goroutine: appending without a lock
+		// here is itself part of the contract under test (go test -race).
+		status := "ok"
+		if o.Err != nil {
+			status = "fail"
+		}
+		calls = append(calls, o.Experiment.ID+":"+status)
+		dones = append(dones, done)
+		if total != len(exps) {
+			t.Errorf("total = %d, want %d", total, len(exps))
+		}
+	}})
+	if len(calls) != len(exps) {
+		t.Fatalf("progress called %d times, want %d (calls: %v)", len(calls), len(exps), calls)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Errorf("done counts = %v, want 1..%d in order", dones, len(exps))
+			break
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range calls {
+		seen[c] = true
+	}
+	for _, want := range []string{"a:ok", "bad:fail", "c:ok"} {
+		if !seen[want] {
+			t.Errorf("progress calls %v missing %q", calls, want)
+		}
+	}
+	if sum.Passed() != 2 {
+		t.Errorf("passed = %d, want 2", sum.Passed())
+	}
+}
+
+func TestSummaryWriteJSON(t *testing.T) {
+	exps := []Experiment{
+		fake("fig5a", func() (*Result, error) {
+			return &Result{
+				ID: "fig5a", XLabel: "cache bytes",
+				Series: []Series{{Label: "pipe", Points: []Point{
+					{CacheBytes: 64, Cycles: 1234, Valid: true},
+					{CacheBytes: 4, Valid: false},
+				}}},
+			}, nil
+		}),
+		fake("broken", func() (*Result, error) { return nil, errors.New("machine check") }),
+	}
+	sum := RunAll(exps, Options{Workers: 1})
+	var buf strings.Builder
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Total          int     `json:"total"`
+		Passed         int     `json:"passed"`
+		ElapsedSeconds float64 `json:"elapsed_seconds"`
+		Outcomes       []struct {
+			ID             string  `json:"id"`
+			OK             bool    `json:"ok"`
+			Error          string  `json:"error"`
+			ElapsedSeconds float64 `json:"elapsed_seconds"`
+			XLabel         string  `json:"x_label"`
+			Series         []struct {
+				Label  string `json:"label"`
+				Points []struct {
+					X      int    `json:"x"`
+					Cycles uint64 `json:"cycles"`
+					Valid  bool   `json:"valid"`
+				} `json:"points"`
+			} `json:"series"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("metrics are not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Total != 2 || decoded.Passed != 1 {
+		t.Errorf("total/passed = %d/%d, want 2/1", decoded.Total, decoded.Passed)
+	}
+	if len(decoded.Outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(decoded.Outcomes))
+	}
+	ok, bad := decoded.Outcomes[0], decoded.Outcomes[1]
+	if !ok.OK || ok.ID != "fig5a" || ok.XLabel != "cache bytes" {
+		t.Errorf("passing outcome = %+v", ok)
+	}
+	if len(ok.Series) != 1 || len(ok.Series[0].Points) != 2 {
+		t.Fatalf("series shape = %+v", ok.Series)
+	}
+	p := ok.Series[0].Points[0]
+	if p.X != 64 || p.Cycles != 1234 || !p.Valid {
+		t.Errorf("point = %+v, want x=64 cycles=1234 valid", p)
+	}
+	if bad.OK || bad.Error != "machine check" {
+		t.Errorf("failing outcome = %+v", bad)
 	}
 }

@@ -1,0 +1,334 @@
+// Tests for the observability layer's public surface: the cycle-attribution
+// invariant (every simulated cycle lands in exactly one bucket), per-loop
+// statistics, the probe event stream, and the Chrome-trace timeline format.
+package pipesim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pipesim"
+)
+
+// eventCounter is a minimal user-written probe exercising the public Probe
+// surface: it tallies events per kind and checks cycle stamps never move
+// backwards.
+type eventCounter struct {
+	t         *testing.T
+	counts    map[pipesim.ProbeKind]uint64
+	lastCycle uint64
+}
+
+func newEventCounter(t *testing.T) *eventCounter {
+	return &eventCounter{t: t, counts: make(map[pipesim.ProbeKind]uint64)}
+}
+
+func (c *eventCounter) Event(e pipesim.ProbeEvent) {
+	c.counts[e.Kind]++
+	if e.Cycle < c.lastCycle {
+		c.t.Errorf("event %v at cycle %d after cycle %d: clock went backwards", e.Kind, e.Cycle, c.lastCycle)
+	}
+	c.lastCycle = e.Cycle
+}
+
+// TestCycleAttributionInvariant runs the full benchmark under every fetch
+// strategy and every Table II arrangement and checks the observability
+// layer's core guarantees:
+//
+//   - the attribution buckets sum exactly to the run's total cycles;
+//   - exactly one KindCycle event is emitted per simulated cycle;
+//   - the per-Livermore-loop cycle counts sum exactly to the total, and the
+//     per-loop instruction counts to the retired-instruction total;
+//   - the previously dropped supply/starvation and bus counters are
+//     populated and consistent.
+func TestCycleAttributionInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-benchmark sweep")
+	}
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []pipesim.Strategy{
+		pipesim.StrategyPIPE, pipesim.StrategyConventional, pipesim.StrategyTIB,
+	} {
+		for _, variant := range []string{"8-8", "16-16", "16-32", "32-32"} {
+			t.Run(string(strategy)+"/"+variant, func(t *testing.T) {
+				t.Parallel()
+				cfg, err := pipesim.TableIIConfig(variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Strategy = strategy
+				sim, err := pipesim.NewSimulation(cfg, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				counter := newEventCounter(t)
+				sim.Observe(counter)
+				if err := sim.CollectPerLoop(); err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := res.Attribution.Total(); got != res.Cycles {
+					t.Errorf("attribution buckets sum to %d, want Cycles = %d (%+v)",
+						got, res.Cycles, res.Attribution)
+				}
+				if got := counter.counts[pipesim.EventCycle]; got != res.Cycles {
+					t.Errorf("KindCycle events = %d, want one per cycle = %d", got, res.Cycles)
+				}
+				if got := counter.counts[pipesim.EventRetire]; got != res.Instructions {
+					t.Errorf("KindRetire events = %d, want %d", got, res.Instructions)
+				}
+				if res.PerLoop == nil {
+					t.Fatal("CollectPerLoop set but Result.PerLoop is nil")
+				}
+				var loopCycles, loopInstr uint64
+				for _, l := range res.PerLoop {
+					loopCycles += l.Cycles
+					loopInstr += l.Instructions
+					if got := l.Cycles - l.StallCycles(); l.StallCycles() > l.Cycles {
+						t.Errorf("loop %d: stall cycles %d exceed cycles %d (issue %d)",
+							l.Loop, l.StallCycles(), l.Cycles, got)
+					}
+				}
+				if loopCycles != res.Cycles {
+					t.Errorf("per-loop cycles sum to %d, want %d", loopCycles, res.Cycles)
+				}
+				if loopInstr != res.Instructions {
+					t.Errorf("per-loop instructions sum to %d, want %d", loopInstr, res.Instructions)
+				}
+				for _, l := range res.PerLoop[1:] {
+					if l.Instructions == 0 {
+						t.Errorf("loop %d (%s) retired no instructions", l.Loop, l.Name)
+					}
+				}
+				// The resurrected counters must be populated and consistent.
+				if res.SupplyCycles != res.Instructions {
+					t.Errorf("SupplyCycles = %d, want one per retired instruction = %d",
+						res.SupplyCycles, res.Instructions)
+				}
+				if res.StarvedCycles != res.StallFetchEmpty {
+					t.Errorf("StarvedCycles = %d, want StallFetchEmpty = %d",
+						res.StarvedCycles, res.StallFetchEmpty)
+				}
+				if res.InputBusCycles == 0 || res.InputBusCycles > res.Cycles {
+					t.Errorf("InputBusCycles = %d out of range (0, %d]", res.InputBusCycles, res.Cycles)
+				}
+				if res.StoreWords == 0 {
+					t.Error("StoreWords = 0, want store traffic on the benchmark")
+				}
+			})
+		}
+	}
+}
+
+// TestAttributionNativeFormat checks the invariants survive the
+// native-format relayout, where every loop symbol moves: the per-loop
+// ranges must be resolved against the relocated image.
+func TestAttributionNativeFormat(t *testing.T) {
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	cfg.NativeFormat = true
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CollectPerLoop(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Attribution.Total(); got != res.Cycles {
+		t.Errorf("attribution buckets sum to %d, want %d", got, res.Cycles)
+	}
+	var loopCycles, loopInstr uint64
+	for _, l := range res.PerLoop {
+		loopCycles += l.Cycles
+		loopInstr += l.Instructions
+	}
+	if loopCycles != res.Cycles {
+		t.Errorf("per-loop cycles sum to %d, want %d", loopCycles, res.Cycles)
+	}
+	if loopInstr != res.Instructions {
+		t.Errorf("per-loop instructions sum to %d, want %d", loopInstr, res.Instructions)
+	}
+	for _, l := range res.PerLoop[1:] {
+		if l.Instructions == 0 {
+			t.Errorf("native format: loop %d (%s) retired no instructions (stale PC ranges?)", l.Loop, l.Name)
+		}
+	}
+}
+
+// TestAttributionUnobserved checks the always-on attribution needs no probe
+// and is unperturbed by one: bucket counts must be identical with and
+// without an attached probe.
+func TestAttributionUnobserved(t *testing.T) {
+	prog, err := pipesim.LivermoreKernel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	plain, err := pipesim.Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Attribution.Total(); got != plain.Cycles {
+		t.Errorf("unobserved attribution sums to %d, want %d", got, plain.Cycles)
+	}
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Observe(newEventCounter(t))
+	observed, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Attribution != observed.Attribution {
+		t.Errorf("probe changed attribution: %+v vs %+v", plain.Attribution, observed.Attribution)
+	}
+	if plain.Cycles != observed.Cycles {
+		t.Errorf("probe changed cycle count: %d vs %d", plain.Cycles, observed.Cycles)
+	}
+}
+
+// chromeTraceFile mirrors the Chrome trace event format's JSON object form
+// for validation.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   uint64         `json:"ts"`
+		Dur  uint64         `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestTimelineChromeTraceFormat validates the timeline export against the
+// Chrome trace event format: the required top-level object shape, legal
+// phase codes, metadata records, and the structural invariant that the
+// pipeline-attribution spans tile the whole run (durations sum to Cycles).
+func TestTimelineChromeTraceFormat(t *testing.T) {
+	prog, err := pipesim.LivermoreKernel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	cfg.CacheBytes = 64 // small enough to miss: fetch spans and bus counters appear
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := pipesim.NewTimeline()
+	sim.Observe(tl)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace chromeTraceFile
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var (
+		phases        = map[string]bool{"M": true, "X": true, "C": true, "i": true}
+		metaNames     = map[string]int{}
+		pipelineSpans uint64
+		fetchSpans    int
+		counters      int
+	)
+	for i, e := range trace.TraceEvents {
+		if e.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		if !phases[e.Ph] {
+			t.Fatalf("event %d (%s) has illegal phase %q", i, e.Name, e.Ph)
+		}
+		switch e.Ph {
+		case "M":
+			metaNames[e.Name]++
+		case "X":
+			if e.Dur == 0 {
+				t.Errorf("complete event %d (%s) has zero duration", i, e.Name)
+			}
+			switch e.Tid {
+			case 1:
+				pipelineSpans += e.Dur
+			case 2:
+				fetchSpans++
+			}
+		case "C":
+			counters++
+			if len(e.Args) == 0 {
+				t.Errorf("counter event %d (%s) has no args (no value series)", i, e.Name)
+			}
+		case "i":
+			if e.S == "" {
+				t.Errorf("instant event %d (%s) has no scope", i, e.Name)
+			}
+		}
+	}
+	if metaNames["process_name"] != 1 || metaNames["thread_name"] != 3 {
+		t.Errorf("metadata records = %v, want 1 process_name and 3 thread_name", metaNames)
+	}
+	if pipelineSpans != res.Cycles {
+		t.Errorf("pipeline attribution spans cover %d cycles, want %d", pipelineSpans, res.Cycles)
+	}
+	if fetchSpans == 0 {
+		t.Error("no demand-fetch/prefetch spans despite a missing cache")
+	}
+	if counters == 0 {
+		t.Error("no counter samples (queue occupancy / input bus)")
+	}
+}
+
+// TestObserveMulti checks that several probes attached to one simulation
+// each receive the full event stream.
+func TestObserveMulti(t *testing.T) {
+	prog, err := pipesim.LivermoreKernel(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := pipesim.NewSimulation(pipesim.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := newEventCounter(t), newEventCounter(t)
+	sim.Observe(a)
+	sim.Observe(b)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.counts[pipesim.EventCycle] != res.Cycles || b.counts[pipesim.EventCycle] != res.Cycles {
+		t.Errorf("probes saw %d and %d cycle events, want %d each",
+			a.counts[pipesim.EventCycle], b.counts[pipesim.EventCycle], res.Cycles)
+	}
+	if a.counts[pipesim.EventRetire] != b.counts[pipesim.EventRetire] {
+		t.Errorf("probes disagree on retires: %d vs %d",
+			a.counts[pipesim.EventRetire], b.counts[pipesim.EventRetire])
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"pipesim/internal/kernels"
 	"pipesim/internal/mem"
 	"pipesim/internal/minic"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/stats"
 	"pipesim/internal/trace"
@@ -359,11 +360,55 @@ type Result struct {
 	Prefetches     uint64
 	PrefetchBlocks uint64
 	BranchFlushes  uint64
+	SupplyCycles   uint64 // cycles the engine handed decode an instruction
+	StarvedCycles  uint64 // cycles decode wanted an instruction and got none
 
 	// Off-chip traffic by class.
 	MemAccepted    map[string]uint64
 	WordsDelivered uint64
+	InputBusCycles uint64 // cycles the input bus carried data (bus utilization = InputBusCycles/Cycles)
+	StoreWords     uint64 // words written to memory or the FPU over the output bus
 	FPUOps         uint64
+
+	// Attribution is the exact per-cycle classification of the run: every
+	// simulated cycle lands in exactly one bucket, so Attribution.Total()
+	// always equals Cycles.
+	Attribution Attribution
+
+	// PerLoop holds per-Livermore-loop statistics when the simulation was
+	// built with Simulation.CollectPerLoop: index 0 is the region outside
+	// every loop (prologue, trailing filler, drain), followed by loops 1-14.
+	// Nil otherwise.
+	PerLoop []LoopStat
+}
+
+// Attribution classifies every cycle of a run by what the issue stage did.
+// The issue stage is the arbiter: a cycle in which an instruction issues is
+// Issue regardless of what the memory system or fetch engine were doing at
+// the same time. The fields sum to the run's total cycle count exactly.
+type Attribution struct {
+	Issue        uint64 // an instruction moved from issue to execute
+	FetchStarved uint64 // nothing to issue: instruction supply empty
+	LDQWait      uint64 // issue blocked reading an empty Load Data Queue
+	QueueFull    uint64 // issue blocked on a full LAQ/SAQ/SDQ
+	Drain        uint64 // post-HALT cycles draining memory traffic
+	Other        uint64 // interrupt-entry drain, front-end halt bubbles, faults
+}
+
+// Total sums the buckets; by construction it equals Result.Cycles.
+func (a Attribution) Total() uint64 {
+	return a.Issue + a.FetchStarved + a.LDQWait + a.QueueFull + a.Drain + a.Other
+}
+
+func attributionFrom(b [stats.NumCycleBuckets]uint64) Attribution {
+	return Attribution{
+		Issue:        b[stats.CycleIssue],
+		FetchStarved: b[stats.CycleFetchStarved],
+		LDQWait:      b[stats.CycleLDQWait],
+		QueueFull:    b[stats.CycleQueueFull],
+		Drain:        b[stats.CycleDrain],
+		Other:        b[stats.CycleOther],
+	}
 }
 
 // CPI returns cycles per instruction.
@@ -397,9 +442,14 @@ func resultFrom(st *stats.Sim) *Result {
 		Prefetches:      st.Fetch.Prefetches,
 		PrefetchBlocks:  st.Fetch.PrefetchBlocks,
 		BranchFlushes:   st.Fetch.BranchFlushes,
+		SupplyCycles:    st.Fetch.SupplyCycles,
+		StarvedCycles:   st.Fetch.StarvedCycles,
 		MemAccepted:     accepted,
 		WordsDelivered:  st.Mem.WordsDelivered,
+		InputBusCycles:  st.Mem.InputBusCycles,
+		StoreWords:      st.Mem.StoreWords,
 		FPUOps:          st.Mem.FPUOps,
+		Attribution:     attributionFrom(st.CPU.CycleBuckets),
 	}
 }
 
@@ -413,10 +463,66 @@ func Run(cfg Config, prog *Program) (*Result, error) {
 	return sim.Run()
 }
 
+// Probe consumes the simulator's typed observability event stream: one
+// KindCycle event per simulated cycle carrying the attribution bucket, plus
+// cache hits/misses, fetch and prefetch issue/complete pairs, branch
+// flushes, queue-occupancy samples, input-bus activity, retirements and
+// Livermore-loop transitions. Attach with Simulation.Observe before Run.
+// Probes are called synchronously from inside the simulated cycle and must
+// not mutate simulator state.
+type Probe = obs.Probe
+
+// ProbeFunc adapts a plain function to the Probe interface.
+type ProbeFunc = obs.ProbeFunc
+
+// ProbeEvent is one typed occurrence: the kind, the cycle it happened in,
+// and kind-specific payload fields (see the Kind constants' documentation).
+type ProbeEvent = obs.Event
+
+// ProbeKind enumerates the event types a Probe receives.
+type ProbeKind = obs.Kind
+
+// Probe event kinds.
+const (
+	EventCycle            = obs.KindCycle
+	EventCacheHit         = obs.KindCacheHit
+	EventCacheMiss        = obs.KindCacheMiss
+	EventFetchIssue       = obs.KindFetchIssue
+	EventFetchComplete    = obs.KindFetchComplete
+	EventPrefetchIssue    = obs.KindPrefetchIssue
+	EventPrefetchComplete = obs.KindPrefetchComplete
+	EventPrefetchBlocked  = obs.KindPrefetchBlocked
+	EventBranchFlush      = obs.KindBranchFlush
+	EventQueueDepth       = obs.KindQueueDepth
+	EventBusBusy          = obs.KindBusBusy
+	EventMemAccept        = obs.KindMemAccept
+	EventRetire           = obs.KindRetire
+	EventLoopEnter        = obs.KindLoopEnter
+	EventLoopExit         = obs.KindLoopExit
+)
+
+// Timeline is a Probe rendering the event stream as a Chrome-trace /
+// Perfetto timeline (load the written JSON in chrome://tracing or
+// https://ui.perfetto.dev): spans for the pipeline's cycle attribution,
+// off-chip fetches, prefetches and Livermore loops; counters for queue
+// occupancy and input-bus words; instants for branch flushes and blocked
+// prefetches. Build with NewTimeline, attach with Simulation.Observe, run,
+// then WriteTo.
+type Timeline = obs.Timeline
+
+// NewTimeline returns an empty timeline probe.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// LoopStat aggregates the activity attributed to one Livermore loop — see
+// Result.PerLoop.
+type LoopStat = obs.LoopStat
+
 // Simulation is one configured machine loaded with a program, for callers
-// that want to inspect memory after the run.
+// that want to attach observability probes or inspect memory after the run.
 type Simulation struct {
-	inner *core.Simulator
+	inner   *core.Simulator
+	probes  obs.Multi
+	perloop *obs.PerLoop
 }
 
 // NewSimulation builds a machine for the program. The configuration is
@@ -437,13 +543,45 @@ func NewSimulation(cfg Config, prog *Program) (*Simulation, error) {
 	return &Simulation{inner: inner}, nil
 }
 
+// Observe attaches a probe to the simulation's event stream. Call before
+// Run; multiple probes may be attached and each receives every event. The
+// no-probe fast path costs one nil check per event site, so an unobserved
+// simulation runs at full speed.
+func (s *Simulation) Observe(p Probe) {
+	s.probes = append(s.probes, p)
+	s.inner.SetProbe(s.probes)
+}
+
+// CollectPerLoop arranges per-Livermore-loop statistics: loop PC ranges are
+// resolved against the image the simulator actually runs (correct under the
+// native-format relayout), loop transitions are watched on the retirement
+// stream, and Result.PerLoop is populated after Run. The program must carry
+// the benchmark's loop symbols (LivermoreProgram does); call before Run.
+func (s *Simulation) CollectPerLoop() error {
+	if s.perloop != nil {
+		return nil
+	}
+	ranges, err := kernels.LoopRanges(s.inner.Image())
+	if err != nil {
+		return err
+	}
+	s.inner.SetLoopRanges(ranges)
+	s.perloop = obs.NewPerLoop(ranges)
+	s.Observe(s.perloop)
+	return nil
+}
+
 // Run executes to completion (once per Simulation).
 func (s *Simulation) Run() (*Result, error) {
 	st, err := s.inner.Run()
 	if err != nil {
 		return nil, err
 	}
-	return resultFrom(st), nil
+	res := resultFrom(st)
+	if s.perloop != nil {
+		res.PerLoop = s.perloop.Stats()
+	}
+	return res, nil
 }
 
 // TraceTo streams every retired instruction (cycle, PC, disassembly) to w,

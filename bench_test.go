@@ -8,6 +8,7 @@ package pipesim_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"pipesim"
@@ -224,4 +225,62 @@ func BenchmarkProbeOverhead(b *testing.B) {
 	b.Run("timeline", func(b *testing.B) {
 		run(b, func(s *pipesim.Simulation) { s.Observe(pipesim.NewTimeline()) })
 	})
+}
+
+// BenchmarkRunHookOverhead guards the per-run metrics hook the same way
+// BenchmarkProbeOverhead guards the probe layer: a full benchmark run with
+// no hook installed (one atomic load per Run) against the same run firing
+// a counting hook. The unset case is the library's default and must stay
+// within noise of a build without the hook plumbing.
+func BenchmarkRunHookOverhead(b *testing.B) {
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	run := func(b *testing.B) {
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			res, err := pipesim.Run(cfg, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.Cycles
+		}
+		b.ReportMetric(float64(cycles), "sim_cycles")
+	}
+	b.Run("no-hook", func(b *testing.B) {
+		pipesim.SetRunHook(nil)
+		run(b)
+	})
+	b.Run("counting-hook", func(b *testing.B) {
+		var runs uint64
+		pipesim.SetRunHook(func(ri pipesim.RunInfo) { runs++ })
+		defer pipesim.SetRunHook(nil)
+		run(b)
+	})
+}
+
+// BenchmarkSweepE2E runs a small multi-experiment sweep end-to-end through
+// the fault-isolated parallel runner and the JSON emitter — the exact path
+// cmd/pipesimd's /v1/sweep serves — so baselines track the serving path,
+// not just raw simulation speed.
+func BenchmarkSweepE2E(b *testing.B) {
+	exps := make([]sweep.Experiment, 0, 3)
+	for _, id := range []string{"table1", "knee", "slots"} {
+		e, ok := sweep.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	for i := 0; i < b.N; i++ {
+		sum := sweep.RunAll(exps, sweep.Options{})
+		if err := sum.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sum.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,134 @@
+// Command benchjson turns `go test -bench` output into the stable
+// pipesim-bench/v1 JSON baseline format and compares two baselines for
+// regressions. scripts/bench.sh is the usual driver; CI runs the compare
+// in warn-only mode against the committed seed baseline.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson format -label seed -o BENCH_seed.json
+//	benchjson compare -threshold 10 BENCH_seed.json BENCH_dev.json
+//	benchjson compare -warn-only BENCH_seed.json BENCH_ci.json
+//
+// compare exits 1 when any benchmark's ns/op regressed beyond the
+// threshold (default 10%), unless -warn-only is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipesim/internal/bench"
+	"pipesim/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "format":
+		return runFormat(args[1:])
+	case "compare":
+		return runCompare(args[1:])
+	case "-version", "version":
+		fmt.Println(version.Get())
+		return 0
+	default:
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchjson format [-label NAME] [-o FILE]       read go-test bench output on stdin, write JSON
+  benchjson compare [-threshold PCT] [-warn-only] OLD.json NEW.json`)
+}
+
+func runFormat(args []string) int {
+	fs := flag.NewFlagSet("format", flag.ExitOnError)
+	label := fs.String("label", "dev", "baseline label (becomes BENCH_<label>.json by convention)")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	bs, err := bench.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(bs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+	base := bench.New(*label, bs)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := base.Write(w); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks (label %q)\n", len(bs), *label)
+	return 0
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent ns/op growth")
+	warnOnly := fs.Bool("warn-only", false, "report regressions but exit 0 (CI smoke mode)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+		return 2
+	}
+	old, err := readBaseline(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	new, err := readBaseline(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	c := bench.Compare(old, new, *threshold)
+	fmt.Printf("comparing %q (old) vs %q (new), threshold %.1f%%\n\n%s",
+		old.Label, new.Label, *threshold, c.Format())
+	if regs := c.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.1f%%\n",
+			len(regs), *threshold)
+		if *warnOnly {
+			fmt.Fprintln(os.Stderr, "benchjson: warn-only mode, not failing")
+			return 0
+		}
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: no regressions")
+	return 0
+}
+
+func readBaseline(path string) (*bench.Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := bench.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}

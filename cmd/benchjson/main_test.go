@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipesim/internal/bench"
+)
+
+// writeBaseline drops a fixture baseline file into dir.
+func writeBaseline(t *testing.T, dir, label string, nsA, nsB float64) string {
+	t.Helper()
+	b := bench.New(label, []bench.Benchmark{
+		{Name: "BenchmarkA", Iterations: 10, NsPerOp: nsA},
+		{Name: "BenchmarkB", Iterations: 10, NsPerOp: nsB},
+	})
+	path := filepath.Join(dir, "BENCH_"+label+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+// TestCompareExitCodes pins the acceptance criterion end to end: the
+// compare subcommand exits non-zero on an injected >10% regression, zero
+// on a clean diff, and zero (with a warning) in -warn-only mode.
+func TestCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	seed := writeBaseline(t, dir, "seed", 1000, 1000)
+	bad := writeBaseline(t, dir, "bad", 1200, 1000) // BenchmarkA +20%
+	good := writeBaseline(t, dir, "good", 1050, 990)
+
+	if code := run([]string{"compare", "-threshold", "10", seed, bad}); code != 1 {
+		t.Errorf("regressed compare exit = %d, want 1", code)
+	}
+	if code := run([]string{"compare", "-threshold", "10", seed, good}); code != 0 {
+		t.Errorf("clean compare exit = %d, want 0", code)
+	}
+	if code := run([]string{"compare", "-threshold", "10", "-warn-only", seed, bad}); code != 0 {
+		t.Errorf("warn-only compare exit = %d, want 0", code)
+	}
+	// A loose threshold accepts the same diff.
+	if code := run([]string{"compare", "-threshold", "25", seed, bad}); code != 0 {
+		t.Errorf("loose-threshold compare exit = %d, want 0", code)
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	seed := writeBaseline(t, dir, "seed", 1000, 1000)
+	if code := run([]string{"compare", seed, filepath.Join(dir, "missing.json")}); code != 1 {
+		t.Errorf("missing file exit = %d, want 1", code)
+	}
+	if code := run([]string{"compare", seed}); code != 2 {
+		t.Errorf("missing arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"bogus-subcommand"}); code != 2 {
+		t.Errorf("bad subcommand exit = %d, want 2", code)
+	}
+	if code := run(nil); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+}

@@ -7,6 +7,10 @@
 // summary without aborting the rest of the sweep, and the process exits
 // non-zero only after every experiment has had its chance.
 //
+// Result tables go to stdout; diagnostics are structured log/slog records
+// on stderr (text by default, JSON with -log json) so long sweeps can be
+// tailed and scraped like any other service log.
+//
 // Usage:
 //
 //	experiments                    # run everything, one worker per CPU
@@ -14,17 +18,21 @@
 //	experiments -exp fig5b         # run one experiment
 //	experiments -parallel 2        # limit the worker pool
 //	experiments -timeout 2m        # per-experiment deadline
-//	experiments -progress          # report each experiment as it finishes
+//	experiments -progress          # log each experiment as it finishes
 //	experiments -metrics out.json  # write machine-readable sweep metrics
+//	experiments -log json          # JSON log records instead of text
+//	experiments -version           # print build/VCS info and exit
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"pipesim/internal/sweep"
+	"pipesim/internal/version"
 )
 
 func main() {
@@ -35,10 +43,24 @@ func main() {
 		plot     = flag.Bool("plot", false, "draw ASCII charts instead of aligned tables")
 		parallel = flag.Int("parallel", 0, "number of concurrent experiments (0 = one per CPU)")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment deadline (0 = none)")
-		progress = flag.Bool("progress", false, "print each experiment's status and wall time as it finishes")
+		progress = flag.Bool("progress", false, "log each experiment's status and wall time as it finishes")
 		metrics  = flag.String("metrics", "", "write machine-readable sweep metrics (JSON) to this file")
+		logMode  = flag.String("log", "text", "log handler: text or json")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		showVer  = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.Get())
+		return
+	}
+
+	log, err := newLogger(os.Stderr, *logMode, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range sweep.Experiments() {
@@ -50,42 +72,39 @@ func main() {
 	if *exp != "" {
 		e, ok := sweep.Lookup(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *exp)
+			log.Error("unknown experiment", "id", *exp, "hint", "try -list")
 			os.Exit(1)
 		}
 		run = []sweep.Experiment{e}
 	}
 
+	v := version.Get()
+	log.Info("sweep starting", "experiments", len(run), "parallel", *parallel,
+		"timeout", *timeout, "revision", v.ShortRevision(), "go", v.GoVersion)
+
 	opt := sweep.Options{Workers: *parallel, Timeout: *timeout}
 	if *progress {
 		opt.Progress = func(o sweep.Outcome, done, total int) {
-			status := "ok"
+			l := log.With("experiment", o.Experiment.ID, "done", done, "total", total,
+				"elapsed", o.Elapsed.Round(time.Millisecond))
 			if o.Err != nil {
-				status = "FAIL"
+				l.Error("experiment failed", "err", o.Err)
+			} else {
+				l.Info("experiment finished")
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %-12s %-4s %6.2fs\n",
-				done, total, o.Experiment.ID, status, o.Elapsed.Seconds())
 		}
 	}
 	sum := sweep.RunAll(run, opt)
 	if *metrics != "" {
-		f, err := os.Create(*metrics)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		if err := writeMetrics(*metrics, sum); err != nil {
+			log.Error("writing metrics", "path", *metrics, "err", err)
 			os.Exit(1)
 		}
-		if err := sum.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: writing metrics: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
+		log.Info("wrote sweep metrics", "path", *metrics)
 	}
 	for _, o := range sum.Outcomes {
 		if o.Err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", o.Experiment.ID, o.Err)
+			log.Error("experiment failed", "experiment", o.Experiment.ID, "err", o.Err)
 			continue
 		}
 		switch {
@@ -97,8 +116,39 @@ func main() {
 			fmt.Println(o.Result.Format())
 		}
 	}
-	fmt.Fprint(os.Stderr, sum.String())
+	log.Info("sweep finished", "passed", sum.Passed(), "total", len(sum.Outcomes),
+		"elapsed", sum.Elapsed.Round(time.Millisecond))
 	if sum.Err() != nil {
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the text or JSON slog handler selected on the command
+// line (shared flag convention with cmd/pipesimd).
+func newLogger(w *os.File, mode, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log %q (want text or json)", mode)
+	}
+}
+
+func writeMetrics(path string, sum *sweep.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sum.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

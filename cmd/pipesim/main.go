@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"pipesim"
+	"pipesim/internal/version"
 )
 
 func main() {
@@ -47,8 +48,14 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of text")
 		perloop   = flag.Bool("perloop", false, "collect and print per-Livermore-loop statistics (benchmark workloads only)")
 		timeline  = flag.String("timeline", "", "write a Chrome-trace timeline of the run to this file")
+		showVer   = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.Get())
+		return
+	}
 
 	cfg := pipesim.DefaultConfig()
 	cfg.Strategy = pipesim.Strategy(*strategy)

@@ -1,0 +1,139 @@
+// Command pipesimd serves the PIPE simulator over HTTP for long-running,
+// many-experiment workloads.
+//
+// Endpoints:
+//
+//	POST /v1/run          run one simulation (JSON config overlay)
+//	GET  /v1/sweep        run Table-II-style sweeps (fault-isolated runner)
+//	GET  /v1/experiments  list sweep experiment IDs
+//	GET  /metrics         Prometheus text exposition
+//	GET  /healthz         liveness (always ok while the process serves)
+//	GET  /readyz          readiness (503 until warmed, and again while draining)
+//	GET  /version         build / VCS metadata
+//	GET  /debug/pprof/    runtime profiling (net/http/pprof)
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: readiness drops
+// immediately, in-flight requests get -drain to finish, then the listener
+// closes.
+//
+// Usage:
+//
+//	pipesimd                       # listen on :8974
+//	pipesimd -addr 127.0.0.1:9000  # pick the listen address
+//	pipesimd -log json             # JSON log records instead of text
+//	pipesimd -drain 10s            # shutdown drain deadline
+//	pipesimd -run-timeout 2m       # per-run / per-experiment deadline
+//	pipesimd -version              # print build/VCS info and exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pipesim/internal/version"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8974", "listen address")
+		logMode    = flag.String("log", "text", "log handler: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+		runTimeout = flag.Duration("run-timeout", 5*time.Minute, "per-run and per-sweep-experiment deadline (0 = none)")
+		maxBody    = flag.Int64("max-body", 1<<20, "maximum /v1/run request body in bytes")
+		workers    = flag.Int("parallel", 0, "default sweep worker count (0 = one per CPU)")
+		showVer    = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
+	)
+	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.Get())
+		return 0
+	}
+
+	log, err := newLogger(os.Stderr, *logMode, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipesimd: %v\n", err)
+		return 2
+	}
+
+	srv := newServer(log, serverOptions{
+		maxBody:  *maxBody,
+		runLimit: *runTimeout,
+		workers:  *workers,
+	})
+
+	v := version.Get()
+	log.Info("pipesimd starting", "addr", *addr, "revision", v.ShortRevision(),
+		"go", v.GoVersion, "drain", *drain, "run_timeout", *runTimeout)
+
+	// Warm the shared benchmark image before accepting readiness probes:
+	// the first /v1/run would otherwise eat the lazy build cost.
+	if err := srv.warm(); err != nil {
+		log.Error("warming benchmark image", "err", err)
+		return 1
+	}
+	log.Info("pipesimd ready")
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(log.Handler(), slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		log.Error("listener failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	stop() // a second signal kills the process immediately
+	log.Info("shutting down", "drain", *drain)
+	srv.drain()
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sdCtx); err != nil {
+		log.Warn("drain deadline exceeded, closing", "err", err)
+		hs.Close()
+		return 1
+	}
+	log.Info("pipesimd stopped")
+	return 0
+}
+
+// newLogger builds the text or JSON slog handler selected on the command
+// line (shared flag convention with cmd/experiments).
+func newLogger(w *os.File, mode, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log %q (want text or json)", mode)
+	}
+}

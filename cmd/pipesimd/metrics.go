@@ -1,0 +1,121 @@
+package main
+
+import (
+	"pipesim"
+	"pipesim/internal/metrics"
+	"pipesim/internal/sweep"
+	"pipesim/internal/version"
+)
+
+// daemonMetrics bundles every metric family the daemon exports on
+// /metrics. Names follow the Prometheus conventions: a pipesimd_ prefix,
+// _total on counters, base units (seconds, cycles) in the name.
+type daemonMetrics struct {
+	reg *metrics.Registry
+
+	// HTTP serving surface.
+	requests  *metrics.CounterVec   // pipesimd_http_requests_total{route,code}
+	latency   *metrics.HistogramVec // pipesimd_http_request_seconds{route}
+	inFlight  *metrics.Gauge        // pipesimd_http_in_flight
+	buildInfo *metrics.GaugeVec     // pipesimd_build_info{module,version,revision,go}
+
+	// Simulation runs (fed by the pipesim.RunHook, so every Run in the
+	// process is counted no matter which handler triggered it).
+	runs      *metrics.CounterVec   // pipesimd_runs_total{strategy,outcome}
+	runCycles *metrics.HistogramVec // pipesimd_run_cycles{strategy}
+	runTime   *metrics.HistogramVec // pipesimd_run_seconds{strategy}
+
+	// Error taxonomy (PR-1): validation, watchdog and machine-check
+	// failures, plus the runner's timeout/panic isolation.
+	errors *metrics.CounterVec // pipesimd_errors_total{kind}
+
+	// Probe-derived attribution totals: every simulated cycle the daemon
+	// executed, classified by the exact per-cycle attribution buckets.
+	attribution *metrics.CounterVec // pipesimd_attribution_cycles_total{bucket}
+
+	// Sweep experiments through /v1/sweep.
+	sweepExperiments *metrics.CounterVec // pipesimd_sweep_experiments_total{outcome}
+}
+
+// Error-kind label values for pipesimd_errors_total.
+const (
+	errKindBadRequest    = "bad_request"
+	errKindInvalidConfig = "invalid_config"
+	errKindDeadlock      = "deadlock"
+	errKindMachineCheck  = "machine_check"
+	errKindTimeout       = "timeout"
+	errKindPanic         = "panic"
+	errKindInternal      = "internal"
+)
+
+// newDaemonMetrics registers every family on a fresh registry.
+func newDaemonMetrics() *daemonMetrics {
+	reg := metrics.NewRegistry()
+	m := &daemonMetrics{
+		reg: reg,
+		requests: reg.CounterVec("pipesimd_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		latency: reg.HistogramVec("pipesimd_http_request_seconds",
+			"HTTP request latency in seconds, by route.", nil, "route"),
+		inFlight: reg.Gauge("pipesimd_http_in_flight",
+			"HTTP requests currently being served."),
+		buildInfo: reg.GaugeVec("pipesimd_build_info",
+			"Build metadata of the running daemon; the value is always 1.",
+			"module", "version", "revision", "go"),
+		runs: reg.CounterVec("pipesimd_runs_total",
+			"Simulation runs, by fetch strategy and outcome.", "strategy", "outcome"),
+		runCycles: reg.HistogramVec("pipesimd_run_cycles",
+			"Simulated cycle count per completed run, by fetch strategy.",
+			metrics.ExponentialBuckets(1e3, 4, 12), "strategy"),
+		runTime: reg.HistogramVec("pipesimd_run_seconds",
+			"Wall-clock seconds per run, by fetch strategy.", nil, "strategy"),
+		errors: reg.CounterVec("pipesimd_errors_total",
+			"Failures by kind: bad_request, invalid_config, deadlock (watchdog), "+
+				"machine_check, timeout, panic, internal.", "kind"),
+		attribution: reg.CounterVec("pipesimd_attribution_cycles_total",
+			"Simulated cycles executed by this daemon, classified by the exact "+
+				"per-cycle attribution bucket.", "bucket"),
+		sweepExperiments: reg.CounterVec("pipesimd_sweep_experiments_total",
+			"Sweep experiments executed through /v1/sweep, by outcome.", "outcome"),
+	}
+	v := version.Get()
+	m.buildInfo.With(v.Module, v.Version, v.ShortRevision(), v.GoVersion).Set(1)
+	return m
+}
+
+// observeRun is the pipesim.RunHook: one call per completed simulation
+// run anywhere in the process.
+func (m *daemonMetrics) observeRun(ri pipesim.RunInfo) {
+	strategy := string(ri.Config.Strategy)
+	outcome := "ok"
+	if ri.Err != nil {
+		outcome = errorKind(ri.Err)
+	}
+	m.runs.With(strategy, outcome).Inc()
+	m.runTime.With(strategy).Observe(ri.Elapsed.Seconds())
+	if ri.Result != nil {
+		m.runCycles.With(strategy).Observe(float64(ri.Result.Cycles))
+		m.addAttribution(ri.Result.Attribution)
+	}
+}
+
+// addAttribution folds one run's exact attribution into the totals.
+func (m *daemonMetrics) addAttribution(a pipesim.Attribution) {
+	m.attribution.With("issue").Add(float64(a.Issue))
+	m.attribution.With("fetch_starved").Add(float64(a.FetchStarved))
+	m.attribution.With("ldq_wait").Add(float64(a.LDQWait))
+	m.attribution.With("queue_full").Add(float64(a.QueueFull))
+	m.attribution.With("drain").Add(float64(a.Drain))
+	m.attribution.With("other").Add(float64(a.Other))
+}
+
+// addSweepAttribution folds a sweep outcome's aggregated buckets in (the
+// sweep runner drives internal/core directly, bypassing the run hook).
+func (m *daemonMetrics) addSweepAttribution(t sweep.BucketTotals) {
+	m.attribution.With("issue").Add(float64(t.Issue))
+	m.attribution.With("fetch_starved").Add(float64(t.FetchStarved))
+	m.attribution.With("ldq_wait").Add(float64(t.LDQWait))
+	m.attribution.With("queue_full").Add(float64(t.QueueFull))
+	m.attribution.With("drain").Add(float64(t.Drain))
+	m.attribution.With("other").Add(float64(t.Other))
+}

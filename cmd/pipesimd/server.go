@@ -1,0 +1,431 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pipesim"
+	"pipesim/internal/sweep"
+	"pipesim/internal/version"
+)
+
+// server is the pipesimd HTTP surface: simulation and sweep execution on
+// top of the fault-isolated runner, plus the operator endpoints
+// (/metrics, /healthz, /readyz, /debug/pprof, /version).
+type server struct {
+	log     *slog.Logger
+	metrics *daemonMetrics
+	mux     *http.ServeMux
+
+	// ready gates /readyz: set once the benchmark image is warmed,
+	// cleared when shutdown starts so load balancers drain the instance.
+	ready atomic.Bool
+
+	// reqSeq numbers requests; combined with the process start stamp it
+	// yields a unique request ID for log correlation.
+	reqSeq   atomic.Uint64
+	startID  string
+	maxBody  int64         // request body cap for /v1/run
+	runLimit time.Duration // per-run and per-sweep-experiment deadline
+	workers  int           // sweep worker cap (0 = one per CPU)
+}
+
+// newServer wires the handler tree. The returned server installs the
+// process-wide run hook, so every simulation it executes feeds the
+// metrics registry.
+func newServer(log *slog.Logger, opts serverOptions) *server {
+	s := &server{
+		log:      log,
+		metrics:  newDaemonMetrics(),
+		mux:      http.NewServeMux(),
+		startID:  fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
+		maxBody:  opts.maxBody,
+		runLimit: opts.runLimit,
+		workers:  opts.workers,
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 1 << 20
+	}
+	pipesim.SetRunHook(s.metrics.observeRun)
+
+	s.handle("POST /v1/run", "/v1/run", s.handleRun)
+	s.handle("GET /v1/sweep", "/v1/sweep", s.handleSweep)
+	s.handle("GET /v1/experiments", "/v1/experiments", s.handleExperiments)
+	s.handle("GET /metrics", "/metrics", s.handleMetrics)
+	s.handle("GET /healthz", "/healthz", s.handleHealthz)
+	s.handle("GET /readyz", "/readyz", s.handleReadyz)
+	s.handle("GET /version", "/version", s.handleVersion)
+
+	// Profiling hooks: the stock net/http/pprof handlers on our own mux
+	// (the daemon never touches http.DefaultServeMux).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// serverOptions carries the tunables from the command line into newServer.
+type serverOptions struct {
+	maxBody  int64
+	runLimit time.Duration
+	workers  int
+}
+
+// warm builds the shared Livermore benchmark image (the expensive lazy
+// initialisation every benchmark run needs) and flips the readiness gate.
+func (s *server) warm() error {
+	if _, err := sweep.BenchmarkImage(); err != nil {
+		return err
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// drain clears readiness: /readyz starts failing so load balancers stop
+// sending traffic while in-flight requests finish.
+func (s *server) drain() { s.ready.Store(false) }
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+type ctxKey int
+
+const logKey ctxKey = 0
+
+// reqLog returns the request-scoped logger installed by handle.
+func reqLog(r *http.Request) *slog.Logger {
+	if l, ok := r.Context().Value(logKey).(*slog.Logger); ok {
+		return l
+	}
+	return slog.Default()
+}
+
+// handle registers one instrumented route: request counting and latency
+// by route pattern (never by raw URL, so cardinality stays bounded), the
+// in-flight gauge, a generated request ID, and a request-scoped logger
+// carried in the context.
+func (s *server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		id := s.startID + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		l := s.log.With("request_id", id, "method", r.Method, "path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.metrics.inFlight.Inc()
+		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start)
+			s.metrics.inFlight.Dec()
+			s.metrics.requests.With(route, strconv.Itoa(sw.code)).Inc()
+			s.metrics.latency.With(route).Observe(elapsed.Seconds())
+			l.Info("request served", "code", sw.code, "elapsed", elapsed.Round(time.Microsecond))
+		}()
+		w.Header().Set("X-Request-Id", id)
+		h(sw, r.WithContext(context.WithValue(r.Context(), logKey, l)))
+	})
+}
+
+// apiError is the JSON error envelope every failing endpoint returns.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// errorKind maps an error to its taxonomy label (PR-1 error model).
+func errorKind(err error) string {
+	var dl *pipesim.DeadlockError
+	var mc *pipesim.MachineCheckError
+	var to *sweep.TimeoutError
+	var pe *sweep.PanicError
+	switch {
+	case errors.Is(err, pipesim.ErrInvalidConfig):
+		return errKindInvalidConfig
+	case errors.As(err, &dl):
+		return errKindDeadlock
+	case errors.As(err, &mc):
+		return errKindMachineCheck
+	case errors.As(err, &to):
+		return errKindTimeout
+	case errors.As(err, &pe):
+		return errKindPanic
+	default:
+		return errKindInternal
+	}
+}
+
+// httpStatus maps an error kind to a status code: configuration mistakes
+// are the client's fault, everything else is the simulator's.
+func httpStatus(kind string) int {
+	switch kind {
+	case errKindBadRequest, errKindInvalidConfig:
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// fail counts, logs and renders one error response.
+func (s *server) fail(w http.ResponseWriter, r *http.Request, kind string, err error) {
+	s.metrics.errors.With(kind).Inc()
+	code := httpStatus(kind)
+	reqLog(r).Error("request failed", "kind", kind, "code", code, "err", err)
+	writeJSON(w, code, apiError{Error: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// runRequest is the /v1/run request body. Config is an overlay on the
+// base machine: absent fields keep their base values, so a request can be
+// as small as {} (the paper's default presentation point) or name a
+// Table II arrangement and tweak one knob.
+type runRequest struct {
+	// TableII selects the base configuration by Table II name ("8-8",
+	// "16-16", "16-32", "32-32"); empty selects DefaultConfig.
+	TableII string `json:"table_ii,omitempty"`
+	// Config overlays fields (pipesim.Config JSON field names) on the base.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Asm runs a PIPE assembly program instead of the Livermore benchmark.
+	Asm string `json:"asm,omitempty"`
+	// Kernel runs a single Livermore loop (1..14).
+	Kernel int `json:"kernel,omitempty"`
+	// PerLoop collects per-Livermore-loop statistics (benchmark only).
+	PerLoop bool `json:"per_loop,omitempty"`
+}
+
+// runResponse is the /v1/run success body.
+type runResponse struct {
+	RequestID      string          `json:"request_id"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	Result         *pipesim.Result `json:"result"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req runRequest
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, r, errKindBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+
+	cfg := pipesim.DefaultConfig()
+	if req.TableII != "" {
+		var err error
+		if cfg, err = pipesim.TableIIConfig(req.TableII); err != nil {
+			s.fail(w, r, errKindBadRequest, err)
+			return
+		}
+	}
+	if len(req.Config) > 0 {
+		cdec := json.NewDecoder(strings.NewReader(string(req.Config)))
+		cdec.DisallowUnknownFields()
+		if err := cdec.Decode(&cfg); err != nil {
+			s.fail(w, r, errKindBadRequest, fmt.Errorf("decoding config overlay: %w", err))
+			return
+		}
+	}
+
+	var (
+		prog *pipesim.Program
+		err  error
+	)
+	switch {
+	case req.Asm != "" && req.Kernel != 0:
+		s.fail(w, r, errKindBadRequest, errors.New("asm and kernel are mutually exclusive"))
+		return
+	case req.Asm != "":
+		prog, err = pipesim.Assemble(req.Asm)
+	case req.Kernel != 0:
+		prog, err = pipesim.LivermoreKernel(req.Kernel)
+	default:
+		prog, _, err = pipesim.LivermoreProgram()
+	}
+	if err != nil {
+		s.fail(w, r, errKindBadRequest, err)
+		return
+	}
+
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		s.fail(w, r, errorKind(err), err)
+		return
+	}
+	if req.PerLoop {
+		if err := sim.CollectPerLoop(); err != nil {
+			s.fail(w, r, errKindBadRequest, fmt.Errorf("per_loop: %w", err))
+			return
+		}
+	}
+	reqLog(r).Info("run starting", "strategy", cfg.Strategy, "cache_bytes", cfg.CacheBytes,
+		"line_bytes", cfg.LineBytes, "mem_access", cfg.MemAccessTime, "bus_bytes", cfg.BusWidthBytes)
+
+	start := time.Now()
+	res, err := runWithDeadline(sim, s.runLimit)
+	if err != nil {
+		s.fail(w, r, errorKind(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		RequestID:      w.Header().Get("X-Request-Id"),
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Result:         res,
+	})
+}
+
+// runWithDeadline executes the simulation with an optional wall-clock
+// deadline, mirroring the sweep runner's isolation: a run that exceeds it
+// is reported as a timeout and its goroutine abandoned (the watchdog
+// still bounds truly wedged machines).
+func runWithDeadline(sim *pipesim.Simulation, limit time.Duration) (*pipesim.Result, error) {
+	if limit <= 0 {
+		return sim.Run()
+	}
+	type reply struct {
+		res *pipesim.Result
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		res, err := sim.Run()
+		ch <- reply{res, err}
+	}()
+	timer := time.NewTimer(limit)
+	defer timer.Stop()
+	select {
+	case rp := <-ch:
+		return rp.res, rp.err
+	case <-timer.C:
+		return nil, &sweep.TimeoutError{ID: "run", Timeout: limit}
+	}
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	exps := sweep.Experiments()
+	if raw := q.Get("exp"); raw != "" {
+		exps = exps[:0:0]
+		for _, id := range strings.Split(raw, ",") {
+			e, ok := sweep.Lookup(strings.TrimSpace(id))
+			if !ok {
+				s.fail(w, r, errKindBadRequest, fmt.Errorf("unknown experiment %q (GET /v1/experiments lists them)", id))
+				return
+			}
+			exps = append(exps, e)
+		}
+	}
+	opt := sweep.Options{Workers: s.workers, Timeout: s.runLimit}
+	if raw := q.Get("parallel"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.fail(w, r, errKindBadRequest, fmt.Errorf("bad parallel %q", raw))
+			return
+		}
+		opt.Workers = n
+	}
+	if raw := q.Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			s.fail(w, r, errKindBadRequest, fmt.Errorf("bad timeout %q", raw))
+			return
+		}
+		opt.Timeout = d
+	}
+	l := reqLog(r)
+	l.Info("sweep starting", "experiments", len(exps), "workers", opt.Workers, "timeout", opt.Timeout)
+	opt.Progress = func(o sweep.Outcome, done, total int) {
+		if o.Err != nil {
+			l.Warn("sweep experiment failed", "experiment", o.Experiment.ID,
+				"done", done, "total", total, "err", o.Err)
+		} else {
+			l.Debug("sweep experiment finished", "experiment", o.Experiment.ID,
+				"done", done, "total", total, "elapsed", o.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	sum := sweep.RunAll(exps, opt)
+	for _, o := range sum.Outcomes {
+		if o.Err != nil {
+			s.metrics.sweepExperiments.With("fail").Inc()
+			s.metrics.errors.With(errorKind(o.Err)).Inc()
+			continue
+		}
+		s.metrics.sweepExperiments.With("ok").Inc()
+		if t, ok := o.BucketTotals(); ok {
+			s.metrics.addSweepAttribution(t)
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	if sum.Err() != nil {
+		// Partial failure: the summary still carries every outcome, and
+		// the per-outcome ok/error fields say which failed.
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	if err := sum.WriteJSON(w); err != nil {
+		l.Error("writing sweep summary", "err", err)
+	}
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type item struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []item
+	for _, e := range sweep.Experiments() {
+		out = append(out, item{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		reqLog(r).Error("rendering metrics", "err", err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, version.Get())
+}

@@ -1,0 +1,121 @@
+package pipesim_test
+
+import (
+	"errors"
+	"testing"
+
+	"pipesim"
+)
+
+// smallLoop is a short program for hook tests: a counted loop that
+// terminates in a few hundred cycles.
+const smallLoop = `
+        li    r1, 10
+        li    r2, 0
+        setb  b0, loop
+loop:   addi  r2, r2, 1
+        addi  r1, r1, -1
+        pbr   ne, r1, b0, 2
+        nop
+        nop
+        halt
+`
+
+// TestRunHookObservesSuccess pins the hook contract on the success path:
+// it fires exactly once per Run, with the config that ran, the result it
+// produced and a non-zero elapsed time.
+func TestRunHookObservesSuccess(t *testing.T) {
+	defer pipesim.SetRunHook(nil)
+	prog, err := pipesim.Assemble(smallLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []pipesim.RunInfo
+	pipesim.SetRunHook(func(ri pipesim.RunInfo) { got = append(got, ri) })
+
+	cfg := pipesim.DefaultConfig()
+	cfg.CacheBytes = 64
+	res, err := pipesim.Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(got))
+	}
+	ri := got[0]
+	if ri.Result != res {
+		t.Errorf("hook Result = %p, want the returned result %p", ri.Result, res)
+	}
+	if ri.Err != nil {
+		t.Errorf("hook Err = %v, want nil", ri.Err)
+	}
+	if ri.Config.CacheBytes != 64 {
+		t.Errorf("hook Config.CacheBytes = %d, want 64", ri.Config.CacheBytes)
+	}
+	if ri.Elapsed <= 0 {
+		t.Errorf("hook Elapsed = %v, want > 0", ri.Elapsed)
+	}
+}
+
+// TestRunHookObservesFailure: a deadlocking run reaches the hook with the
+// error and no result, and clearing the hook stops delivery.
+func TestRunHookObservesFailure(t *testing.T) {
+	defer pipesim.SetRunHook(nil)
+	prog, err := pipesim.Assemble(`
+        li   r1, 1
+        add  r2, r7, r1
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	cfg.WatchdogCycles = 2_000
+
+	var got []pipesim.RunInfo
+	pipesim.SetRunHook(func(ri pipesim.RunInfo) { got = append(got, ri) })
+	if _, err := pipesim.Run(cfg, prog); err == nil {
+		t.Fatal("deadlocking run returned nil error")
+	}
+	if len(got) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(got))
+	}
+	if got[0].Result != nil {
+		t.Error("hook Result set on a failed run")
+	}
+	var dl *pipesim.DeadlockError
+	if !errors.As(got[0].Err, &dl) {
+		t.Errorf("hook Err = %v, want *DeadlockError", got[0].Err)
+	}
+
+	// An invalid configuration fails before any machine is built; the
+	// hook observes only runs, so it must not fire.
+	pipesim.SetRunHook(func(ri pipesim.RunInfo) { got = append(got, ri) })
+	bad := pipesim.DefaultConfig()
+	bad.CacheBytes = 3
+	if _, err := pipesim.Run(bad, prog); !errors.Is(err, pipesim.ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+	if len(got) != 1 {
+		t.Errorf("hook fired on a validation failure")
+	}
+
+	// Removing the hook stops delivery.
+	pipesim.SetRunHook(nil)
+	okCfg := pipesim.DefaultConfig()
+	if _, err := pipesim.Run(okCfg, mustAssemble(t, smallLoop)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("hook fired after SetRunHook(nil)")
+	}
+}
+
+func mustAssemble(t *testing.T, src string) *pipesim.Program {
+	t.Helper()
+	p, err := pipesim.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

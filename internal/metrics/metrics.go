@@ -1,0 +1,472 @@
+// Package metrics is a small, dependency-free metrics registry for the
+// pipesim serving layer: counters, gauges and histograms, optionally
+// labeled, rendered in the Prometheus text exposition format.
+//
+// The package exists so cmd/pipesimd can expose an operator-grade
+// /metrics endpoint without pulling an external client library into a
+// stdlib-only repository. It implements exactly the subset the daemon
+// needs — counter/gauge/histogram families with a fixed label schema per
+// family, cumulative histogram buckets, HELP/TYPE headers, deterministic
+// output ordering — and nothing else (no summaries, no exemplars, no
+// push gateways).
+//
+// All metric operations are safe for concurrent use and lock-free on the
+// hot path: counters and gauges are single atomic words, histogram
+// observations touch one atomic bucket counter plus an atomic sum.
+// Rendering takes a registry-wide snapshot under a read lock, so scrapes
+// never block writers for long.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// kind enumerates the metric families a registry can hold.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// value is one atomically updated float64 cell (counters and gauges, and
+// histogram sums, store their state here).
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) add(delta float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64frombits(old) + delta
+		if v.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (v *value) set(x float64) { v.bits.Store(math.Float64bits(x)) }
+func (v *value) load() float64 { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v value }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds delta, which must not be negative (a negative delta is
+// silently dropped: counters never go down).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.v.add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v value }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(x float64) { g.v.set(x) }
+
+// Inc adds one. Dec subtracts one. Add adds delta (which may be negative).
+func (g *Gauge) Inc()              { g.v.add(1) }
+func (g *Gauge) Dec()              { g.v.add(-1) }
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style: each bucket b counts observations <= its upper bound, an
+// implicit +Inf bucket counts everything, and _sum/_count accumulate the
+// observed total.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    value
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	// Buckets are cumulative at render time; recording touches exactly
+	// one counter — the first bucket whose bound admits the value.
+	i := sort.SearchFloat64s(h.bounds, x)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sum.add(x)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	n := h.inf.Load()
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// DefBuckets are the default latency buckets, in seconds (the classic
+// Prometheus spread: 5ms to 10s).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExponentialBuckets returns count bucket bounds starting at start and
+// multiplying by factor: start, start*factor, ... It panics on a
+// non-positive start, a factor <= 1 or a count < 1 (bucket layouts are
+// static program configuration, not runtime input).
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("metrics: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns count bucket bounds starting at start and
+// stepping by width. It panics on a non-positive width or a count < 1.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if width <= 0 || count < 1 {
+		panic("metrics: LinearBuckets needs width > 0, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// family is one named metric with a fixed label schema; the unlabeled
+// case is a family with zero label names and a single series keyed "".
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]any // label-value key -> *Counter | *Gauge | *Histogram
+	order  []string       // keys in first-use order; sorted at render
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var nameOK = func(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register creates or fetches a family, panicking on a schema conflict.
+// Registration happens at program start with static names, so a conflict
+// is a programming error, not a runtime condition to handle.
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
+	if !nameOK(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameOK(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as a different metric", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, labels: labels, buckets: buckets,
+		series: make(map[string]any)}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	return f
+}
+
+// get fetches or creates the series for one label-value tuple.
+func (f *family) get(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	var made any
+	switch f.kind {
+	case kindCounter:
+		made = &Counter{}
+	case kindGauge:
+		made = &Gauge{}
+	case kindHistogram:
+		h := &Histogram{bounds: f.buckets}
+		h.counts = make([]atomic.Uint64, len(f.buckets))
+		made = h
+	}
+	f.series[key] = made
+	f.order = append(f.order, key)
+	return made
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).get(nil).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).get(nil).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the given
+// bucket upper bounds (nil selects DefBuckets). Bounds must be sorted
+// ascending; the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, checkBuckets(name, buckets)).get(nil).(*Histogram)
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("metrics: %s bucket bounds not sorted", name))
+	}
+	// An explicit +Inf bound would duplicate the implicit one; drop it.
+	for len(buckets) > 0 && math.IsInf(buckets[len(buckets)-1], 1) {
+		buckets = buckets[:len(buckets)-1]
+	}
+	return buckets
+}
+
+// CounterVec is a counter family with a fixed label schema.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for one label-value tuple, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).(*Counter) }
+
+// GaugeVec is a gauge family with a fixed label schema.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).(*Gauge) }
+
+// HistogramVec is a histogram family with a fixed label schema; every
+// series shares the family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, checkBuckets(name, buckets))}
+}
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).(*Histogram) }
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the text exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a sample value: integers without an exponent,
+// everything else in Go's shortest form (Prometheus accepts both).
+func formatFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return strconv.FormatFloat(x, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// labelPairs renders {a="x",b="y"} for a series key; extra appends one
+// more pre-rendered pair (the histogram le label).
+func labelPairs(names []string, key, extra string) string {
+	var parts []string
+	if len(names) > 0 {
+		values := strings.Split(key, "\x00")
+		for i, n := range names {
+			parts = append(parts, n+`="`+escapeLabel(values[i])+`"`)
+		}
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, families sorted by name and series sorted by label values, so
+// the output is deterministic for golden tests and clean diffs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.mu.RLock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range keys {
+			switch s := f.series[key].(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, labelPairs(f.labels, key, ""), formatFloat(s.Value()))
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, labelPairs(f.labels, key, ""), formatFloat(s.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, bound := range s.bounds {
+					cum += s.counts[i].Load()
+					le := fmt.Sprintf("le=%q", formatFloat(bound))
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, key, le), cum)
+				}
+				cum += s.inf.Load()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, key, `le="+Inf"`), cum)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, labelPairs(f.labels, key, ""), formatFloat(s.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, labelPairs(f.labels, key, ""), cum)
+			}
+		}
+		f.mu.RUnlock()
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Snapshot flattens every series into a map for tests: plain metrics are
+// keyed `name` or `name{a="x"}`, histograms expand into their rendered
+// `_bucket`/`_sum`/`_count` samples. The map is a point-in-time copy.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.names))
+	for _, n := range r.names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.mu.RLock()
+		for key, raw := range f.series {
+			switch s := raw.(type) {
+			case *Counter:
+				out[f.name+labelPairs(f.labels, key, "")] = s.Value()
+			case *Gauge:
+				out[f.name+labelPairs(f.labels, key, "")] = s.Value()
+			case *Histogram:
+				var cum uint64
+				for i, bound := range s.bounds {
+					cum += s.counts[i].Load()
+					le := fmt.Sprintf("le=%q", formatFloat(bound))
+					out[f.name+"_bucket"+labelPairs(f.labels, key, le)] = float64(cum)
+				}
+				cum += s.inf.Load()
+				out[f.name+"_bucket"+labelPairs(f.labels, key, `le="+Inf"`)] = float64(cum)
+				out[f.name+"_sum"+labelPairs(f.labels, key, "")] = s.Sum()
+				out[f.name+"_count"+labelPairs(f.labels, key, "")] = float64(cum)
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}

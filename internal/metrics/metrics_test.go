@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGoldenPrometheusText pins the exact text exposition rendering of
+// every metric kind the registry supports: unlabeled and labeled
+// counters, gauges and histograms, HELP/TYPE headers, label escaping,
+// cumulative buckets with the implicit +Inf bound, and deterministic
+// family and series ordering.
+func TestGoldenPrometheusText(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("test_requests_total", "Total requests.")
+	c.Add(3)
+	c.Inc()
+
+	cv := r.CounterVec("test_errors_total", "Errors by kind.", "kind")
+	cv.With("deadlock").Inc()
+	cv.With("invalid_config").Add(2)
+
+	g := r.Gauge("test_in_flight", "Requests in flight.")
+	g.Set(5)
+	g.Dec()
+
+	gv := r.GaugeVec("test_queue_depth", "Queue depth.", "queue", "unit")
+	gv.With("ldq", `odd"label\value`).Set(7)
+
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.5, 2.5})
+	for _, x := range []float64{0.05, 0.3, 0.4, 1, 99} {
+		h.Observe(x)
+	}
+
+	hv := r.HistogramVec("test_cycles", "Cycles by strategy.", []float64{100, 1000}, "strategy")
+	hv.With("pipe").Observe(650)
+	hv.With("pipe").Observe(5000)
+	hv.With("conv").Observe(50)
+
+	want := `# HELP test_cycles Cycles by strategy.
+# TYPE test_cycles histogram
+test_cycles_bucket{strategy="conv",le="100"} 1
+test_cycles_bucket{strategy="conv",le="1000"} 1
+test_cycles_bucket{strategy="conv",le="+Inf"} 1
+test_cycles_sum{strategy="conv"} 50
+test_cycles_count{strategy="conv"} 1
+test_cycles_bucket{strategy="pipe",le="100"} 0
+test_cycles_bucket{strategy="pipe",le="1000"} 1
+test_cycles_bucket{strategy="pipe",le="+Inf"} 2
+test_cycles_sum{strategy="pipe"} 5650
+test_cycles_count{strategy="pipe"} 2
+# HELP test_errors_total Errors by kind.
+# TYPE test_errors_total counter
+test_errors_total{kind="deadlock"} 1
+test_errors_total{kind="invalid_config"} 2
+# HELP test_in_flight Requests in flight.
+# TYPE test_in_flight gauge
+test_in_flight 4
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="0.5"} 3
+test_latency_seconds_bucket{le="2.5"} 4
+test_latency_seconds_bucket{le="+Inf"} 5
+test_latency_seconds_sum 100.75
+test_latency_seconds_count 5
+# HELP test_queue_depth Queue depth.
+# TYPE test_queue_depth gauge
+test_queue_depth{queue="ldq",unit="odd\"label\\value"} 7
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total 4
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("rendering mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(2)
+	r.GaugeVec("b", "", "x").With("y").Set(-1.5)
+	h := r.Histogram("h", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	snap := r.Snapshot()
+	for key, want := range map[string]float64{
+		"a_total":             2,
+		`b{x="y"}`:            -1.5,
+		`h_bucket{le="1"}`:    1,
+		`h_bucket{le="+Inf"}`: 2,
+		"h_sum":               3.5,
+		"h_count":             2,
+	} {
+		if got := snap[key]; got != want {
+			t.Errorf("Snapshot[%q] = %v, want %v", key, got, want)
+		}
+	}
+	// The snapshot is a copy: later updates must not appear in it.
+	r.Counter("a_total", "").Inc()
+	if snap["a_total"] != 2 {
+		t.Errorf("snapshot mutated by a later update")
+	}
+}
+
+func TestCounterNeverDecreases(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(5)
+	c.Add(-3) // dropped
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %v after negative Add, want 5", got)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "help")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	v := r.CounterVec("vec_total", "", "l")
+	if v.With("x") != v.With("x") {
+		t.Error("same label tuple returned different series")
+	}
+	if v.With("x") == v.With("y") {
+		t.Error("different label tuples share a series")
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	for name, f := range map[string]func(){
+		"kind change":  func() { r.Gauge("m", "") },
+		"label change": func() { r.CounterVec("m", "", "l") },
+		"bad name":     func() { r.Counter("0bad", "") },
+		"bad label":    func() { r.CounterVec("ok", "", "not ok") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(0, 2.5, 3)
+	wantLin := []float64{0, 2.5, 5}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, wantLin)
+		}
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines while a
+// scraper renders it, for the race detector (scripts/verify.sh runs the
+// suite with -race).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "")
+	cv := r.CounterVec("hot_by_label_total", "", "l")
+	h := r.HistogramVec("hot_hist", "", []float64{1, 2, 3}, "l")
+	labels := []string{"a", "b", "c", "d"}
+
+	var wg sync.WaitGroup
+	const workers, iters = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				l := labels[(w+i)%len(labels)]
+				cv.With(l).Inc()
+				h.With(l).Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+			}
+			r.Snapshot()
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("hot_total = %v, want %v", got, workers*iters)
+	}
+	var total float64
+	for _, l := range labels {
+		total += cv.With(l).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("labeled sum = %v, want %v", total, workers*iters)
+	}
+	var count uint64
+	for _, l := range labels {
+		count += h.With(l).Count()
+	}
+	if count != workers*iters {
+		t.Errorf("histogram count = %v, want %v", count, workers*iters)
+	}
+}

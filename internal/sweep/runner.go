@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"pipesim/internal/stats"
 )
 
 // Options tunes the parallel runner. The zero value runs every experiment
@@ -176,6 +178,67 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 	return sum
 }
 
+// BucketTotals is cycle attribution with stable lower_snake JSON names,
+// shared by the sweep metrics file (Summary.WriteJSON), the benchmark
+// baselines (scripts/bench.sh) and the daemon's attribution counters —
+// one schema across every serving-facing surface (see EXPERIMENTS.md).
+// The fields mirror stats.CycleBucket and sum to the attributed cycles.
+type BucketTotals struct {
+	Issue        uint64 `json:"issue"`
+	FetchStarved uint64 `json:"fetch_starved"`
+	LDQWait      uint64 `json:"ldq_wait"`
+	QueueFull    uint64 `json:"queue_full"`
+	Drain        uint64 `json:"drain"`
+	Other        uint64 `json:"other"`
+}
+
+// Total sums the buckets.
+func (t BucketTotals) Total() uint64 {
+	return t.Issue + t.FetchStarved + t.LDQWait + t.QueueFull + t.Drain + t.Other
+}
+
+// add accumulates one run's exact cycle attribution.
+func (t *BucketTotals) add(b [stats.NumCycleBuckets]uint64) {
+	t.Issue += b[stats.CycleIssue]
+	t.FetchStarved += b[stats.CycleFetchStarved]
+	t.LDQWait += b[stats.CycleLDQWait]
+	t.QueueFull += b[stats.CycleQueueFull]
+	t.Drain += b[stats.CycleDrain]
+	t.Other += b[stats.CycleOther]
+}
+
+// merge accumulates another totals value.
+func (t *BucketTotals) merge(o BucketTotals) {
+	t.Issue += o.Issue
+	t.FetchStarved += o.FetchStarved
+	t.LDQWait += o.LDQWait
+	t.QueueFull += o.QueueFull
+	t.Drain += o.Drain
+	t.Other += o.Other
+}
+
+// BucketTotals sums the cycle attribution of every simulated point of the
+// outcome that carried full statistics. The second result is false when
+// no point did (table-style experiments whose numbers are not cycle
+// counts, or a failed experiment).
+func (o *Outcome) BucketTotals() (BucketTotals, bool) {
+	var t BucketTotals
+	seen := false
+	if o.Result == nil {
+		return t, false
+	}
+	for _, s := range o.Result.Series {
+		for _, p := range s.Points {
+			if p.Stats == nil {
+				continue
+			}
+			t.add(p.Stats.CPU.CycleBuckets)
+			seen = true
+		}
+	}
+	return t, seen
+}
+
 // jsonPoint, jsonSeries and jsonOutcome shape the machine-readable sweep
 // metrics: stable lower_snake field names, durations in seconds, errors as
 // strings. The full per-point stats structures are deliberately omitted —
@@ -192,32 +255,45 @@ type jsonSeries struct {
 }
 
 type jsonOutcome struct {
-	ID             string       `json:"id"`
-	Title          string       `json:"title"`
-	OK             bool         `json:"ok"`
-	Error          string       `json:"error,omitempty"`
-	ElapsedSeconds float64      `json:"elapsed_seconds"`
-	XLabel         string       `json:"x_label,omitempty"`
-	Series         []jsonSeries `json:"series,omitempty"`
+	ID             string        `json:"id"`
+	Title          string        `json:"title"`
+	OK             bool          `json:"ok"`
+	Error          string        `json:"error,omitempty"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Attribution    *BucketTotals `json:"attribution,omitempty"`
+	XLabel         string        `json:"x_label,omitempty"`
+	Series         []jsonSeries  `json:"series,omitempty"`
 }
 
 type jsonSummary struct {
+	Schema         string        `json:"schema"`
 	Total          int           `json:"total"`
 	Passed         int           `json:"passed"`
 	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	Attribution    *BucketTotals `json:"attribution,omitempty"`
 	Outcomes       []jsonOutcome `json:"outcomes"`
 }
 
+// MetricsSchema identifies the WriteJSON layout. New fields may be added;
+// existing names, units and nesting stay stable within a major version
+// (documented field-by-field in EXPERIMENTS.md).
+const MetricsSchema = "pipesim-sweep/v1"
+
 // WriteJSON writes the sweep's machine-readable metrics: per-experiment
-// status, wall time and result series, plus the aggregate counts. The
-// format is stable for scripting (see EXPERIMENTS.md).
+// status, wall-clock time, cycle-attribution buckets and result series,
+// plus the aggregate counts and the attribution summed over the whole
+// sweep. The format is stable for scripting (see EXPERIMENTS.md) and
+// shares its attribution naming with the BENCH_*.json baselines.
 func (s *Summary) WriteJSON(w io.Writer) error {
 	out := jsonSummary{
+		Schema:         MetricsSchema,
 		Total:          len(s.Outcomes),
 		Passed:         s.Passed(),
 		ElapsedSeconds: s.Elapsed.Seconds(),
 		Outcomes:       make([]jsonOutcome, 0, len(s.Outcomes)),
 	}
+	var sweepTotals BucketTotals
+	anyTotals := false
 	for _, o := range s.Outcomes {
 		jo := jsonOutcome{
 			ID:             o.Experiment.ID,
@@ -227,6 +303,12 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 		}
 		if o.Err != nil {
 			jo.Error = o.Err.Error()
+		}
+		if t, ok := o.BucketTotals(); ok {
+			bt := t
+			jo.Attribution = &bt
+			sweepTotals.merge(t)
+			anyTotals = true
 		}
 		if o.Result != nil {
 			jo.XLabel = o.Result.XLabel
@@ -239,6 +321,9 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 			}
 		}
 		out.Outcomes = append(out.Outcomes, jo)
+	}
+	if anyTotals {
+		out.Attribution = &sweepTotals
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"pipesim/internal/stats"
 )
 
 // fake builds a lightweight experiment for runner tests (no simulation).
@@ -223,5 +225,77 @@ func TestSummaryWriteJSON(t *testing.T) {
 	}
 	if bad.OK || bad.Error != "machine check" {
 		t.Errorf("failing outcome = %+v", bad)
+	}
+}
+
+// TestSummaryWriteJSONAttribution pins the schema tag and the
+// cycle-attribution aggregation: experiments whose points carry stats get
+// per-experiment bucket totals with the documented lower_snake names, the
+// summary carries the sweep-wide sum, and stat-less experiments omit the
+// field entirely.
+func TestSummaryWriteJSONAttribution(t *testing.T) {
+	withStats := func(id string, issue, starved uint64) Experiment {
+		return fake(id, func() (*Result, error) {
+			st := &stats.Sim{}
+			st.CPU.CycleBuckets[stats.CycleIssue] = issue
+			st.CPU.CycleBuckets[stats.CycleFetchStarved] = starved
+			st.Cycles = issue + starved
+			return &Result{ID: id, Series: []Series{{Label: "s", Points: []Point{
+				{CacheBytes: 128, Cycles: st.Cycles, Valid: true, Stats: st},
+			}}}}, nil
+		})
+	}
+	sum := RunAll([]Experiment{
+		withStats("a", 100, 7),
+		withStats("b", 50, 3),
+		passing("tableonly"),
+	}, Options{Workers: 1})
+
+	var buf strings.Builder
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema      string `json:"schema"`
+		Attribution *struct {
+			Issue        uint64 `json:"issue"`
+			FetchStarved uint64 `json:"fetch_starved"`
+		} `json:"attribution"`
+		Outcomes []struct {
+			ID          string          `json:"id"`
+			Attribution json.RawMessage `json:"attribution"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schema != MetricsSchema {
+		t.Errorf("schema = %q, want %q", decoded.Schema, MetricsSchema)
+	}
+	if decoded.Attribution == nil {
+		t.Fatal("summary attribution missing")
+	}
+	if decoded.Attribution.Issue != 150 || decoded.Attribution.FetchStarved != 10 {
+		t.Errorf("summary attribution = %+v, want issue=150 fetch_starved=10", decoded.Attribution)
+	}
+	byID := map[string]json.RawMessage{}
+	for _, o := range decoded.Outcomes {
+		byID[o.ID] = o.Attribution
+	}
+	if len(byID["a"]) == 0 || len(byID["b"]) == 0 {
+		t.Error("per-experiment attribution missing on stat-carrying outcomes")
+	}
+	if len(byID["tableonly"]) != 0 {
+		t.Errorf("stat-less outcome emitted attribution: %s", byID["tableonly"])
+	}
+
+	// The BucketTotals helper is the daemon's metrics source; pin its
+	// direct behaviour too.
+	tot, ok := sum.Outcomes[0].BucketTotals()
+	if !ok || tot.Total() != 107 {
+		t.Errorf("BucketTotals = %+v ok=%v, want total 107", tot, ok)
+	}
+	if _, ok := sum.Outcomes[2].BucketTotals(); ok {
+		t.Error("BucketTotals ok on a stat-less outcome")
 	}
 }

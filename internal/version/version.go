@@ -1,0 +1,88 @@
+// Package version reports what binary is running: module path and
+// version plus the VCS revision and dirty bit stamped by the go
+// toolchain. Every pipesim command exposes it behind a -version flag and
+// the daemon logs it at startup, so a benchmark baseline or a metrics
+// dashboard can always be traced back to the exact commit that produced
+// it.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Info describes the running binary.
+type Info struct {
+	// Module is the main module path ("pipesim").
+	Module string `json:"module"`
+	// Version is the main module version ("(devel)" for a plain build).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, empty when
+	// the build carried no VCS metadata (e.g. `go test` or a build
+	// outside a checkout).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes in the build's working tree.
+	Dirty bool `json:"dirty,omitempty"`
+	// Time is the commit timestamp (RFC 3339), when stamped.
+	Time string `json:"time,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the running binary's build information. It degrades
+// gracefully: a binary built without build info still reports the Go
+// version.
+func Get() Info {
+	info := Info{Version: "(unknown)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		case "vcs.time":
+			info.Time = s.Value
+		}
+	}
+	return info
+}
+
+// ShortRevision returns the first 12 characters of the revision, with a
+// "+dirty" suffix when the tree was modified, or "unknown" when no VCS
+// metadata was stamped.
+func (i Info) ShortRevision() string {
+	rev := i.Revision
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// String renders the multi-line report printed by the -version flags.
+func (i Info) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module    %s\n", i.Module)
+	fmt.Fprintf(&sb, "version   %s\n", i.Version)
+	fmt.Fprintf(&sb, "revision  %s\n", i.ShortRevision())
+	if i.Time != "" {
+		fmt.Fprintf(&sb, "built     %s\n", i.Time)
+	}
+	fmt.Fprintf(&sb, "go        %s", i.GoVersion)
+	return sb.String()
+}

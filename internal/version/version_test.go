@@ -1,0 +1,49 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGet runs under `go test`, where the toolchain stamps build info for
+// the test binary: the module path must come through, and the Go version
+// is always present.
+func TestGet(t *testing.T) {
+	i := Get()
+	if i.Module != "pipesim" {
+		t.Errorf("Module = %q, want pipesim", i.Module)
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("GoVersion = %q", i.GoVersion)
+	}
+	if i.Version == "" {
+		t.Error("Version is empty")
+	}
+}
+
+func TestShortRevision(t *testing.T) {
+	cases := []struct {
+		in   Info
+		want string
+	}{
+		{Info{}, "unknown"},
+		{Info{Revision: "abc"}, "abc"},
+		{Info{Revision: "0123456789abcdef0123", Dirty: false}, "0123456789ab"},
+		{Info{Revision: "0123456789abcdef0123", Dirty: true}, "0123456789ab+dirty"},
+	}
+	for _, c := range cases {
+		if got := c.in.ShortRevision(); got != c.want {
+			t.Errorf("ShortRevision(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStringContainsEveryField(t *testing.T) {
+	s := Info{Module: "pipesim", Version: "v1.2.3", Revision: "deadbeefcafe0000",
+		Dirty: true, Time: "2026-01-02T03:04:05Z", GoVersion: "go1.24.0"}.String()
+	for _, want := range []string{"pipesim", "v1.2.3", "deadbeefcafe+dirty", "2026-01-02", "go1.24.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

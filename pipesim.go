@@ -42,6 +42,8 @@ package pipesim
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
+	"time"
 
 	"pipesim/internal/asm"
 	"pipesim/internal/core"
@@ -520,6 +522,7 @@ type LoopStat = obs.LoopStat
 // Simulation is one configured machine loaded with a program, for callers
 // that want to attach observability probes or inspect memory after the run.
 type Simulation struct {
+	cfg     Config
 	inner   *core.Simulator
 	probes  obs.Multi
 	perloop *obs.PerLoop
@@ -540,7 +543,7 @@ func NewSimulation(cfg Config, prog *Program) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{inner: inner}, nil
+	return &Simulation{cfg: cfg, inner: inner}, nil
 }
 
 // Observe attaches a probe to the simulation's event stream. Call before
@@ -571,16 +574,52 @@ func (s *Simulation) CollectPerLoop() error {
 	return nil
 }
 
+// RunInfo describes one completed run for RunHook observers: the
+// configuration that ran, the wall-clock time it took, and exactly one of
+// Result and Err.
+type RunInfo struct {
+	Config  Config
+	Result  *Result // nil when the run failed
+	Err     error   // nil when the run succeeded
+	Elapsed time.Duration
+}
+
+// RunHook observes every completed run in the process — a metrics sink
+// for serving layers (cmd/pipesimd records per-strategy cycle histograms
+// and attribution totals through it). Hooks run synchronously on the
+// goroutine that called Run, after the simulation finished; they must be
+// safe for concurrent use when runs are concurrent.
+type RunHook func(RunInfo)
+
+// runHook holds the installed hook; a typed nil inside the atomic.Value
+// is avoided by only storing non-nil wrappers and flagging emptiness.
+var runHook atomic.Value // RunHook
+
+// SetRunHook installs (or, with nil, removes) the process-wide run hook.
+// The unset path costs one atomic load per Run — nothing per simulated
+// cycle — so an unhooked library runs at full speed (see
+// BenchmarkRunHookOverhead).
+func SetRunHook(h RunHook) { runHook.Store(h) }
+
+func fireRunHook(cfg Config, res *Result, err error, elapsed time.Duration) {
+	if h, _ := runHook.Load().(RunHook); h != nil {
+		h(RunInfo{Config: cfg, Result: res, Err: err, Elapsed: elapsed})
+	}
+}
+
 // Run executes to completion (once per Simulation).
 func (s *Simulation) Run() (*Result, error) {
+	start := time.Now()
 	st, err := s.inner.Run()
 	if err != nil {
+		fireRunHook(s.cfg, nil, err, time.Since(start))
 		return nil, err
 	}
 	res := resultFrom(st)
 	if s.perloop != nil {
 		res.PerLoop = s.perloop.Stats()
 	}
+	fireRunHook(s.cfg, res, nil, time.Since(start))
 	return res, nil
 }
 

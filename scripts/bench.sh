@@ -1,0 +1,51 @@
+#!/bin/sh
+# Benchmark-baseline pipeline: run the repo's benchmarks, normalise the
+# output into the stable pipesim-bench/v1 JSON schema, and write
+# BENCH_<label>.json at the repo root.
+#
+#   scripts/bench.sh                      # full run, label "dev"
+#   scripts/bench.sh --label seed         # full run, writes BENCH_seed.json
+#   scripts/bench.sh --short              # CI smoke: key benchmarks, 1 iter
+#   scripts/bench.sh compare OLD NEW      # diff two baselines (exit 1 on
+#                                         # >threshold regression)
+#   scripts/bench.sh compare --warn-only OLD NEW
+#
+# Environment:
+#   BENCH_THRESHOLD   regression threshold in percent (default 10)
+set -eu
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${BENCH_THRESHOLD:-10}"
+
+if [ "${1:-}" = "compare" ]; then
+    shift
+    exec go run ./cmd/benchjson compare -threshold "$THRESHOLD" "$@"
+fi
+
+LABEL=dev
+SHORT=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --label) LABEL="$2"; shift 2 ;;
+        --short) SHORT=1; shift ;;
+        *) echo "bench.sh: unknown argument $1" >&2; exit 2 ;;
+    esac
+done
+
+OUT="BENCH_${LABEL}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+if [ "$SHORT" = 1 ]; then
+    # CI smoke: one iteration of the key end-to-end benchmarks — enough to
+    # prove they run and produce a parseable baseline, not a timing source.
+    echo "== go test -bench (short)" >&2
+    go test -run '^$' -bench 'SingleRun|ProbeOverhead|RunHookOverhead|SweepE2E' \
+        -benchtime 1x -benchmem ./... | tee "$RAW"
+else
+    echo "== go test -bench (full)" >&2
+    go test -run '^$' -bench . -benchmem ./... | tee "$RAW"
+fi
+
+go run ./cmd/benchjson format -label "$LABEL" -o "$OUT" < "$RAW"
+echo "bench.sh: wrote $OUT" >&2

@@ -12,15 +12,28 @@ import (
 	"testing"
 
 	"pipesim"
+	"pipesim/internal/core"
 	"pipesim/internal/mem"
+	"pipesim/internal/runcache"
 	"pipesim/internal/sweep"
 )
+
+// uncached disables the process-wide run cache for one benchmark so it
+// measures real simulation work. With memoization on, every iteration past
+// the first would return a stored result and the timing would be
+// meaningless as a simulator-speed baseline.
+func uncached(b *testing.B) {
+	b.Helper()
+	runcache.Default.SetEnabled(false)
+	b.Cleanup(func() { runcache.Default.SetEnabled(true) })
+}
 
 // reportFigure runs a figure experiment b.N times and reports the simulated
 // cycles of every (series, cache-size) point as metrics named
 // "<series>_<size>B_cycles".
 func reportFigure(b *testing.B, id string) {
 	b.Helper()
+	uncached(b)
 	exp, ok := sweep.Lookup(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
@@ -163,6 +176,7 @@ func sanitize(label string) string {
 // representative configuration (PIPE 16-16, 128-byte cache, T=6, 8-byte
 // bus), reporting the simulated cycle count.
 func BenchmarkSingleRun(b *testing.B) {
+	uncached(b)
 	v := sweep.TableII[1]
 	mcfg := mem.Config{AccessTime: 6, BusWidthBytes: 8, InstrPriority: true, FPULatency: 4}
 	var cycles uint64
@@ -266,6 +280,7 @@ func BenchmarkRunHookOverhead(b *testing.B) {
 // cmd/pipesimd's /v1/sweep serves — so baselines track the serving path,
 // not just raw simulation speed.
 func BenchmarkSweepE2E(b *testing.B) {
+	uncached(b)
 	exps := make([]sweep.Experiment, 0, 3)
 	for _, id := range []string{"table1", "knee", "slots"} {
 		e, ok := sweep.Lookup(id)
@@ -282,5 +297,58 @@ func BenchmarkSweepE2E(b *testing.B) {
 		if err := sum.WriteJSON(io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepE2EWarm is BenchmarkSweepE2E with the run cache on and
+// already populated: the steady state of a long-lived pipesimd serving
+// repeated sweep requests. Only the runner, renderer and cache lookups are
+// left to measure.
+func BenchmarkSweepE2EWarm(b *testing.B) {
+	exps := make([]sweep.Experiment, 0, 3)
+	for _, id := range []string{"table1", "knee", "slots"} {
+		e, ok := sweep.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	if err := sweep.RunAll(exps, sweep.Options{}).Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := sweep.RunAll(exps, sweep.Options{})
+		if err := sum.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sum.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunCacheHit measures a memoized run: the key hash, the LRU
+// lookup and the copy-out — everything but the simulation. The gap to
+// BenchmarkSingleRun (tens of milliseconds) is what the cache saves on
+// every repeated configuration.
+func BenchmarkRunCacheHit(b *testing.B) {
+	img, err := sweep.BenchmarkImage()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cache := runcache.New(16)
+	if _, err := cache.Run(cfg, img); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Run(cfg, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := cache.Stats(); s.Hits < uint64(b.N) {
+		b.Fatalf("expected every iteration to hit, got %+v", s)
 	}
 }

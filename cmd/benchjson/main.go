@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 
 	"pipesim/internal/bench"
 	"pipesim/internal/version"
@@ -89,6 +90,7 @@ func runCompare(args []string) int {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 10, "regression threshold in percent ns/op growth")
 	warnOnly := fs.Bool("warn-only", false, "report regressions but exit 0 (CI smoke mode)")
+	only := fs.String("only", "", "compare only benchmarks matching this regexp")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -103,6 +105,18 @@ func runCompare(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 1
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -only pattern: %v\n", err)
+			return 2
+		}
+		old, new = old.Filter(re), new.Filter(re)
+		if len(new.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -only %q matches no benchmark in %s\n", *only, fs.Arg(1))
+			return 1
+		}
 	}
 	c := bench.Compare(old, new, *threshold)
 	fmt.Printf("comparing %q (old) vs %q (new), threshold %.1f%%\n\n%s",

@@ -21,6 +21,7 @@
 //	experiments -progress          # log each experiment as it finishes
 //	experiments -metrics out.json  # write machine-readable sweep metrics
 //	experiments -log json          # JSON log records instead of text
+//	experiments -runcache=false    # disable simulation-result memoization
 //	experiments -version           # print build/VCS info and exit
 package main
 
@@ -31,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"pipesim/internal/runcache"
 	"pipesim/internal/sweep"
 	"pipesim/internal/version"
 )
@@ -47,9 +49,11 @@ func main() {
 		metrics  = flag.String("metrics", "", "write machine-readable sweep metrics (JSON) to this file")
 		logMode  = flag.String("log", "text", "log handler: text or json")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		useCache = flag.Bool("runcache", true, "memoize simulation results by (config, program) content hash")
 		showVer  = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
+	runcache.Default.SetEnabled(*useCache)
 
 	if *showVer {
 		fmt.Println(version.Get())

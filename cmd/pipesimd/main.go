@@ -23,6 +23,7 @@
 //	pipesimd -log json             # JSON log records instead of text
 //	pipesimd -drain 10s            # shutdown drain deadline
 //	pipesimd -run-timeout 2m       # per-run / per-experiment deadline
+//	pipesimd -runcache=false       # disable simulation-result memoization
 //	pipesimd -version              # print build/VCS info and exit
 package main
 
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"pipesim/internal/runcache"
 	"pipesim/internal/version"
 )
 
@@ -53,9 +55,11 @@ func run() int {
 		runTimeout = flag.Duration("run-timeout", 5*time.Minute, "per-run and per-sweep-experiment deadline (0 = none)")
 		maxBody    = flag.Int64("max-body", 1<<20, "maximum /v1/run request body in bytes")
 		workers    = flag.Int("parallel", 0, "default sweep worker count (0 = one per CPU)")
+		useCache   = flag.Bool("runcache", true, "memoize simulation results by (config, program) content hash")
 		showVer    = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
+	runcache.Default.SetEnabled(*useCache)
 
 	if *showVer {
 		fmt.Println(version.Get())

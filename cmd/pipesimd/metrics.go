@@ -1,8 +1,11 @@
 package main
 
 import (
+	"sync"
+
 	"pipesim"
 	"pipesim/internal/metrics"
+	"pipesim/internal/runcache"
 	"pipesim/internal/sweep"
 	"pipesim/internal/version"
 )
@@ -35,6 +38,17 @@ type daemonMetrics struct {
 
 	// Sweep experiments through /v1/sweep.
 	sweepExperiments *metrics.CounterVec // pipesimd_sweep_experiments_total{outcome}
+
+	// Content-addressed run cache (internal/runcache). The cache keeps its
+	// own monotonic counters; syncRunCache folds their growth into these
+	// families at scrape time.
+	runcacheHits      *metrics.Counter // pipesimd_runcache_hits_total
+	runcacheMisses    *metrics.Counter // pipesimd_runcache_misses_total
+	runcacheEvictions *metrics.Counter // pipesimd_runcache_evictions_total
+	runcacheSize      *metrics.Gauge   // pipesimd_runcache_entries
+
+	rcMu   sync.Mutex
+	rcLast runcache.Counters // counter values already folded in
 }
 
 // Error-kind label values for pipesimd_errors_total.
@@ -77,6 +91,14 @@ func newDaemonMetrics() *daemonMetrics {
 				"per-cycle attribution bucket.", "bucket"),
 		sweepExperiments: reg.CounterVec("pipesimd_sweep_experiments_total",
 			"Sweep experiments executed through /v1/sweep, by outcome.", "outcome"),
+		runcacheHits: reg.Counter("pipesimd_runcache_hits_total",
+			"Run-cache lookups answered from a memoized simulation result."),
+		runcacheMisses: reg.Counter("pipesimd_runcache_misses_total",
+			"Run-cache lookups that required a fresh simulation."),
+		runcacheEvictions: reg.Counter("pipesimd_runcache_evictions_total",
+			"Run-cache entries evicted by the LRU bound."),
+		runcacheSize: reg.Gauge("pipesimd_runcache_entries",
+			"Simulation results currently memoized in the run cache."),
 	}
 	v := version.Get()
 	m.buildInfo.With(v.Module, v.Version, v.ShortRevision(), v.GoVersion).Set(1)
@@ -107,6 +129,23 @@ func (m *daemonMetrics) addAttribution(a pipesim.Attribution) {
 	m.attribution.With("queue_full").Add(float64(a.QueueFull))
 	m.attribution.With("drain").Add(float64(a.Drain))
 	m.attribution.With("other").Add(float64(a.Other))
+}
+
+// syncRunCache folds the run cache's counter growth since the previous
+// sync into the exported families and refreshes the size gauge. The cache
+// counts monotonically; the registry's counters only support Add, so the
+// exporter tracks the last folded snapshot and adds deltas. Called at
+// scrape time — between scrapes the cache counts for itself.
+func (m *daemonMetrics) syncRunCache() {
+	cur := runcache.Default.Stats()
+	m.rcMu.Lock()
+	last := m.rcLast
+	m.rcLast = cur
+	m.rcMu.Unlock()
+	m.runcacheHits.Add(float64(cur.Hits - last.Hits))
+	m.runcacheMisses.Add(float64(cur.Misses - last.Misses))
+	m.runcacheEvictions.Add(float64(cur.Evictions - last.Evictions))
+	m.runcacheSize.Set(float64(cur.Size))
 }
 
 // addSweepAttribution folds a sweep outcome's aggregated buckets in (the

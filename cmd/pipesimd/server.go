@@ -405,6 +405,7 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.syncRunCache()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.reg.WritePrometheus(w); err != nil {
 		reqLog(r).Error("rendering metrics", "err", err)

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,6 +50,21 @@ type Baseline struct {
 	GoVersion  string      `json:"go_version,omitempty"`
 	Revision   string      `json:"revision,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Filter returns a copy of the baseline keeping only the benchmarks whose
+// name matches re. CI gates use it to fail on a chosen benchmark set (the
+// stable, high-signal ones) while the rest of a noisy 1-iteration smoke run
+// stays advisory.
+func (b *Baseline) Filter(re *regexp.Regexp) *Baseline {
+	out := *b
+	out.Benchmarks = nil
+	for _, bm := range b.Benchmarks {
+		if re.MatchString(bm.Name) {
+			out.Benchmarks = append(out.Benchmarks, bm)
+		}
+	}
+	return &out
 }
 
 // Parse reads `go test -bench` output and collects every benchmark line.

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
 
 	"pipesim/internal/cache"
 	"pipesim/internal/cpu"
@@ -148,7 +149,7 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 		return nil, err
 	}
 	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = 500_000_000
+		cfg.MaxCycles = DefaultMaxCycles
 	}
 	s := &Simulator{cfg: cfg, img: img}
 	var err error
@@ -202,6 +203,12 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !img.Native {
+		// Share the image's predecoded text so consuming an instruction
+		// skips the per-fetch decode (native parcel addresses do not
+		// index the fixed-format table).
+		s.cpu.SetDecodeTable(img.Decoded())
+	}
 	s.ring, err = trace.NewRing(RetireTraceDepth)
 	if err != nil {
 		return nil, err
@@ -245,20 +252,38 @@ func (s *Simulator) SetProbe(p obs.Probe) {
 
 // SetLoopRanges configures the PC ranges the retirement stream is matched
 // against; transitions emit KindLoopEnter/KindLoopExit to the attached
-// probe. Call before Run, with ranges resolved against Image().
-func (s *Simulator) SetLoopRanges(ranges []obs.LoopRange) { s.loops = ranges }
+// probe. Call before Run, with ranges resolved against Image(). Ranges must
+// not overlap (loop bodies are disjoint code regions); they are copied and
+// kept sorted by Start so every retirement resolves its loop with a binary
+// search instead of a scan over all ranges.
+func (s *Simulator) SetLoopRanges(ranges []obs.LoopRange) {
+	if len(ranges) == 0 {
+		s.loops = nil
+		return
+	}
+	s.loops = append([]obs.LoopRange(nil), ranges...)
+	sort.Slice(s.loops, func(i, j int) bool { return s.loops[i].Start < s.loops[j].Start })
+}
 
 // trackLoop emits loop-transition events when the retirement PC moves
 // between configured ranges. A loop's enter event precedes the retire event
 // of its first instruction, so collectors attribute that instruction — and
 // the rest of the cycle — to the loop being entered.
 func (s *Simulator) trackLoop(pc uint32) {
+	// The ranges are sorted by Start and disjoint: the only candidate is
+	// the last range starting at or before pc.
 	loop := 0
-	for i := range s.loops {
-		if pc >= s.loops[i].Start && pc < s.loops[i].End {
-			loop = s.loops[i].Loop
-			break
+	lo, hi := 0, len(s.loops)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.loops[mid].Start <= pc {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo > 0 && pc < s.loops[lo-1].End {
+		loop = s.loops[lo-1].Loop
 	}
 	if s.loopSeen && loop == s.curLoop {
 		return

@@ -1,0 +1,96 @@
+package core_test
+
+// Determinism is the precondition for memoizing simulation results
+// (internal/runcache): one (configuration, image) pair must always produce
+// the same statistics, run after run and across concurrent runs. These
+// tests pin that property on the full Livermore benchmark so a
+// nondeterminism bug (map iteration, shared mutable state between
+// Simulators, a data race) fails loudly here instead of silently serving
+// wrong cached results.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pipesim/internal/core"
+	"pipesim/internal/kernels"
+	"pipesim/internal/stats"
+)
+
+func runOnce(t testing.TB, cfg core.Config) *stats.Sim {
+	t.Helper()
+	img, _, err := kernels.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark run")
+	}
+	for _, cfg := range []core.Config{
+		core.DefaultConfig(),
+		func() core.Config {
+			c := core.DefaultConfig()
+			c.Fetch = core.FetchConventional
+			c.Mem.AccessTime = 6
+			c.Mem.BusWidthBytes = 8
+			return c
+		}(),
+	} {
+		a := runOnce(t, cfg)
+		b := runOnce(t, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("strategy %v: two identical runs differ:\nfirst  %+v\nsecond %+v",
+				cfg.Fetch, a, b)
+		}
+	}
+}
+
+func TestDeterministicUnderConcurrency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark runs")
+	}
+	cfg := core.DefaultConfig()
+	want := runOnce(t, cfg)
+	img, _, err := kernels.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]*stats.Sim, 8)
+	errs := make([]error, len(results))
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sim, err := core.New(cfg, img)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = sim.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if errs[i] != nil {
+			t.Errorf("concurrent run %d: %v", i, errs[i])
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("concurrent run %d differs:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+}

@@ -25,6 +25,11 @@ const RetireTraceDepth = 32
 // MaxCycles runaway guard, so deadlocks are reported in seconds, not hours.
 const DefaultWatchdogCycles = 1_000_000
 
+// DefaultMaxCycles is the runaway-run guard used when Config.MaxCycles is
+// zero. Exported so result memoization (internal/runcache) can canonicalize
+// configurations: a zero and an explicit default are the same machine.
+const DefaultMaxCycles = 500_000_000
+
 // MachineCheckError reports a simulator bug: a panic escaped the internal
 // packages during Run. It carries enough context — cycle, PC, strategy, the
 // offending configuration and the tail of the retirement trace — to

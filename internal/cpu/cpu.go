@@ -104,6 +104,12 @@ type dcacheHit struct {
 	at    uint64
 }
 
+// arrivedSlot is one entry of the LDQ in-order completion buffer.
+type arrivedSlot struct {
+	value int32
+	valid bool
+}
+
 // CPU is the processor model.
 type CPU struct {
 	cfg Config
@@ -124,10 +130,12 @@ type CPU struct {
 	sdq *queue.Queue[int32]
 
 	// LDQ sequencing: slots are reserved in dispatch (= program) order;
-	// arrivals are buffered and pushed in order.
+	// arrivals are buffered and pushed in order. The reorder buffer is a
+	// ring indexed seq mod LDQDepth: at most LDQDepth reservations are
+	// outstanding (the dispatch gate), so slots never collide.
 	ldqSeqNext    uint64
 	ldqSeqHead    uint64
-	arrived       map[uint64]int32
+	arrived       []arrivedSlot
 	inflightLoads int
 
 	// memSeqNext tags LAQ/SAQ entries in program order at address
@@ -142,6 +150,15 @@ type CPU struct {
 	// onLoadWord is the shared load-return callback (avoids one closure
 	// allocation per load).
 	onLoadWord func(addr uint32, w uint32, seq uint64)
+
+	// fst caches eng.Stats() so starvation accounting does not repeat the
+	// interface dispatch every starved cycle.
+	fst *stats.Fetch
+
+	// dec, when non-nil, is the image's shared predecoded text segment:
+	// the instruction at byte address 4*i is dec[i] (fixed format only).
+	// Consuming an instruction then skips isa.Decode entirely.
+	dec []isa.Inst
 
 	fetchHalted bool // HALT has been fetched; stop consuming
 	halted      bool // HALT has retired
@@ -214,7 +231,8 @@ func New(cfg Config, eng fetch.Engine, sys *mem.System, st *stats.CPU) (*CPU, er
 		ldq:     ldq,
 		saq:     saq,
 		sdq:     sdq,
-		arrived: make(map[uint64]int32),
+		arrived: make([]arrivedSlot, cfg.LDQDepth),
+		fst:     eng.Stats(),
 	}
 	if cfg.DCacheBytes > 0 {
 		line := cfg.DCacheLineBytes
@@ -236,6 +254,11 @@ func New(cfg Config, eng fetch.Engine, sys *mem.System, st *stats.CPU) (*CPU, er
 	}
 	return c, nil
 }
+
+// SetDecodeTable installs the image's shared predecoded text segment (see
+// program.Image.Decoded). Fixed-format images only; pass nil to decode from
+// the instruction word on every consume.
+func (c *CPU) SetDecodeTable(dec []isa.Inst) { c.dec = dec }
 
 // SetProbe attaches an observability probe. Call before the first Tick.
 func (c *CPU) SetProbe(p obs.Probe) {
@@ -284,14 +307,15 @@ func (c *CPU) RaiseInterrupt(vector uint32) {
 // loadArrived buffers a returned load/FPU value and pushes buffered values
 // into the LDQ in reservation order.
 func (c *CPU) loadArrived(seq uint64, value uint32) {
-	c.arrived[seq] = int32(value)
+	n := uint64(len(c.arrived))
+	c.arrived[seq%n] = arrivedSlot{value: int32(value), valid: true}
 	for {
-		v, ok := c.arrived[c.ldqSeqHead]
-		if !ok {
+		s := &c.arrived[c.ldqSeqHead%n]
+		if !s.valid {
 			break
 		}
-		delete(c.arrived, c.ldqSeqHead)
-		c.ldq.MustPush(v) // slot was reserved at dispatch
+		c.ldq.MustPush(s.value) // slot was reserved at dispatch
+		s.valid = false
 		c.inflightLoads--
 		c.ldqSeqHead++
 	}
@@ -602,11 +626,18 @@ func (c *CPU) decodeAndFetch() {
 	pc, w, ok := c.eng.Head()
 	if !ok {
 		c.st.StallFetchEmpty++
-		c.eng.Stats().StarvedCycles++
+		c.fst.StarvedCycles++
 		return
 	}
 	c.eng.Consume()
-	c.id = slot{valid: true, pc: pc, in: isa.Decode(w)}
+	var in isa.Inst
+	if idx := (pc - program.TextBase) / isa.WordBytes; c.dec != nil &&
+		pc%isa.WordBytes == 0 && idx < uint32(len(c.dec)) {
+		in = c.dec[idx]
+	} else {
+		in = isa.Decode(w)
+	}
+	c.id = slot{valid: true, pc: pc, in: in}
 	if c.windowOpen > 0 {
 		c.windowOpen--
 	}
@@ -663,13 +694,12 @@ func (c *CPU) dispatchMemory() {
 		}
 		c.saq.MustPop()
 		datum := c.sdq.MustPop()
-		req := &mem.Request{
-			Kind:  stats.ReqDataStore,
-			Addr:  sa.addr &^ 3,
-			Size:  4,
-			Store: true,
-			Data:  []uint32{uint32(datum)},
-		}
+		req := c.sys.AllocRequest()
+		req.Kind = stats.ReqDataStore
+		req.Addr = sa.addr &^ 3
+		req.Size = 4
+		req.Store = true
+		req.Data = append(req.Data[:0], uint32(datum))
 		if fpuTrigger {
 			req.Seq = c.ldqSeqNext
 			c.ldqSeqNext++
@@ -705,13 +735,13 @@ func (c *CPU) dispatchMemory() {
 		seq := c.ldqSeqNext
 		c.ldqSeqNext++
 		c.inflightLoads++
-		c.lastData = c.sys.Submit(&mem.Request{
-			Kind:   stats.ReqDataLoad,
-			Addr:   la.addr &^ 3,
-			Size:   4,
-			Seq:    seq,
-			OnWord: c.onLoadWord,
-		})
+		req := c.sys.AllocRequest()
+		req.Kind = stats.ReqDataLoad
+		req.Addr = la.addr &^ 3
+		req.Size = 4
+		req.Seq = seq
+		req.OnWord = c.onLoadWord
+		c.lastData = c.sys.Submit(req)
 	}
 }
 

@@ -55,6 +55,13 @@ type Conv struct {
 	outChunk    uint32
 	outHandle   mem.Handle
 
+	// onChunkWord/onChunkDone are the chunk-fill callbacks, built once at
+	// construction: a single request may be outstanding, so the out*
+	// fields describe it completely and no per-request closures are
+	// needed.
+	onChunkWord func(addr uint32, word uint32, seq uint64)
+	onChunkDone func(seq uint64)
+
 	// Native format: split-instruction latch (see the PIPE engine); holds
 	// a first parcel that a tail-line fill might otherwise evict.
 	capAddr  uint32
@@ -90,6 +97,20 @@ func NewConv(cfg ConvConfig, cacheArr *cache.Cache, img *program.Image, sys *mem
 	c := &Conv{cfg: cfg, cache: cacheArr, img: img, sys: sys}
 	c.str.reset(pc)
 	c.str.varlen = img.Native
+	c.onChunkWord = func(addr uint32, _ uint32, _ uint64) {
+		c.cache.FillSub(addr)
+		if c.img.Native {
+			c.cache.FillSub(addr + isa.ParcelBytes)
+		}
+	}
+	c.onChunkDone = func(_ uint64) {
+		c.outstanding = false
+		if c.outDemand {
+			c.emit(obs.KindFetchComplete, c.outChunk)
+		} else {
+			c.emit(obs.KindPrefetchComplete, c.outChunk)
+		}
+	}
 	return c, nil
 }
 
@@ -265,25 +286,13 @@ func (c *Conv) issue(chunk uint32, demand bool) {
 	c.outstanding = true
 	c.outDemand = demand
 	c.outChunk = chunk
-	c.outHandle = c.sys.Submit(&mem.Request{
-		Kind: kind,
-		Addr: chunk,
-		Size: c.cfg.ChunkBytes,
-		OnWord: func(addr uint32, _ uint32, _ uint64) {
-			c.cache.FillSub(addr)
-			if c.img.Native {
-				c.cache.FillSub(addr + isa.ParcelBytes)
-			}
-		},
-		OnComplete: func(_ uint64) {
-			c.outstanding = false
-			if demand {
-				c.emit(obs.KindFetchComplete, chunk)
-			} else {
-				c.emit(obs.KindPrefetchComplete, chunk)
-			}
-		},
-	})
+	r := c.sys.AllocRequest()
+	r.Kind = kind
+	r.Addr = chunk
+	r.Size = c.cfg.ChunkBytes
+	r.OnWord = c.onChunkWord
+	r.OnComplete = c.onChunkDone
+	c.outHandle = c.sys.Submit(r)
 }
 
 // instAt returns the instruction and byte length at addr; past the text

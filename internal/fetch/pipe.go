@@ -86,7 +86,15 @@ type Pipe struct {
 	inflightLine   uint32 // line-aligned address of the in-flight request
 	inflightFrom   uint32 // first address whose word enters the IQB
 	inflightInsert bool   // false once a taken branch killed the insert
+	inflightDemand bool   // accepted at demand (vs prefetch) priority
 	inflightHandle mem.Handle
+
+	// onLineWord/onLineDone are the line-fill callbacks, built once at
+	// construction: the single-outstanding-request discipline means the
+	// inflight* fields fully describe the request being serviced, so no
+	// per-request closure captures are needed.
+	onLineWord func(addr uint32, word uint32, seq uint64)
+	onLineDone func(seq uint64)
 
 	// Native format: a two-parcel instruction can straddle a line
 	// boundary; with a tiny cache, fetching the second line may evict the
@@ -144,6 +152,37 @@ func NewPipe(cfg PipeConfig, cacheArr *cache.Cache, img *program.Image, sys *mem
 	p.str.reset(pc)
 	p.str.varlen = img.Native
 	p.fetchAddr = pc
+	p.onLineWord = func(addr uint32, _ uint32, _ uint64) {
+		if p.img.Native {
+			p.cache.FillSub(addr)
+			p.cache.FillSub(addr + isa.ParcelBytes)
+			p.drainNative()
+			return
+		}
+		p.cache.FillSub(addr)
+		if !p.inflightInsert || addr < p.inflightFrom {
+			return
+		}
+		if stop, ok := p.stopAt(); ok && addr >= stop {
+			return
+		}
+		if p.iqb.Full() {
+			panic("fetch: IQB overflow during line fill")
+		}
+		p.iqb.MustPush(entry{addr: addr, word: p.wordAt(addr), nbytes: isa.WordBytes})
+	}
+	p.onLineDone = func(_ uint64) {
+		if p.inflightInsert && !p.img.Native {
+			p.advanceFetch(p.inflightLine + uint32(p.cfg.LineBytes))
+		}
+		p.inflight = false
+		p.inflightInsert = false
+		if p.inflightDemand {
+			p.emit(obs.KindFetchComplete, p.inflightLine)
+		} else {
+			p.emit(obs.KindPrefetchComplete, p.inflightLine)
+		}
+	}
 	return p, nil
 }
 
@@ -259,11 +298,11 @@ func (p *Pipe) flushWrongPath(pc uint32) {
 }
 
 // trimQueue removes queued entries at or past limit. Entries are contiguous
-// ascending addresses, so this pops from the logical tail.
+// ascending addresses, so one full rotation keeps the survivors in FIFO
+// order without allocating.
 func (p *Pipe) trimQueue(q *queue.Queue[entry], limit uint32) {
-	kept := q.Slice()
-	q.Clear()
-	for _, e := range kept {
+	for n := q.Len(); n > 0; n-- {
+		e := q.MustPop()
 		if e.addr < limit {
 			q.MustPush(e)
 		}
@@ -463,42 +502,14 @@ func (p *Pipe) requestLine(lineAddr uint32) {
 	p.inflightLine = lineAddr
 	p.inflightFrom = p.fetchAddr
 	p.inflightInsert = true
-	p.inflightHandle = p.sys.Submit(&mem.Request{
-		Kind: kind,
-		Addr: lineAddr,
-		Size: p.cfg.LineBytes,
-		OnWord: func(addr uint32, _ uint32, _ uint64) {
-			if p.img.Native {
-				p.cache.FillSub(addr)
-				p.cache.FillSub(addr + isa.ParcelBytes)
-				p.drainNative()
-				return
-			}
-			p.cache.FillSub(addr)
-			if !p.inflightInsert || addr < p.inflightFrom {
-				return
-			}
-			if stop, ok := p.stopAt(); ok && addr >= stop {
-				return
-			}
-			if p.iqb.Full() {
-				panic("fetch: IQB overflow during line fill")
-			}
-			p.iqb.MustPush(entry{addr: addr, word: p.wordAt(addr), nbytes: isa.WordBytes})
-		},
-		OnComplete: func(_ uint64) {
-			if p.inflightInsert && !p.img.Native {
-				p.advanceFetch(p.inflightLine + uint32(p.cfg.LineBytes))
-			}
-			p.inflight = false
-			p.inflightInsert = false
-			if demand {
-				p.emit(obs.KindFetchComplete, lineAddr)
-			} else {
-				p.emit(obs.KindPrefetchComplete, lineAddr)
-			}
-		},
-	})
+	p.inflightDemand = demand
+	r := p.sys.AllocRequest()
+	r.Kind = kind
+	r.Addr = lineAddr
+	r.Size = p.cfg.LineBytes
+	r.OnWord = p.onLineWord
+	r.OnComplete = p.onLineDone
+	p.inflightHandle = p.sys.Submit(r)
 }
 
 // instAt returns the instruction and its byte length at addr in this
@@ -608,7 +619,7 @@ func (p *Pipe) guaranteeEnd() (uint32, bool) {
 	if redirectAt, unresolved := p.str.oldestUnresolved(); unresolved {
 		return redirectAt, true
 	}
-	for _, q := range []*queue.Queue[entry]{p.iq, p.iqb} {
+	for _, q := range [...]*queue.Queue[entry]{p.iq, p.iqb} {
 		for i := 0; i < q.Len(); i++ {
 			e, _ := q.At(i)
 			if isa.WordIsBranch(e.word) {

@@ -65,9 +65,15 @@ type TIB struct {
 	allocIdx    int
 	allocNext   uint32
 
-	inflight     bool
-	inflightFrom uint32
-	inflightIns  bool
+	inflight       bool
+	inflightFrom   uint32
+	inflightIns    bool
+	inflightDemand bool
+
+	// onLineWord/onLineDone are the line-fill callbacks, built once at
+	// construction (single outstanding request; see the PIPE engine).
+	onLineWord func(addr uint32, word uint32, seq uint64)
+	onLineDone func(seq uint64)
 
 	probe   obs.Probe
 	lastBuf int
@@ -109,6 +115,30 @@ func NewTIB(cfg TIBConfig, img *program.Image, sys *mem.System, pc uint32) (*TIB
 	}
 	t.str.reset(pc)
 	t.fetchAddr = pc
+	t.onLineWord = func(addr uint32, _ uint32, _ uint64) {
+		w := t.wordAt(addr)
+		if t.allocActive && addr == t.allocNext {
+			e := &t.entries[t.allocIdx]
+			if len(e.words) < cap(e.words) {
+				e.words = append(e.words, w)
+				t.allocNext += isa.WordBytes
+			}
+			if len(e.words) == cap(e.words) {
+				t.allocActive = false
+			}
+		}
+		if t.inflightIns && !t.buf.Full() {
+			t.buf.MustPush(entry{addr: addr, word: w})
+		}
+	}
+	t.onLineDone = func(_ uint64) {
+		t.inflight = false
+		if t.inflightDemand {
+			t.emit(obs.KindFetchComplete, t.inflightFrom)
+		} else {
+			t.emit(obs.KindPrefetchComplete, t.inflightFrom)
+		}
+	}
 	return t, nil
 }
 
@@ -243,37 +273,16 @@ func (t *TIB) Tick() {
 	t.inflight = true
 	t.inflightFrom = t.fetchAddr
 	t.inflightIns = true
+	t.inflightDemand = demand
 	from := t.fetchAddr
 	t.fetchAddr += uint32(t.cfg.LineBytes)
-	t.sys.Submit(&mem.Request{
-		Kind: kind,
-		Addr: from,
-		Size: t.cfg.LineBytes,
-		OnWord: func(addr uint32, _ uint32, _ uint64) {
-			w := t.wordAt(addr)
-			if t.allocActive && addr == t.allocNext {
-				e := &t.entries[t.allocIdx]
-				if len(e.words) < cap(e.words) {
-					e.words = append(e.words, w)
-					t.allocNext += isa.WordBytes
-				}
-				if len(e.words) == cap(e.words) {
-					t.allocActive = false
-				}
-			}
-			if t.inflightIns && !t.buf.Full() {
-				t.buf.MustPush(entry{addr: addr, word: w})
-			}
-		},
-		OnComplete: func(_ uint64) {
-			t.inflight = false
-			if demand {
-				t.emit(obs.KindFetchComplete, from)
-			} else {
-				t.emit(obs.KindPrefetchComplete, from)
-			}
-		},
-	})
+	r := t.sys.AllocRequest()
+	r.Kind = kind
+	r.Addr = from
+	r.Size = t.cfg.LineBytes
+	r.OnWord = t.onLineWord
+	r.OnComplete = t.onLineDone
+	t.sys.Submit(r)
 }
 
 // wordAt fetches an instruction word from the program image; addresses past

@@ -101,6 +101,11 @@ func IsFPUTrigger(addr uint32) bool {
 // Request is one off-chip transaction. Reads deliver words through OnWord
 // (one call per word, in address order) and then call OnComplete; stores
 // call only OnComplete. Seq is an opaque tag passed back to the callbacks.
+//
+// Requesters on the simulator's hot path obtain Requests from the owning
+// System's pool via AllocRequest, which recycles them once they complete;
+// a Request built directly with a composite literal works identically but
+// is garbage-collected instead.
 type Request struct {
 	Kind       stats.ReqKind
 	Addr       uint32 // must be 4-byte aligned
@@ -113,18 +118,27 @@ type Request struct {
 
 	canceled bool
 	accepted bool
+	pooled   bool   // recycled by the System once completed or canceled
+	gen      uint32 // bumped on recycle; stale Handles become inert
+
+	fpuResult uint32 // FPU-result payload (internal requests only)
 }
 
 // Handle lets a requester cancel a request that has not yet been accepted
 // by the memory interface (used by the conventional cache to replace a
-// queued prefetch with a demand fetch).
-type Handle struct{ r *Request }
+// queued prefetch with a demand fetch). The generation tag makes a Handle
+// held past its request's completion inert rather than aliasing whatever
+// transaction reuses the pooled Request next.
+type Handle struct {
+	r   *Request
+	gen uint32
+}
 
 // Cancel withdraws the request if it is still waiting for acceptance and
 // reports whether it did so. A request already accepted runs to completion,
 // as in the paper's single-outstanding-request model.
 func (h Handle) Cancel() bool {
-	if h.r == nil || h.r.accepted || h.r.canceled {
+	if h.r == nil || h.r.gen != h.gen || h.r.accepted || h.r.canceled {
 		return false
 	}
 	h.r.canceled = true
@@ -133,7 +147,9 @@ func (h Handle) Cancel() bool {
 
 // Queued reports whether the request is still waiting (not accepted, not
 // canceled).
-func (h Handle) Queued() bool { return h.r != nil && !h.r.accepted && !h.r.canceled }
+func (h Handle) Queued() bool {
+	return h.r != nil && h.r.gen == h.gen && !h.r.accepted && !h.r.canceled
+}
 
 type inflight struct {
 	req           *Request
@@ -165,6 +181,16 @@ type System struct {
 	inflight       []*inflight
 	memFreeAt      uint64 // non-pipelined: earliest next acceptance
 	inputBusFreeAt uint64 // watermark of the next free input-bus cycle
+
+	prio    [numClasses]int // arbitration order, fixed by the config
+	pending int             // queued requests across all classes (arbiter fast path)
+
+	// Free lists for the per-transaction bookkeeping objects. A simulated
+	// run issues hundreds of thousands of requests; recycling them keeps
+	// the hot loop allocation-free after warm-up. Single-threaded like the
+	// rest of the System.
+	freeReq []*Request
+	freeInf []*inflight
 
 	fpuA         uint32
 	fpuLastReady uint64
@@ -203,7 +229,39 @@ func New(cfg Config, img *program.Image, st *stats.Mem) (*System, error) {
 		}
 		s.queues[k] = q
 	}
+	if cfg.InstrPriority {
+		s.prio = [...]int{classIFetch, classData, classFPUResult, classIPrefetch}
+	} else {
+		s.prio = [...]int{classData, classIFetch, classFPUResult, classIPrefetch}
+	}
 	return s, nil
+}
+
+// AllocRequest returns a zeroed Request from the System's pool. The System
+// recycles it automatically when the transaction completes (or its queued
+// request is dropped after cancelation); the caller must not retain the
+// pointer past that point — Handles are safe to keep, they go inert.
+func (s *System) AllocRequest() *Request {
+	if n := len(s.freeReq); n > 0 {
+		r := s.freeReq[n-1]
+		s.freeReq = s.freeReq[:n-1]
+		return r
+	}
+	return &Request{pooled: true}
+}
+
+// releaseRequest returns a pooled request to the free list. Callbacks and
+// store data are cleared (the Data slice keeps its capacity for reuse) and
+// the generation advances so outstanding Handles cannot observe the next
+// transaction.
+func (s *System) releaseRequest(r *Request) {
+	if !r.pooled {
+		return
+	}
+	gen := r.gen + 1
+	data := r.Data[:0]
+	*r = Request{pooled: true, gen: gen, Data: data}
+	s.freeReq = append(s.freeReq, r)
 }
 
 // Cycle returns the current cycle number (the cycle most recently passed to
@@ -237,7 +295,8 @@ func (s *System) Submit(r *Request) Handle {
 		panic(fmt.Sprintf("mem: store data length %d != %d words", len(r.Data), r.Size/4))
 	}
 	s.queues[classOf(r.Kind)].MustPush(r)
-	return Handle{r: r}
+	s.pending++
+	return Handle{r: r, gen: r.gen}
 }
 
 // Arbitration classes. Data loads and stores share one FIFO class so that
@@ -264,14 +323,6 @@ func classOf(k stats.ReqKind) int {
 	default:
 		return classIPrefetch
 	}
-}
-
-// priorityOrder returns the arbitration order for the configuration.
-func (s *System) priorityOrder() [numClasses]int {
-	if s.cfg.InstrPriority {
-		return [...]int{classIFetch, classData, classFPUResult, classIPrefetch}
-	}
-	return [...]int{classData, classIFetch, classFPUResult, classIPrefetch}
 }
 
 // Tick advances the memory system one full cycle: BeginCycle followed by
@@ -301,22 +352,22 @@ func (s *System) EndCycle() {
 }
 
 // fpuComplete turns finished FPU operations into result-return requests.
+// The result value rides in the request itself and is delivered straight to
+// FPUSink, so no per-operation closure is allocated.
 func (s *System) fpuComplete() {
+	if len(s.fpuOps) == 0 {
+		return
+	}
 	rest := s.fpuOps[:0]
 	for _, op := range s.fpuOps {
 		if op.readyAt <= s.cycle {
-			op := op
-			s.Submit(&Request{
-				Kind: stats.ReqFPUResult,
-				Addr: AddrFPUA, // nominal source address
-				Size: 4,
-				Seq:  op.seq,
-				OnWord: func(_ uint32, _ uint32, seq uint64) {
-					if s.FPUSink != nil {
-						s.FPUSink(seq, op.result)
-					}
-				},
-			})
+			r := s.AllocRequest()
+			r.Kind = stats.ReqFPUResult
+			r.Addr = AddrFPUA // nominal source address
+			r.Size = 4
+			r.Seq = op.seq
+			r.fpuResult = op.result
+			s.Submit(r)
 		} else {
 			rest = append(rest, op)
 		}
@@ -326,6 +377,9 @@ func (s *System) fpuComplete() {
 
 // deliver performs this cycle's input-bus transfers and completions.
 func (s *System) deliver() {
+	if len(s.inflight) == 0 {
+		return
+	}
 	kept := s.inflight[:0]
 	for _, f := range s.inflight {
 		if !f.req.Store && f.transfers > 0 {
@@ -339,13 +393,15 @@ func (s *System) deliver() {
 					addr := f.req.Addr + uint32(f.delivered*4)
 					var w uint32
 					switch {
-					case f.data != nil:
+					case len(f.data) > 0:
 						w = f.data[f.delivered]
 					case f.hasData:
 						w = f.word0
 					}
 					if f.req.OnWord != nil {
 						f.req.OnWord(addr, w, f.req.Seq)
+					} else if f.req.Kind == stats.ReqFPUResult && s.FPUSink != nil {
+						s.FPUSink(f.req.Seq, w)
 					}
 					f.delivered++
 					s.st.WordsDelivered++
@@ -360,6 +416,8 @@ func (s *System) deliver() {
 			if f.req.OnComplete != nil {
 				f.req.OnComplete(f.req.Seq)
 			}
+			s.releaseRequest(f.req)
+			s.releaseInflight(f)
 			continue
 		}
 		kept = append(kept, f)
@@ -367,10 +425,37 @@ func (s *System) deliver() {
 	s.inflight = kept
 }
 
+// allocInflight draws a transaction record from the pool.
+func (s *System) allocInflight() *inflight {
+	if n := len(s.freeInf); n > 0 {
+		f := s.freeInf[n-1]
+		s.freeInf = s.freeInf[:n-1]
+		return f
+	}
+	return &inflight{}
+}
+
+// releaseInflight recycles a completed transaction record, keeping the
+// multi-word data buffer's capacity.
+func (s *System) releaseInflight(f *inflight) {
+	data := f.data
+	if data != nil {
+		data = data[:0]
+	}
+	*f = inflight{data: data}
+	s.freeInf = append(s.freeInf, f)
+}
+
 // accept runs the priority arbiter and starts at most one request.
 func (s *System) accept() {
-	for _, class := range s.priorityOrder() {
+	if s.pending == 0 {
+		return // nothing queued anywhere: the common idle cycle
+	}
+	for _, class := range s.prio {
 		q := s.queues[class]
+		if q.Len() == 0 {
+			continue
+		}
 		// Drop canceled requests at the head.
 		for {
 			head, ok := q.Peek()
@@ -378,6 +463,8 @@ func (s *System) accept() {
 				break
 			}
 			q.MustPop()
+			s.pending--
+			s.releaseRequest(head)
 		}
 		head, ok := q.Peek()
 		if !ok {
@@ -392,6 +479,7 @@ func (s *System) accept() {
 			continue
 		}
 		q.MustPop()
+		s.pending--
 		s.start(head)
 		return
 	}
@@ -411,7 +499,10 @@ func (s *System) start(r *Request) {
 		if !s.cfg.Pipelined {
 			s.memFreeAt = done
 		}
-		s.inflight = append(s.inflight, &inflight{req: r, done: done})
+		f := s.allocInflight()
+		f.req = r
+		f.done = done
+		s.inflight = append(s.inflight, f)
 		return
 	}
 	n := (r.Size + s.cfg.BusWidthBytes - 1) / s.cfg.BusWidthBytes
@@ -427,21 +518,29 @@ func (s *System) start(r *Request) {
 		}
 	}
 	s.inputBusFreeAt = first + uint64(n)
-	f := &inflight{
-		req:           r,
-		firstTransfer: first,
-		transfers:     n,
-		done:          first + uint64(n) - 1,
-	}
-	if r.Kind != stats.ReqFPUResult {
+	f := s.allocInflight()
+	f.req = r
+	f.firstTransfer = first
+	f.transfers = n
+	f.done = first + uint64(n) - 1
+	switch {
+	case r.Kind == stats.ReqFPUResult:
+		// The FPU produced the value; it rides in the request.
 		f.hasData = true
-		if r.Size == 4 {
-			f.word0 = s.ReadWord(r.Addr)
+		f.word0 = r.fpuResult
+	case r.Size == 4:
+		f.hasData = true
+		f.word0 = s.ReadWord(r.Addr)
+	default:
+		f.hasData = true
+		words := r.Size / 4
+		if cap(f.data) >= words {
+			f.data = f.data[:words]
 		} else {
-			f.data = make([]uint32, r.Size/4)
-			for i := range f.data {
-				f.data[i] = s.ReadWord(r.Addr + uint32(i*4))
-			}
+			f.data = make([]uint32, words)
+		}
+		for i := range f.data {
+			f.data[i] = s.ReadWord(r.Addr + uint32(i*4))
 		}
 	}
 	s.inflight = append(s.inflight, f)

@@ -6,9 +6,12 @@
 package program
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"pipesim/internal/isa"
 )
@@ -45,6 +48,14 @@ type Image struct {
 	nativeAddrs []uint32 // instruction start addresses (ascending)
 	nativeLens  []uint8  // instruction byte lengths (2 or 4)
 	nativeRAM   []uint32 // packed parcels as word-addressed memory
+
+	// Lazily built derived state. Images are immutable once linked, so
+	// both are computed at most once and shared by every simulation
+	// running the image, including concurrent ones.
+	decodeOnce sync.Once
+	decoded    []isa.Inst
+	fpOnce     sync.Once
+	fp         [sha256.Size]byte
 }
 
 // TextEnd returns the byte address one past the last instruction.
@@ -57,6 +68,60 @@ func (im *Image) InstWord(addr uint32) (uint32, bool) {
 		return 0, false
 	}
 	return im.Text[(addr-TextBase)/isa.WordBytes], true
+}
+
+// Decoded returns the text segment predecoded into isa.Inst form: the
+// instruction at byte address TextBase+4*i is Decoded()[i]. The table is
+// built once per image and shared read-only across all simulations of it,
+// so the per-fetch decode disappears from the simulator's hot loop. Only
+// meaningful for fixed-format images; native images keep decoding from the
+// queued instruction word (their text indices are not parcel addresses).
+func (im *Image) Decoded() []isa.Inst {
+	im.decodeOnce.Do(func() {
+		tbl := make([]isa.Inst, len(im.Text))
+		for i, w := range im.Text {
+			tbl[i] = isa.Decode(w)
+		}
+		im.decoded = tbl
+	})
+	return im.decoded
+}
+
+// Fingerprint returns a content hash identifying everything about the image
+// that can influence a simulation: the text and data segments, the entry
+// point and the layout format. Two images with equal fingerprints produce
+// identical runs under identical configurations (the simulator is
+// deterministic), which is what makes results memoizable. Symbols are
+// deliberately excluded: they name addresses but never change execution.
+func (im *Image) Fingerprint() [sha256.Size]byte {
+	im.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		writeU32 := func(v uint32) {
+			binary.LittleEndian.PutUint32(buf[:4], v)
+			h.Write(buf[:4])
+		}
+		writeU64 := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:8], v)
+			h.Write(buf[:8])
+		}
+		writeU64(uint64(len(im.Text)))
+		for _, w := range im.Text {
+			writeU32(w)
+		}
+		writeU64(uint64(len(im.Data)))
+		for _, w := range im.Data {
+			writeU32(w)
+		}
+		writeU32(im.Entry)
+		if im.Native {
+			writeU32(1)
+		} else {
+			writeU32(0)
+		}
+		h.Sum(im.fp[:0])
+	})
+	return im.fp
 }
 
 // Lookup returns the address of a symbol.

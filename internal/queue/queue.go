@@ -39,13 +39,23 @@ func (q *Queue[T]) Empty() bool { return q.n == 0 }
 // Full reports whether the queue is at capacity.
 func (q *Queue[T]) Full() bool { return q.n == len(q.buf) }
 
+// wrap reduces an index in [0, 2*cap) onto the ring. Every index the queue
+// computes is head+k with head < cap and k <= cap, so one conditional
+// subtraction replaces a hardware divide on the hot path.
+func (q *Queue[T]) wrap(i int) int {
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	return i
+}
+
 // Push appends v at the tail. It reports false (and leaves the queue
 // unchanged) when the queue is full.
 func (q *Queue[T]) Push(v T) bool {
 	if q.Full() {
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.buf[q.wrap(q.head+q.n)] = v
 	q.n++
 	return true
 }
@@ -77,7 +87,7 @@ func (q *Queue[T]) At(i int) (T, bool) {
 		var zero T
 		return zero, false
 	}
-	return q.buf[(q.head+i)%len(q.buf)], true
+	return q.buf[q.wrap(q.head+i)], true
 }
 
 // Pop removes and returns the head element. It reports false when the queue
@@ -90,7 +100,7 @@ func (q *Queue[T]) Pop() (T, bool) {
 	v := q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero // release any references
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = q.wrap(q.head + 1)
 	q.n--
 	return v, true
 }
@@ -120,7 +130,7 @@ func (q *Queue[T]) Clear() {
 func (q *Queue[T]) Slice() []T {
 	out := make([]T, q.n)
 	for i := 0; i < q.n; i++ {
-		out[i] = q.buf[(q.head+i)%len(q.buf)]
+		out[i] = q.buf[q.wrap(q.head+i)]
 	}
 	return out
 }

@@ -1,0 +1,252 @@
+// Package runcache memoizes complete simulation results. The simulator is
+// deterministic: one (configuration, program image) pair always produces
+// the same statistics, so a finished run's stats.Sim can stand in for any
+// repeat of the same point. The experiment catalog re-simulates many
+// identical machines (Figure 6a's machine is Figure 5b's), and a serving
+// daemon sees the same sweep requests over and over; both hit this cache
+// instead of re-running the 150k-instruction benchmark.
+//
+// Keys are content-addressed: a canonical hash of the full core.Config and
+// the program image's fingerprint. Configurations that denote the same
+// machine (for example MaxCycles zero versus the explicit default) hash to
+// the same key. Values are immutable — Get returns a copy, so no caller can
+// corrupt a cached result — and eviction is least-recently-used with a
+// bounded entry count.
+package runcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"pipesim/internal/core"
+	"pipesim/internal/program"
+	"pipesim/internal/stats"
+)
+
+// Key identifies one simulated machine: a canonical hash of the complete
+// configuration and the program image content.
+type Key [sha256.Size]byte
+
+// KeyFor computes the content-addressed key for running cfg over the image
+// with the given fingerprint. The configuration is canonicalized first so
+// equivalent configurations collide (deliberately).
+func KeyFor(cfg core.Config, imageFP [sha256.Size]byte) Key {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = core.DefaultMaxCycles
+	}
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = core.DefaultWatchdogCycles
+	}
+	h := sha256.New()
+	var b [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	num := func(v int) { u64(uint64(int64(v))) }
+	flag := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	// Version tag: bump when the hashed field set changes, so stale keys
+	// from an older layout can never alias a new one.
+	h.Write([]byte("pipesim-runcache/v1"))
+	num(int(cfg.Fetch))
+	num(cfg.CacheBytes)
+	num(cfg.LineBytes)
+	num(cfg.IQBytes)
+	num(cfg.IQBBytes)
+	flag(cfg.TruePrefetch)
+	flag(cfg.DeepPrefetch)
+	flag(cfg.NativeFormat)
+	num(cfg.TIBEntries)
+	num(cfg.TIBLineBytes)
+	num(cfg.Mem.AccessTime)
+	num(cfg.Mem.BusWidthBytes)
+	flag(cfg.Mem.Pipelined)
+	flag(cfg.Mem.InstrPriority)
+	num(cfg.Mem.FPULatency)
+	num(cfg.CPU.LAQDepth)
+	num(cfg.CPU.LDQDepth)
+	num(cfg.CPU.SAQDepth)
+	num(cfg.CPU.SDQDepth)
+	num(cfg.CPU.DCacheBytes)
+	num(cfg.CPU.DCacheLineBytes)
+	u64(cfg.InterruptAt)
+	u64(uint64(cfg.InterruptVector))
+	u64(cfg.MaxCycles)
+	u64(cfg.WatchdogCycles)
+	h.Write(imageFP[:])
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Counters is a point-in-time snapshot of the cache's activity.
+type Counters struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int
+}
+
+// entry is one cached result with its LRU bookkeeping.
+type entry struct {
+	key Key
+	st  stats.Sim
+}
+
+// Cache is a bounded, concurrency-safe memo of finished simulation
+// results. The zero value is unusable; construct with New.
+type Cache struct {
+	enabled atomic.Bool
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used; values are *entry
+	items map[Key]*list.Element
+}
+
+// DefaultEntries bounds the process-wide Default cache. A cached stats.Sim
+// is a few hundred bytes, so even the full bound is a fraction of one run's
+// working set; the limit exists to keep a long-lived daemon's memory flat
+// no matter how many distinct machines it is asked to simulate.
+const DefaultEntries = 4096
+
+// Default is the process-wide run cache, enabled by default. The -runcache
+// flags of cmd/experiments and cmd/pipesimd toggle it.
+var Default = New(DefaultEntries)
+
+// New returns an enabled cache bounded to maxEntries results.
+func New(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	c := &Cache{
+		max:   maxEntries,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+	c.enabled.Store(true)
+	return c
+}
+
+// SetEnabled switches memoization on or off. Disabled, Get always misses
+// (without counting) and Put discards; cached entries are kept for when the
+// cache is re-enabled.
+func (c *Cache) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// Enabled reports whether the cache is serving lookups.
+func (c *Cache) Enabled() bool { return c.enabled.Load() }
+
+// Get returns a copy of the cached result for k, marking it most recently
+// used.
+func (c *Cache) Get(k Key) (stats.Sim, bool) {
+	if !c.enabled.Load() {
+		return stats.Sim{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return stats.Sim{}, false
+	}
+	c.ll.MoveToFront(el)
+	st := el.Value.(*entry).st
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return st, true
+}
+
+// Put stores a copy of st under k, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes it.
+func (c *Cache) Put(k Key, st *stats.Sim) {
+	if !c.enabled.Load() || st == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).st = *st
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, st: *st})
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the hit/miss/eviction counters and current size.
+func (c *Cache) Stats() Counters {
+	return Counters{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+	}
+}
+
+// Reset drops every cached entry (counters are kept; they are monotonic by
+// contract, as metric exporters depend on). Used by benchmarks to measure
+// cold-versus-warm behavior.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Run executes cfg over img through the cache: a hit returns the memoized
+// statistics without simulating; a miss simulates, stores the result and
+// returns it. Only successful runs are cached — errors always re-execute.
+// The returned statistics are the caller's to keep (a private copy).
+//
+// Callers needing probes, tracers or any other side effect of execution
+// must run core.New directly: a memoized result replays no events.
+func (c *Cache) Run(cfg core.Config, img *program.Image) (*stats.Sim, error) {
+	if c == nil || !c.enabled.Load() {
+		return runFresh(cfg, img)
+	}
+	k := KeyFor(cfg, img.Fingerprint())
+	if st, ok := c.Get(k); ok {
+		return &st, nil
+	}
+	st, err := runFresh(cfg, img)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(k, st)
+	return st, nil
+}
+
+// runFresh is one uncached simulation.
+func runFresh(cfg core.Config, img *program.Image) (*stats.Sim, error) {
+	sim, err := core.New(cfg, img)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}

@@ -1,0 +1,215 @@
+package runcache
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pipesim/internal/asm"
+	"pipesim/internal/core"
+	"pipesim/internal/program"
+	"pipesim/internal/stats"
+)
+
+func testImage(t testing.TB) *program.Image {
+	t.Helper()
+	img, err := asm.Assemble(`
+        li   r1, 8
+        li   r2, 0
+        setb b0, loop
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        pbr  ne, r1, b0, 2
+        nop
+        nop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestKeyCanonicalizesDefaults(t *testing.T) {
+	img := testImage(t)
+	fp := img.Fingerprint()
+	base := core.DefaultConfig()
+	base.MaxCycles = 0
+	base.WatchdogCycles = 0
+	explicit := base
+	explicit.MaxCycles = core.DefaultMaxCycles
+	explicit.WatchdogCycles = core.DefaultWatchdogCycles
+	if KeyFor(base, fp) != KeyFor(explicit, fp) {
+		t.Error("zero MaxCycles/WatchdogCycles should hash like the explicit defaults")
+	}
+}
+
+func TestKeySeparatesMachines(t *testing.T) {
+	img := testImage(t)
+	fp := img.Fingerprint()
+	base := core.DefaultConfig()
+	keys := map[Key]string{KeyFor(base, fp): "base"}
+	mutations := map[string]core.Config{}
+	c := base
+	c.CacheBytes = 256
+	mutations["cache size"] = c
+	c = base
+	c.Fetch = core.FetchConventional
+	mutations["strategy"] = c
+	c = base
+	c.Mem.AccessTime = 6
+	mutations["access time"] = c
+	c = base
+	c.TruePrefetch = !base.TruePrefetch
+	mutations["prefetch policy"] = c
+	c = base
+	c.CPU.LDQDepth = 4
+	mutations["queue depth"] = c
+	for name, cfg := range mutations {
+		k := KeyFor(cfg, fp)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		keys[k] = name
+	}
+	// A different program under the same configuration is a different key.
+	var otherFP [32]byte
+	copy(otherFP[:], fp[:])
+	otherFP[0] ^= 1
+	if KeyFor(base, fp) == KeyFor(base, otherFP) {
+		t.Error("image fingerprint does not reach the key")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	k := func(b byte) Key { var k Key; k[0] = b; return k }
+	st := func(n uint64) *stats.Sim { return &stats.Sim{Cycles: n} }
+	c.Put(k(1), st(1))
+	c.Put(k(2), st(2))
+	if _, ok := c.Get(k(1)); !ok { // 1 is now most recently used
+		t.Fatal("k1 missing before capacity was exceeded")
+	}
+	c.Put(k(3), st(3)) // evicts 2, the least recently used
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("k2 survived eviction")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Error("k1 evicted although recently used")
+	}
+	if _, ok := c.Get(k(3)); !ok {
+		t.Error("k3 missing")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Size != 2 {
+		t.Errorf("counters = %+v, want 1 eviction and size 2", s)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := New(4)
+	var k Key
+	c.Put(k, &stats.Sim{Cycles: 7})
+	got, ok := c.Get(k)
+	if !ok || got.Cycles != 7 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	got.Cycles = 999 // mutating the copy must not reach the cache
+	again, _ := c.Get(k)
+	if again.Cycles != 7 {
+		t.Errorf("cached value mutated through a returned copy: %d", again.Cycles)
+	}
+}
+
+func TestDisabledCacheBypasses(t *testing.T) {
+	c := New(4)
+	var k Key
+	c.Put(k, &stats.Sim{Cycles: 1})
+	c.SetEnabled(false)
+	if _, ok := c.Get(k); ok {
+		t.Error("disabled cache served a hit")
+	}
+	c.Put(k, &stats.Sim{Cycles: 2})
+	c.SetEnabled(true)
+	if got, _ := c.Get(k); got.Cycles != 1 {
+		t.Errorf("disabled Put overwrote the entry: %d", got.Cycles)
+	}
+}
+
+// TestRunBitIdentical is the cache's core contract: a memoized result is
+// indistinguishable from a fresh simulation, field for field.
+func TestRunBitIdentical(t *testing.T) {
+	img := testImage(t)
+	cfg := core.DefaultConfig()
+	fresh, err := runFresh(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(8)
+	miss, err := c.Run(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := c.Run(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, miss) {
+		t.Errorf("first cached run differs from a fresh run:\nfresh %+v\ncached %+v", fresh, miss)
+	}
+	if !reflect.DeepEqual(fresh, hit) {
+		t.Errorf("memoized result differs from a fresh run:\nfresh %+v\nhit   %+v", fresh, hit)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("counters = %+v, want 1 hit and 1 miss", s)
+	}
+	if hit == miss {
+		t.Error("Run returned the same pointer twice; results must be private copies")
+	}
+}
+
+// TestRunConcurrent hammers one cache from many goroutines (run under
+// -race by scripts/verify.sh): every caller gets the same statistics.
+func TestRunConcurrent(t *testing.T) {
+	img := testImage(t)
+	cfg := core.DefaultConfig()
+	c := New(8)
+	want, err := c.Run(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := c.Run(cfg, img)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(st, want) {
+				t.Errorf("concurrent result differs: %+v", st)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRunErrorNotCached(t *testing.T) {
+	img := testImage(t)
+	cfg := core.DefaultConfig()
+	cfg.MaxCycles = 3 // aborts long before completion
+	c := New(8)
+	if _, err := c.Run(cfg, img); err == nil {
+		t.Fatal("expected a MaxCycles abort")
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed run was cached (len %d)", c.Len())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"pipesim/internal/kernels"
 	"pipesim/internal/mem"
 	"pipesim/internal/program"
+	"pipesim/internal/runcache"
 	"pipesim/internal/stats"
 	"pipesim/internal/synth"
 	"pipesim/internal/trace"
@@ -83,6 +84,15 @@ func BenchmarkImage() (*program.Image, error) {
 	return benchImage, benchErr
 }
 
+// runPoint simulates one configuration point through the content-addressed
+// run cache: repeated points (figures share machines, daemons repeat
+// sweeps) return the memoized statistics without re-simulating. Experiments
+// that attach tracers or probes must not use it — a cached result replays
+// no events — and call core.New directly instead.
+func runPoint(cfg core.Config, img *program.Image) (*stats.Sim, error) {
+	return runcache.Default.Run(cfg, img)
+}
+
 // memConfig assembles the paper's memory-system settings.
 func memConfig(accessTime, busWidth int, pipelined bool) mem.Config {
 	return mem.Config{
@@ -110,11 +120,7 @@ func RunPipe(v PipeVariant, cacheBytes int, mcfg mem.Config, truePrefetch bool) 
 		Mem:          mcfg,
 		CPU:          core.DefaultConfig().CPU,
 	}
-	sim, err := core.New(cfg, img)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run()
+	return runPoint(cfg, img)
 }
 
 // RunConv simulates one conventional-cache point on the benchmark.
@@ -130,11 +136,7 @@ func RunConv(cacheBytes int, mcfg mem.Config) (*stats.Sim, error) {
 		Mem:        mcfg,
 		CPU:        core.DefaultConfig().CPU,
 	}
-	sim, err := core.New(cfg, img)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run()
+	return runPoint(cfg, img)
 }
 
 // RunTIB simulates a Target Instruction Buffer point on the benchmark.
@@ -152,11 +154,7 @@ func RunTIB(entries, lineBytes int, mcfg mem.Config) (*stats.Sim, error) {
 		Mem:          mcfg,
 		CPU:          core.DefaultConfig().CPU,
 	}
-	sim, err := core.New(cfg, img)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run()
+	return runPoint(cfg, img)
 }
 
 // figure runs one cache-size sweep: the conventional cache plus the four
@@ -355,11 +353,7 @@ func runFormatSim() (*Result, error) {
 				Mem:          memConfig(6, 8, false),
 				CPU:          core.DefaultConfig().CPU,
 			}
-			sim, err := core.New(cfg, img)
-			if err != nil {
-				return nil, err
-			}
-			st, err := sim.Run()
+			st, err := runPoint(cfg, img)
 			if err != nil {
 				return nil, err
 			}
@@ -499,11 +493,7 @@ func runDCache() (*Result, error) {
 			CPU:          core.DefaultConfig().CPU,
 		}
 		cfg.CPU.DCacheBytes = dcache
-		sim, err := core.New(cfg, img)
-		if err != nil {
-			return 0, err
-		}
-		st, err := sim.Run()
+		st, err := runPoint(cfg, img)
 		if err != nil {
 			return 0, err
 		}
@@ -560,11 +550,7 @@ func runKnee() (*Result, error) {
 				Mem:          mcfg,
 				CPU:          core.DefaultConfig().CPU,
 			}
-			sim, err := core.New(cfg, img)
-			if err != nil {
-				return nil, err
-			}
-			st, err := sim.Run()
+			st, err := runPoint(cfg, img)
 			if err != nil {
 				return nil, err
 			}
@@ -669,11 +655,7 @@ func runSlots() (*Result, error) {
 				Mem:          memConfig(T, 8, false),
 				CPU:          core.DefaultConfig().CPU,
 			}
-			sim, err := core.New(cfg, img)
-			if err != nil {
-				return nil, err
-			}
-			st, err := sim.Run()
+			st, err := runPoint(cfg, img)
 			if err != nil {
 				return nil, err
 			}
@@ -725,11 +707,7 @@ func runIQSize() (*Result, error) {
 				Mem:          mcfg,
 				CPU:          core.DefaultConfig().CPU,
 			}
-			sim, err := core.New(cfg, img)
-			if err != nil {
-				return nil, err
-			}
-			st, err := sim.Run()
+			st, err := runPoint(cfg, img)
 			if err != nil {
 				return nil, err
 			}

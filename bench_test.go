@@ -7,6 +7,7 @@
 package pipesim_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"pipesim/internal/mem"
 	"pipesim/internal/runcache"
 	"pipesim/internal/sweep"
+	"pipesim/internal/tracing"
 )
 
 // uncached disables the process-wide run cache for one benchmark so it
@@ -42,7 +44,7 @@ func reportFigure(b *testing.B, id string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = exp.Run()
+		res, err = exp.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +67,7 @@ func BenchmarkTableI(b *testing.B) {
 	var res *sweep.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = exp.Run()
+		res, err = exp.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +149,7 @@ func BenchmarkExtensionFormat(b *testing.B) {
 	var res *sweep.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = exp.Run()
+		res, err = exp.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +183,7 @@ func BenchmarkSingleRun(b *testing.B) {
 	mcfg := mem.Config{AccessTime: 6, BusWidthBytes: 8, InstrPriority: true, FPULatency: 4}
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		st, err := sweep.RunPipe(v, 128, mcfg, true)
+		st, err := sweep.RunPipe(context.Background(), v, 128, mcfg, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,6 +241,35 @@ func BenchmarkProbeOverhead(b *testing.B) {
 	b.Run("timeline", func(b *testing.B) {
 		run(b, func(s *pipesim.Simulation) { s.Observe(pipesim.NewTimeline()) })
 	})
+}
+
+// BenchmarkFlightRecorderOverhead prices the always-on post-mortem ring:
+// the same Livermore run with recording disabled, at the default 256-event
+// depth, and at a deep 4096-event depth. The recorder skips the per-cycle
+// event kinds and writes a preallocated ring through an inlined call, so
+// "default" must stay within the <5% BenchmarkSingleRun acceptance bound —
+// that is what justifies leaving it on for every run.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, depth int) {
+		cfg := pipesim.DefaultConfig()
+		cfg.FlightRecorderDepth = depth
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			res, err := pipesim.Run(cfg, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.Cycles
+		}
+		b.ReportMetric(float64(cycles), "sim_cycles")
+	}
+	b.Run("off", func(b *testing.B) { run(b, -1) })
+	b.Run("default", func(b *testing.B) { run(b, 0) })
+	b.Run("deep-4096", func(b *testing.B) { run(b, 4096) })
 }
 
 // BenchmarkRunHookOverhead guards the per-run metrics hook the same way
@@ -351,4 +382,35 @@ func BenchmarkRunCacheHit(b *testing.B) {
 	if s := cache.Stats(); s.Hits < uint64(b.N) {
 		b.Fatalf("expected every iteration to hit, got %+v", s)
 	}
+}
+
+// BenchmarkSpanOverhead prices the tracing layer at its two states. The
+// "untraced" case is every library call path when no daemon is attached:
+// StartSpan finds no span in the context and returns the nil no-op span —
+// one context value lookup, no allocation. The "traced" case is a pipesimd
+// request: a real child span started, annotated and ended. Neither runs
+// per simulated cycle; spans bracket whole stages, so even the traced cost
+// is amortized over millions of cycles.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("untraced", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, span := tracing.StartSpan(ctx, "stage")
+			span.End()
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		tr := tracing.New(4)
+		ctx, root := tr.StartTrace(context.Background(), "bench", "bench", tracing.TraceContext{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, span := tracing.StartSpan(ctx, "stage")
+			span.SetAttr("outcome", "hit")
+			span.End()
+		}
+		b.StopTimer()
+		root.End()
+	})
 }

@@ -12,6 +12,8 @@
 //	pipesim -json                  # machine-readable result (full Result struct)
 //	pipesim -perloop               # per-Livermore-loop cycle/miss/stall table
 //	pipesim -timeline trace.json   # Chrome-trace timeline (chrome://tracing, Perfetto)
+//	pipesim -flightrec-dump fr.json  # flight-recorder tail as Chrome-trace JSON,
+//	                                 # written even when the run fails (post-mortem)
 package main
 
 import (
@@ -48,6 +50,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of text")
 		perloop   = flag.Bool("perloop", false, "collect and print per-Livermore-loop statistics (benchmark workloads only)")
 		timeline  = flag.String("timeline", "", "write a Chrome-trace timeline of the run to this file")
+		frDump    = flag.String("flightrec-dump", "", "write the flight recorder's recent-event tail to this file as Chrome-trace JSON (written on failure too)")
+		frDepth   = flag.Int("flightrec-depth", 0, "flight recorder depth in events (0 = default 256, negative disables)")
 		showVer   = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
@@ -72,6 +76,7 @@ func main() {
 	cfg.BusWidthBytes = *bus
 	cfg.PipelinedMemory = *pipelined
 	cfg.InstrPriority = !*dataPrio
+	cfg.FlightRecorderDepth = *frDepth
 
 	var (
 		prog *pipesim.Program
@@ -111,6 +116,14 @@ func main() {
 		sim.Observe(tl)
 	}
 	res, err := sim.Run()
+	// The flight-recorder dump is a post-mortem tool: write it before
+	// reporting any run error, so a deadlocked or machine-checked run still
+	// leaves its last moments on disk.
+	if *frDump != "" {
+		if derr := dumpFlight(*frDump, sim.RecentEvents()); derr != nil {
+			fail(derr)
+		}
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -174,6 +187,23 @@ func main() {
 		}
 		fmt.Printf("(words delivered %d)\n", res.WordsDelivered)
 	}
+}
+
+// dumpFlight writes a flight-recorder snapshot as Chrome-trace JSON.
+func dumpFlight(path string, events []pipesim.ProbeEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pipesim.WriteFlightTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pipesim: wrote %d flight-recorder events to %s\n", len(events), path)
+	return nil
 }
 
 func fail(err error) {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"pipesim/internal/obs"
+)
+
+// flightEntry is one archived post-mortem: the flight-recorder tail of a
+// failed simulation, kept for GET /debug/flightrecorder so an operator can
+// inspect what the machine was doing when it died without reproducing the
+// failure.
+type flightEntry struct {
+	RequestID string            `json:"request_id"`
+	Kind      string            `json:"kind"`
+	Error     string            `json:"error"`
+	Time      string            `json:"time"`
+	Events    []obs.EventRecord `json:"events"`
+}
+
+// defaultFlightArchiveEntries bounds the archive: each entry holds at most
+// one flight-recorder ring (256 events by default, 32 bytes each), so the
+// full archive stays under a megabyte.
+const defaultFlightArchiveEntries = 32
+
+// flightArchive is a bounded, concurrency-safe ring of the most recent
+// flight entries, newest first.
+type flightArchive struct {
+	mu      sync.Mutex
+	max     int
+	entries []*flightEntry // newest at index 0
+}
+
+func newFlightArchive(max int) *flightArchive {
+	if max < 1 {
+		max = defaultFlightArchiveEntries
+	}
+	return &flightArchive{max: max}
+}
+
+// add archives one failure's flight-recorder snapshot.
+func (a *flightArchive) add(requestID, kind string, err error, events []obs.Event) {
+	e := &flightEntry{
+		RequestID: requestID,
+		Kind:      kind,
+		Error:     err.Error(),
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Events:    obs.Records(events),
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.entries = append([]*flightEntry{e}, a.entries...)
+	if len(a.entries) > a.max {
+		a.entries = a.entries[:a.max]
+	}
+}
+
+// snapshot returns the archived entries, newest first. The slice is fresh;
+// the entries are shared but immutable once archived.
+func (a *flightArchive) snapshot() []*flightEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*flightEntry, len(a.entries))
+	copy(out, a.entries)
+	return out
+}

@@ -3,14 +3,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/run          run one simulation (JSON config overlay)
-//	GET  /v1/sweep        run Table-II-style sweeps (fault-isolated runner)
-//	GET  /v1/experiments  list sweep experiment IDs
-//	GET  /metrics         Prometheus text exposition
-//	GET  /healthz         liveness (always ok while the process serves)
-//	GET  /readyz          readiness (503 until warmed, and again while draining)
-//	GET  /version         build / VCS metadata
-//	GET  /debug/pprof/    runtime profiling (net/http/pprof)
+//	POST /v1/run              run one simulation (JSON config overlay)
+//	GET  /v1/sweep            run Table-II-style sweeps (fault-isolated runner)
+//	GET  /v1/experiments      list sweep experiment IDs
+//	GET  /v1/trace/{id}       span trace of a recent request (?format=chrome for Perfetto)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness (always ok while the process serves)
+//	GET  /readyz              readiness (503 until warmed, and again while draining)
+//	GET  /version             build / VCS metadata
+//	GET  /debug/pprof/        runtime profiling (net/http/pprof)
+//	GET  /debug/flightrecorder  flight-recorder tails of recent failed runs
+//
+// Every request gets a span trace (joined to the caller's W3C traceparent
+// when one is sent) retrievable by request ID; clients may supply their own
+// X-Request-Id (64 bytes max, [A-Za-z0-9._-]). Failed simulations carry the
+// flight recorder's recent-event tail in the error body.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: readiness drops
 // immediately, in-flight requests get -drain to finish, then the listener
@@ -24,6 +31,7 @@
 //	pipesimd -drain 10s            # shutdown drain deadline
 //	pipesimd -run-timeout 2m       # per-run / per-experiment deadline
 //	pipesimd -runcache=false       # disable simulation-result memoization
+//	pipesimd -slow-ms 500          # log span breakdowns of requests over 500ms
 //	pipesimd -version              # print build/VCS info and exit
 package main
 
@@ -56,6 +64,7 @@ func run() int {
 		maxBody    = flag.Int64("max-body", 1<<20, "maximum /v1/run request body in bytes")
 		workers    = flag.Int("parallel", 0, "default sweep worker count (0 = one per CPU)")
 		useCache   = flag.Bool("runcache", true, "memoize simulation results by (config, program) content hash")
+		slowMS     = flag.Int64("slow-ms", 0, "log the span breakdown of requests slower than this many milliseconds (0 = off)")
 		showVer    = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
@@ -73,9 +82,10 @@ func run() int {
 	}
 
 	srv := newServer(log, serverOptions{
-		maxBody:  *maxBody,
-		runLimit: *runTimeout,
-		workers:  *workers,
+		maxBody:   *maxBody,
+		runLimit:  *runTimeout,
+		workers:   *workers,
+		slowLimit: time.Duration(*slowMS) * time.Millisecond,
 	})
 
 	v := version.Get()

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"strings"
 	"sync"
 
 	"pipesim"
 	"pipesim/internal/metrics"
 	"pipesim/internal/runcache"
 	"pipesim/internal/sweep"
+	"pipesim/internal/tracing"
 	"pipesim/internal/version"
 )
 
@@ -39,6 +41,10 @@ type daemonMetrics struct {
 	// Sweep experiments through /v1/sweep.
 	sweepExperiments *metrics.CounterVec // pipesimd_sweep_experiments_total{outcome}
 
+	// Request-stage latency, fed from span completions (tracing.OnSpanEnd):
+	// one observation per finished span, labelled by stage name.
+	stageTime *metrics.HistogramVec // pipesimd_stage_seconds{stage}
+
 	// Content-addressed run cache (internal/runcache). The cache keeps its
 	// own monotonic counters; syncRunCache folds their growth into these
 	// families at scrape time.
@@ -57,8 +63,10 @@ const (
 	errKindInvalidConfig = "invalid_config"
 	errKindDeadlock      = "deadlock"
 	errKindMachineCheck  = "machine_check"
-	errKindTimeout       = "timeout"
+	errKindDeadline      = "deadline" // /v1/run exceeded -run-timeout
+	errKindTimeout       = "timeout"  // sweep experiment exceeded its deadline
 	errKindPanic         = "panic"
+	errKindNotFound      = "not_found"
 	errKindInternal      = "internal"
 )
 
@@ -85,12 +93,16 @@ func newDaemonMetrics() *daemonMetrics {
 			"Wall-clock seconds per run, by fetch strategy.", nil, "strategy"),
 		errors: reg.CounterVec("pipesimd_errors_total",
 			"Failures by kind: bad_request, invalid_config, deadlock (watchdog), "+
-				"machine_check, timeout, panic, internal.", "kind"),
+				"machine_check, deadline (-run-timeout), timeout (sweep experiment), "+
+				"panic, not_found, internal.", "kind"),
 		attribution: reg.CounterVec("pipesimd_attribution_cycles_total",
 			"Simulated cycles executed by this daemon, classified by the exact "+
 				"per-cycle attribution bucket.", "bucket"),
 		sweepExperiments: reg.CounterVec("pipesimd_sweep_experiments_total",
 			"Sweep experiments executed through /v1/sweep, by outcome.", "outcome"),
+		stageTime: reg.HistogramVec("pipesimd_stage_seconds",
+			"Wall-clock seconds per traced request stage (decode, build, run, "+
+				"runcache.lookup, simulate, experiment, root spans).", nil, "stage"),
 		runcacheHits: reg.Counter("pipesimd_runcache_hits_total",
 			"Run-cache lookups answered from a memoized simulation result."),
 		runcacheMisses: reg.Counter("pipesimd_runcache_misses_total",
@@ -119,6 +131,17 @@ func (m *daemonMetrics) observeRun(ri pipesim.RunInfo) {
 		m.runCycles.With(strategy).Observe(float64(ri.Result.Cycles))
 		m.addAttribution(ri.Result.Attribution)
 	}
+}
+
+// observeSpan is the tracing OnSpanEnd hook: one stage-latency observation
+// per finished span. Per-experiment span names ("experiment:fig5a") fold
+// into one "experiment" stage so the label set stays bounded.
+func (m *daemonMetrics) observeSpan(sp *tracing.Span) {
+	stage := sp.Name()
+	if i := strings.IndexByte(stage, ':'); i >= 0 {
+		stage = stage[:i]
+	}
+	m.stageTime.With(stage).Observe(sp.Duration().Seconds())
 }
 
 // addAttribution folds one run's exact attribution into the totals.

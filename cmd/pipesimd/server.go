@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"pipesim"
+	"pipesim/internal/obs"
 	"pipesim/internal/sweep"
+	"pipesim/internal/tracing"
 	"pipesim/internal/version"
 )
 
@@ -26,17 +28,24 @@ type server struct {
 	metrics *daemonMetrics
 	mux     *http.ServeMux
 
+	// tracer retains each request's span trace for GET /v1/trace/{id};
+	// flights archives failed runs' flight-recorder tails for
+	// GET /debug/flightrecorder.
+	tracer  *tracing.Tracer
+	flights *flightArchive
+
 	// ready gates /readyz: set once the benchmark image is warmed,
 	// cleared when shutdown starts so load balancers drain the instance.
 	ready atomic.Bool
 
 	// reqSeq numbers requests; combined with the process start stamp it
 	// yields a unique request ID for log correlation.
-	reqSeq   atomic.Uint64
-	startID  string
-	maxBody  int64         // request body cap for /v1/run
-	runLimit time.Duration // per-run and per-sweep-experiment deadline
-	workers  int           // sweep worker cap (0 = one per CPU)
+	reqSeq    atomic.Uint64
+	startID   string
+	maxBody   int64         // request body cap for /v1/run
+	runLimit  time.Duration // per-run and per-sweep-experiment deadline
+	workers   int           // sweep worker cap (0 = one per CPU)
+	slowLimit time.Duration // slow-request log threshold (0 = off)
 }
 
 // newServer wires the handler tree. The returned server installs the
@@ -44,22 +53,28 @@ type server struct {
 // metrics registry.
 func newServer(log *slog.Logger, opts serverOptions) *server {
 	s := &server{
-		log:      log,
-		metrics:  newDaemonMetrics(),
-		mux:      http.NewServeMux(),
-		startID:  fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
-		maxBody:  opts.maxBody,
-		runLimit: opts.runLimit,
-		workers:  opts.workers,
+		log:       log,
+		metrics:   newDaemonMetrics(),
+		mux:       http.NewServeMux(),
+		tracer:    tracing.New(0),
+		flights:   newFlightArchive(0),
+		startID:   fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
+		maxBody:   opts.maxBody,
+		runLimit:  opts.runLimit,
+		workers:   opts.workers,
+		slowLimit: opts.slowLimit,
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = 1 << 20
 	}
 	pipesim.SetRunHook(s.metrics.observeRun)
+	s.tracer.OnSpanEnd(s.metrics.observeSpan)
 
 	s.handle("POST /v1/run", "/v1/run", s.handleRun)
 	s.handle("GET /v1/sweep", "/v1/sweep", s.handleSweep)
 	s.handle("GET /v1/experiments", "/v1/experiments", s.handleExperiments)
+	s.handle("GET /v1/trace/{id}", "/v1/trace", s.handleTrace)
+	s.handle("GET /debug/flightrecorder", "/debug/flightrecorder", s.handleFlightRecorder)
 	s.handle("GET /metrics", "/metrics", s.handleMetrics)
 	s.handle("GET /healthz", "/healthz", s.handleHealthz)
 	s.handle("GET /readyz", "/readyz", s.handleReadyz)
@@ -77,9 +92,10 @@ func newServer(log *slog.Logger, opts serverOptions) *server {
 
 // serverOptions carries the tunables from the command line into newServer.
 type serverOptions struct {
-	maxBody  int64
-	runLimit time.Duration
-	workers  int
+	maxBody   int64
+	runLimit  time.Duration
+	workers   int
+	slowLimit time.Duration
 }
 
 // warm builds the shared Livermore benchmark image (the expensive lazy
@@ -121,15 +137,48 @@ func reqLog(r *http.Request) *slog.Logger {
 	return slog.Default()
 }
 
+// maxClientRequestID caps an honored client-supplied X-Request-Id.
+const maxClientRequestID = 64
+
+// clientRequestID returns the request's sanitized X-Request-Id: the header
+// value when it is non-empty, at most maxClientRequestID bytes and drawn
+// from [A-Za-z0-9._-], otherwise "" (the caller generates one). The charset
+// check keeps hostile IDs out of logs, trace keys and response headers.
+func clientRequestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > maxClientRequestID {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 // handle registers one instrumented route: request counting and latency
 // by route pattern (never by raw URL, so cardinality stays bounded), the
-// in-flight gauge, a generated request ID, and a request-scoped logger
-// carried in the context.
+// in-flight gauge, the request ID (client-supplied when sane, generated
+// otherwise), a request-scoped logger, and a trace rooted at this request
+// — joined to the caller's trace when the request carries a W3C
+// traceparent header. The finished trace is retrievable at
+// GET /v1/trace/{request_id}; requests slower than -slow-ms additionally
+// log their span breakdown.
 func (s *server) handle(pattern, route string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		id := s.startID + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		id := clientRequestID(r)
+		if id == "" {
+			id = s.startID + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		}
 		l := s.log.With("request_id", id, "method", r.Method, "path", r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		parent, _ := tracing.ParseTraceparent(r.Header.Get("traceparent"))
+		ctx, root := s.tracer.StartTrace(r.Context(), r.Method+" "+route, id, parent)
 		s.metrics.inFlight.Inc()
 		start := time.Now()
 		defer func() {
@@ -137,23 +186,38 @@ func (s *server) handle(pattern, route string, h http.HandlerFunc) {
 			s.metrics.inFlight.Dec()
 			s.metrics.requests.With(route, strconv.Itoa(sw.code)).Inc()
 			s.metrics.latency.With(route).Observe(elapsed.Seconds())
+			root.SetAttr("code", strconv.Itoa(sw.code))
+			root.End()
 			l.Info("request served", "code", sw.code, "elapsed", elapsed.Round(time.Microsecond))
+			if s.slowLimit > 0 && elapsed >= s.slowLimit {
+				if td, ok := s.tracer.Get(id); ok {
+					l.Warn("slow request", "elapsed", elapsed.Round(time.Millisecond),
+						"threshold", s.slowLimit, "trace_id", td.TraceID, "spans", td.SpanBreakdown())
+				}
+			}
 		}()
 		w.Header().Set("X-Request-Id", id)
-		h(sw, r.WithContext(context.WithValue(r.Context(), logKey, l)))
+		h(sw, r.WithContext(context.WithValue(ctx, logKey, l)))
 	})
 }
 
-// apiError is the JSON error envelope every failing endpoint returns.
+// apiError is the JSON error envelope every failing endpoint returns. The
+// request ID is echoed so a client can quote it when pulling the request's
+// trace or flight-recorder entry; RecentEvents carries the flight
+// recorder's tail when the failure snapshotted one (deadlock or machine
+// check).
 type apiError struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind"`
+	Error        string            `json:"error"`
+	Kind         string            `json:"kind"`
+	RequestID    string            `json:"request_id,omitempty"`
+	RecentEvents []obs.EventRecord `json:"recent_events,omitempty"`
 }
 
 // errorKind maps an error to its taxonomy label (PR-1 error model).
 func errorKind(err error) string {
 	var dl *pipesim.DeadlockError
 	var mc *pipesim.MachineCheckError
+	var de *deadlineError
 	var to *sweep.TimeoutError
 	var pe *sweep.PanicError
 	switch {
@@ -163,6 +227,8 @@ func errorKind(err error) string {
 		return errKindDeadlock
 	case errors.As(err, &mc):
 		return errKindMachineCheck
+	case errors.As(err, &de):
+		return errKindDeadline
 	case errors.As(err, &to):
 		return errKindTimeout
 	case errors.As(err, &pe):
@@ -178,17 +244,43 @@ func httpStatus(kind string) int {
 	switch kind {
 	case errKindBadRequest, errKindInvalidConfig:
 		return http.StatusBadRequest
+	case errKindNotFound:
+		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-// fail counts, logs and renders one error response.
+// flightEvents extracts a failed run's flight-recorder snapshot, or nil
+// for error kinds that carry none (a timed-out run's goroutine is
+// abandoned mid-flight, so its recorder is still being written — only
+// errors from a completed run end carry a stable tail).
+func flightEvents(err error) []pipesim.ProbeEvent {
+	var dl *pipesim.DeadlockError
+	var mc *pipesim.MachineCheckError
+	switch {
+	case errors.As(err, &dl):
+		return dl.Recent
+	case errors.As(err, &mc):
+		return mc.Recent
+	}
+	return nil
+}
+
+// fail counts, logs and renders one error response. Failures that carry a
+// flight-recorder snapshot return it in the body and archive it for
+// GET /debug/flightrecorder.
 func (s *server) fail(w http.ResponseWriter, r *http.Request, kind string, err error) {
 	s.metrics.errors.With(kind).Inc()
 	code := httpStatus(kind)
+	id := w.Header().Get("X-Request-Id")
+	resp := apiError{Error: err.Error(), Kind: kind, RequestID: id}
+	if events := flightEvents(err); len(events) > 0 {
+		resp.RecentEvents = obs.Records(events)
+		s.flights.add(id, kind, err, events)
+	}
 	reqLog(r).Error("request failed", "kind", kind, "code", code, "err", err)
-	writeJSON(w, code, apiError{Error: err.Error(), Kind: kind})
+	writeJSON(w, code, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -225,68 +317,22 @@ type runResponse struct {
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var req runRequest
-	if err := dec.Decode(&req); err != nil {
-		s.fail(w, r, errKindBadRequest, fmt.Errorf("decoding request body: %w", err))
-		return
-	}
-
-	cfg := pipesim.DefaultConfig()
-	if req.TableII != "" {
-		var err error
-		if cfg, err = pipesim.TableIIConfig(req.TableII); err != nil {
-			s.fail(w, r, errKindBadRequest, err)
-			return
-		}
-	}
-	if len(req.Config) > 0 {
-		cdec := json.NewDecoder(strings.NewReader(string(req.Config)))
-		cdec.DisallowUnknownFields()
-		if err := cdec.Decode(&cfg); err != nil {
-			s.fail(w, r, errKindBadRequest, fmt.Errorf("decoding config overlay: %w", err))
-			return
-		}
-	}
-
-	var (
-		prog *pipesim.Program
-		err  error
-	)
-	switch {
-	case req.Asm != "" && req.Kernel != 0:
-		s.fail(w, r, errKindBadRequest, errors.New("asm and kernel are mutually exclusive"))
-		return
-	case req.Asm != "":
-		prog, err = pipesim.Assemble(req.Asm)
-	case req.Kernel != 0:
-		prog, err = pipesim.LivermoreKernel(req.Kernel)
-	default:
-		prog, _, err = pipesim.LivermoreProgram()
-	}
+	ctx := r.Context()
+	req, kind, err := decodeRunRequest(ctx, w, r, s.maxBody)
 	if err != nil {
-		s.fail(w, r, errKindBadRequest, err)
+		s.fail(w, r, kind, err)
 		return
 	}
-
-	sim, err := pipesim.NewSimulation(cfg, prog)
+	sim, cfg, kind, err := buildSimulation(ctx, req)
 	if err != nil {
-		s.fail(w, r, errorKind(err), err)
+		s.fail(w, r, kind, err)
 		return
-	}
-	if req.PerLoop {
-		if err := sim.CollectPerLoop(); err != nil {
-			s.fail(w, r, errKindBadRequest, fmt.Errorf("per_loop: %w", err))
-			return
-		}
 	}
 	reqLog(r).Info("run starting", "strategy", cfg.Strategy, "cache_bytes", cfg.CacheBytes,
 		"line_bytes", cfg.LineBytes, "mem_access", cfg.MemAccessTime, "bus_bytes", cfg.BusWidthBytes)
 
 	start := time.Now()
-	res, err := runWithDeadline(sim, s.runLimit)
+	res, err := s.runSim(ctx, sim)
 	if err != nil {
 		s.fail(w, r, errorKind(err), err)
 		return
@@ -298,10 +344,102 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// decodeRunRequest reads and decodes the /v1/run body under a "decode"
+// span. A non-nil error comes with its taxonomy kind.
+func decodeRunRequest(ctx context.Context, w http.ResponseWriter, r *http.Request, maxBody int64) (runRequest, string, error) {
+	_, span := tracing.StartSpan(ctx, "decode")
+	defer span.End()
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req runRequest
+	if err := dec.Decode(&req); err != nil {
+		return req, errKindBadRequest, fmt.Errorf("decoding request body: %w", err)
+	}
+	return req, "", nil
+}
+
+// buildSimulation resolves the request's base configuration, overlay and
+// program, and constructs (validating) the simulation — one "build" span
+// covering everything between decode and the run itself.
+func buildSimulation(ctx context.Context, req runRequest) (*pipesim.Simulation, pipesim.Config, string, error) {
+	_, span := tracing.StartSpan(ctx, "build")
+	defer span.End()
+	cfg := pipesim.DefaultConfig()
+	if req.TableII != "" {
+		var err error
+		if cfg, err = pipesim.TableIIConfig(req.TableII); err != nil {
+			return nil, cfg, errKindBadRequest, err
+		}
+	}
+	if len(req.Config) > 0 {
+		cdec := json.NewDecoder(strings.NewReader(string(req.Config)))
+		cdec.DisallowUnknownFields()
+		if err := cdec.Decode(&cfg); err != nil {
+			return nil, cfg, errKindBadRequest, fmt.Errorf("decoding config overlay: %w", err)
+		}
+	}
+
+	var (
+		prog *pipesim.Program
+		err  error
+	)
+	switch {
+	case req.Asm != "" && req.Kernel != 0:
+		return nil, cfg, errKindBadRequest, errors.New("asm and kernel are mutually exclusive")
+	case req.Asm != "":
+		prog, err = pipesim.Assemble(req.Asm)
+	case req.Kernel != 0:
+		prog, err = pipesim.LivermoreKernel(req.Kernel)
+	default:
+		prog, _, err = pipesim.LivermoreProgram()
+	}
+	if err != nil {
+		return nil, cfg, errKindBadRequest, err
+	}
+
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		return nil, cfg, errorKind(err), err
+	}
+	if req.PerLoop {
+		if err := sim.CollectPerLoop(); err != nil {
+			return nil, cfg, errKindBadRequest, fmt.Errorf("per_loop: %w", err)
+		}
+	}
+	return sim, cfg, "", nil
+}
+
+// runSim executes the simulation under a "run" span and the -run-timeout
+// deadline.
+func (s *server) runSim(ctx context.Context, sim *pipesim.Simulation) (*pipesim.Result, error) {
+	_, span := tracing.StartSpan(ctx, "run")
+	defer span.End()
+	res, err := runWithDeadline(sim, s.runLimit)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		return nil, err
+	}
+	span.SetAttr("cycles", strconv.FormatUint(res.Cycles, 10))
+	return res, nil
+}
+
+// deadlineError reports a /v1/run simulation that exceeded the daemon's
+// -run-timeout wall-clock deadline. It is its own taxonomy kind
+// ("deadline") so operators can tell serving deadlines from the sweep
+// runner's per-experiment timeouts.
+type deadlineError struct {
+	Limit time.Duration
+}
+
+func (e *deadlineError) Error() string {
+	return fmt.Sprintf("run exceeded the %s serving deadline (-run-timeout)", e.Limit)
+}
+
 // runWithDeadline executes the simulation with an optional wall-clock
 // deadline, mirroring the sweep runner's isolation: a run that exceeds it
-// is reported as a timeout and its goroutine abandoned (the watchdog
-// still bounds truly wedged machines).
+// is reported as a *deadlineError and its goroutine abandoned (the
+// watchdog still bounds truly wedged machines).
 func runWithDeadline(sim *pipesim.Simulation, limit time.Duration) (*pipesim.Result, error) {
 	if limit <= 0 {
 		return sim.Run()
@@ -321,7 +459,7 @@ func runWithDeadline(sim *pipesim.Simulation, limit time.Duration) (*pipesim.Res
 	case rp := <-ch:
 		return rp.res, rp.err
 	case <-timer.C:
-		return nil, &sweep.TimeoutError{ID: "run", Timeout: limit}
+		return nil, &deadlineError{Limit: limit}
 	}
 }
 
@@ -339,7 +477,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			exps = append(exps, e)
 		}
 	}
-	opt := sweep.Options{Workers: s.workers, Timeout: s.runLimit}
+	opt := sweep.Options{Workers: s.workers, Timeout: s.runLimit, Context: r.Context()}
 	if raw := q.Get("parallel"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
@@ -369,10 +507,18 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sum := sweep.RunAll(exps, opt)
+	reqID := w.Header().Get("X-Request-Id")
 	for _, o := range sum.Outcomes {
 		if o.Err != nil {
 			s.metrics.sweepExperiments.With("fail").Inc()
-			s.metrics.errors.With(errorKind(o.Err)).Inc()
+			kind := errorKind(o.Err)
+			s.metrics.errors.With(kind).Inc()
+			// A deadlocked or machine-checked experiment carries its
+			// flight-recorder tail; the summary JSON only has the error
+			// string, so archive the events for /debug/flightrecorder.
+			if events := flightEvents(o.Err); len(events) > 0 {
+				s.flights.add(reqID+"/"+o.Experiment.ID, kind, o.Err, events)
+			}
 			continue
 		}
 		s.metrics.sweepExperiments.With("ok").Inc()
@@ -390,6 +536,39 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err := sum.WriteJSON(w); err != nil {
 		l.Error("writing sweep summary", "err", err)
 	}
+}
+
+// handleTrace serves a retained request trace: the native JSON form by
+// default, Chrome-trace JSON with ?format=chrome (load in Perfetto or
+// chrome://tracing).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	td, ok := s.tracer.Get(id)
+	if !ok {
+		s.fail(w, r, errKindNotFound,
+			fmt.Errorf("no retained trace for request id %q (the LRU keeps the most recent %d)", id, tracing.DefaultTraceCapacity))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := td.WriteJSON(w); err != nil {
+			reqLog(r).Error("writing trace", "err", err)
+		}
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := td.WriteChrome(w); err != nil {
+			reqLog(r).Error("writing trace", "err", err)
+		}
+	default:
+		s.fail(w, r, errKindBadRequest, fmt.Errorf("bad format %q (want json or chrome)", format))
+	}
+}
+
+// handleFlightRecorder serves the archived flight-recorder tails of failed
+// runs, newest first.
+func (s *server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flights.snapshot())
 }
 
 func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {

@@ -91,6 +91,14 @@ type Config struct {
 	// fetch-engine, CPU and memory-system state, long before MaxCycles
 	// would fire. Zero selects DefaultWatchdogCycles.
 	WatchdogCycles uint64
+
+	// FlightRecDepth sizes the always-on flight recorder: the ring of
+	// recent probe events snapshotted into MachineCheckError and
+	// DeadlockError for post-mortem diagnosis. Zero selects
+	// obs.DefaultFlightRecDepth (on by default); a negative value disables
+	// recording. Purely observational — it never changes simulation
+	// results, so runcache deliberately excludes it from its keys.
+	FlightRecDepth int
 }
 
 // DefaultConfig returns the configuration used as the paper's baseline
@@ -141,6 +149,8 @@ type Simulator struct {
 	loops    []obs.LoopRange // configured loop ranges, by ascending Start
 	curLoop  int             // loop number the retirement stream is inside (0 = outside)
 	loopSeen bool            // a retirement has initialized curLoop
+
+	flight *obs.FlightRecorder // always-on post-mortem ring, nil when disabled
 }
 
 // New builds a simulator for the image.
@@ -213,11 +223,22 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The flight recorder is on by default (FlightRecDepth < 0 disables):
+	// the fetch engine and memory system write their fault-relevant events
+	// into it directly, and retirements are recorded below.
+	if cfg.FlightRecDepth >= 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightRecDepth, &s.cycle)
+		s.sys.SetFlightRecorder(s.flight)
+		s.eng.SetFlightRecorder(s.flight)
+	}
 	// The diagnostic ring always observes retirements; a user tracer
 	// installed with SetRetireTracer rides along.
 	s.cpu.OnRetire = func(cycle uint64, pc uint32, in isa.Inst) {
 		e := trace.Event{Cycle: cycle, PC: pc, Inst: in}
 		s.ring.Record(e)
+		if s.flight != nil {
+			s.flight.Record(obs.KindRetire, pc, 0, 0)
+		}
 		if s.userRec != nil {
 			s.userRec.Record(e)
 		}
@@ -297,6 +318,11 @@ func (s *Simulator) trackLoop(pc uint32) {
 		s.probe.Event(obs.Event{Kind: obs.KindLoopEnter, Arg: uint32(loop)})
 	}
 }
+
+// FlightEvents returns a snapshot of the flight recorder's retained events,
+// oldest first (nil when recording is disabled). Call after Run: the
+// snapshot must not race with the run goroutine.
+func (s *Simulator) FlightEvents() []obs.Event { return s.flight.Events() }
 
 // Image returns the program image the simulator actually runs — after any
 // native-format relayout — so callers can resolve symbols (for example

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pipesim/internal/obs"
 	"pipesim/internal/trace"
 )
 
@@ -44,6 +45,7 @@ type MachineCheckError struct {
 	Strategy     string        // fetch strategy name
 	Config       Config        // the offending configuration
 	Trace        []trace.Event // recently retired instructions, oldest first
+	Recent       []obs.Event   // flight-recorder tail: recent probe events, oldest first
 }
 
 // Error summarizes the machine check in one line.
@@ -67,11 +69,36 @@ func (e *MachineCheckError) Detail() string {
 			sb.WriteByte('\n')
 		}
 	}
+	writeRecent(&sb, e.Recent)
 	if e.Stack != "" {
 		sb.WriteString("stack:\n")
 		sb.WriteString(e.Stack)
 	}
 	return sb.String()
+}
+
+// flightDetailTail caps how much of the flight-recorder snapshot a Detail
+// report prints: the full ring (default 256 entries) belongs in the JSON /
+// Chrome-trace surfaces, not a terminal dump.
+const flightDetailTail = 32
+
+// writeRecent renders the tail of the flight-recorder snapshot.
+func writeRecent(sb *strings.Builder, recent []obs.Event) {
+	if len(recent) == 0 {
+		return
+	}
+	tail := recent
+	if len(tail) > flightDetailTail {
+		fmt.Fprintf(sb, "flight recorder (%d earlier events omitted):\n", len(recent)-flightDetailTail)
+		tail = tail[len(tail)-flightDetailTail:]
+	} else {
+		sb.WriteString("flight recorder:\n")
+	}
+	for _, ev := range tail {
+		sb.WriteString("  ")
+		sb.WriteString(ev.String())
+		sb.WriteByte('\n')
+	}
 }
 
 // DeadlockError reports that the forward-progress watchdog fired: the run
@@ -89,6 +116,7 @@ type DeadlockError struct {
 	CPUState     string        // architectural queue occupancy and pipeline state
 	MemState     string        // memory-system queue occupancy
 	Trace        []trace.Event // recently retired instructions, oldest first
+	Recent       []obs.Event   // flight-recorder tail: recent probe events, oldest first
 }
 
 // Error summarizes the deadlock in one line.
@@ -110,6 +138,7 @@ func (e *DeadlockError) Detail() string {
 			sb.WriteByte('\n')
 		}
 	}
+	writeRecent(&sb, e.Recent)
 	return sb.String()
 }
 
@@ -124,6 +153,7 @@ func (s *Simulator) machineCheck(p any, stack []byte) *MachineCheckError {
 		Strategy:     s.cfg.Fetch.String(),
 		Config:       s.cfg,
 		Trace:        s.ring.Events(),
+		Recent:       s.flight.Events(),
 	}
 	if n := len(e.Trace); n > 0 {
 		e.PC = e.Trace[n-1].PC
@@ -143,5 +173,6 @@ func (s *Simulator) deadlock(cycle, lastProgress, window uint64) *DeadlockError 
 		CPUState:     s.cpu.DebugState(),
 		MemState:     s.sys.DebugState(),
 		Trace:        s.ring.Events(),
+		Recent:       s.flight.Events(),
 	}
 }

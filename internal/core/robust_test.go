@@ -1,15 +1,46 @@
 package core_test
 
 import (
+	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"pipesim/internal/asm"
 	"pipesim/internal/core"
+	"pipesim/internal/obs"
 	"pipesim/internal/program"
 	"pipesim/internal/trace"
 )
+
+// saveFlightArtifact writes the flight-recorder tail as Chrome-trace JSON
+// when the test fails and PIPESIM_ARTIFACT_DIR is set, so CI uploads the
+// post-mortem for inspection in Perfetto.
+func saveFlightArtifact(t *testing.T, name string, events []obs.Event) {
+	t.Cleanup(func() {
+		dir := os.Getenv("PIPESIM_ARTIFACT_DIR")
+		if dir == "" || !t.Failed() {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("artifact dir: %v", err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteFlightTrace(&buf, events); err != nil {
+			t.Logf("artifact %s: %v", name, err)
+			return
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Logf("artifact %s: %v", name, err)
+			return
+		}
+		t.Logf("post-mortem artifact written to %s", path)
+	})
+}
 
 // stuckProgram reads R7 with no load ever dispatched: the issue stage
 // blocks forever on the empty Load Data Queue — a genuine machine-level
@@ -169,5 +200,95 @@ func TestRunStillCompletesWithUserTracer(t *testing.T) {
 	}
 	if ring.Total() != stTraced.CPU.Instructions {
 		t.Errorf("user tracer saw %d retirements of %d", ring.Total(), stTraced.CPU.Instructions)
+	}
+}
+
+// TestDeadlockErrorCarriesFlightRecorder checks the watchdog's post-mortem
+// includes the flight recorder's recent-event tail, both as structured
+// events and rendered into Detail().
+func TestDeadlockErrorCarriesFlightRecorder(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.WatchdogCycles = 2_000
+	sim, err := core.New(cfg, stuckProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run()
+	var dl *core.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run err = %v, want *DeadlockError", err)
+	}
+	if len(dl.Recent) == 0 {
+		t.Fatal("deadlock error carries no flight-recorder events")
+	}
+	saveFlightArtifact(t, "deadlock-flight.json", dl.Recent)
+	// The stuck program retires its LI before wedging, so the ring holds at
+	// least one retirement with a cycle stamp.
+	sawRetire := false
+	for _, e := range dl.Recent {
+		if e.Kind.String() == "retire" {
+			sawRetire = true
+		}
+	}
+	if !sawRetire {
+		t.Errorf("flight recorder has no retire events: %v", dl.Recent)
+	}
+	detail := dl.Detail()
+	for _, want := range []string{"flight recorder", "retire pc="} {
+		if !strings.Contains(detail, want) {
+			t.Errorf("Detail() missing %q:\n%s", want, detail)
+		}
+	}
+}
+
+// TestMachineCheckErrorCarriesFlightRecorder checks a recovered panic's
+// post-mortem includes the flight-recorder tail.
+func TestMachineCheckErrorCarriesFlightRecorder(t *testing.T) {
+	cfg := core.DefaultConfig()
+	sim, err := core.New(cfg, smallProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetRetireTracer(&panicRecorder{after: 20})
+	_, err = sim.Run()
+	var mce *core.MachineCheckError
+	if !errors.As(err, &mce) {
+		t.Fatalf("Run err = %v, want *MachineCheckError", err)
+	}
+	if len(mce.Recent) == 0 {
+		t.Fatal("machine check carries no flight-recorder events")
+	}
+	saveFlightArtifact(t, "machinecheck-flight.json", mce.Recent)
+	detail := mce.Detail()
+	for _, want := range []string{"flight recorder", "stack:"} {
+		if !strings.Contains(detail, want) {
+			t.Errorf("Detail() missing %q:\n%s", want, detail)
+		}
+	}
+}
+
+// TestFlightRecorderDisabled checks a negative depth switches the recorder
+// off: errors then carry no events.
+func TestFlightRecorderDisabled(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.FlightRecDepth = -1
+	cfg.WatchdogCycles = 2_000
+	sim, err := core.New(cfg, stuckProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.FlightEvents(); got != nil {
+		t.Errorf("disabled recorder returned events: %v", got)
+	}
+	_, err = sim.Run()
+	var dl *core.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run err = %v, want *DeadlockError", err)
+	}
+	if len(dl.Recent) != 0 {
+		t.Errorf("disabled recorder still snapshotted %d events", len(dl.Recent))
+	}
+	if strings.Contains(dl.Detail(), "flight recorder") {
+		t.Error("Detail() renders a flight-recorder section with the recorder off")
 	}
 }

@@ -67,14 +67,21 @@ type Conv struct {
 	capAddr  uint32
 	capValid bool
 
-	probe obs.Probe
+	probe  obs.Probe
+	flight *obs.FlightRecorder
 }
 
 // SetProbe attaches an observability probe. Call before the first Tick.
 func (c *Conv) SetProbe(p obs.Probe) { c.probe = p }
 
-// emit sends an event when a probe is attached.
+// SetFlightRecorder attaches the post-mortem flight recorder (nil detaches).
+func (c *Conv) SetFlightRecorder(r *obs.FlightRecorder) { c.flight = r }
+
+// emit sends an event to the flight recorder and, when attached, the probe.
 func (c *Conv) emit(kind obs.Kind, addr uint32) {
+	if c.flight != nil {
+		c.flight.Record(kind, addr, 0, 0)
+	}
 	if c.probe != nil {
 		c.probe.Event(obs.Event{Kind: kind, Addr: addr})
 	}

@@ -105,9 +105,13 @@ type Pipe struct {
 
 	// probe, when set, observes fetch events; lastIQ/lastIQB track the
 	// last-emitted queue occupancies so depth events fire only on change.
-	probe  obs.Probe
-	lastIQ int
+	probe   obs.Probe
+	lastIQ  int
 	lastIQB int
+
+	// flight is the always-on post-mortem ring (concrete type, see
+	// Engine.SetFlightRecorder).
+	flight *obs.FlightRecorder
 }
 
 // SetProbe attaches an observability probe. Call before the first Tick.
@@ -116,8 +120,14 @@ func (p *Pipe) SetProbe(pr obs.Probe) {
 	p.lastIQ, p.lastIQB = -1, -1
 }
 
-// emit sends an event when a probe is attached.
+// SetFlightRecorder attaches the post-mortem flight recorder (nil detaches).
+func (p *Pipe) SetFlightRecorder(r *obs.FlightRecorder) { p.flight = r }
+
+// emit sends an event to the flight recorder and, when attached, the probe.
 func (p *Pipe) emit(kind obs.Kind, addr uint32) {
+	if p.flight != nil {
+		p.flight.Record(kind, addr, 0, 0)
+	}
 	if p.probe != nil {
 		p.probe.Event(obs.Event{Kind: kind, Addr: addr})
 	}

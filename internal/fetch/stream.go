@@ -51,6 +51,13 @@ type Engine interface {
 	// blocked prefetches, branch flushes, queue occupancy). Call before
 	// the first Tick; a nil probe disables emission.
 	SetProbe(p obs.Probe)
+	// SetFlightRecorder attaches the always-on post-mortem event ring (a
+	// concrete type, not a Probe: the recorder must stay cheap enough to
+	// leave enabled on every run). Call before the first Tick; nil
+	// detaches. Engines record their cache, fetch/prefetch and flush
+	// events; queue-occupancy samples are deliberately excluded (too
+	// frequent to be worth their ring slots).
+	SetFlightRecorder(r *obs.FlightRecorder)
 	// DebugState renders the engine's occupancy and cursor state in one
 	// line, for deadlock and machine-check diagnostics.
 	DebugState() string

@@ -77,6 +77,7 @@ type TIB struct {
 
 	probe   obs.Probe
 	lastBuf int
+	flight  *obs.FlightRecorder
 }
 
 // SetProbe attaches an observability probe. Call before the first Tick.
@@ -85,8 +86,14 @@ func (t *TIB) SetProbe(p obs.Probe) {
 	t.lastBuf = -1
 }
 
-// emit sends an event when a probe is attached.
+// SetFlightRecorder attaches the post-mortem flight recorder (nil detaches).
+func (t *TIB) SetFlightRecorder(r *obs.FlightRecorder) { t.flight = r }
+
+// emit sends an event to the flight recorder and, when attached, the probe.
 func (t *TIB) emit(kind obs.Kind, addr uint32) {
+	if t.flight != nil {
+		t.flight.Record(kind, addr, 0, 0)
+	}
 	if t.probe != nil {
 		t.probe.Event(obs.Event{Kind: kind, Addr: addr})
 	}

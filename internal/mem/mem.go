@@ -201,10 +201,19 @@ type System struct {
 
 	// probe, when set, observes bus transfers and request acceptances.
 	probe obs.Probe
+
+	// flight, when set, keeps bus transfers and request acceptances in the
+	// always-on post-mortem ring (concrete type: the Probe interface
+	// dispatch is too slow for an always-on path).
+	flight *obs.FlightRecorder
 }
 
 // SetProbe attaches an observability probe. Call before the first cycle.
 func (s *System) SetProbe(p obs.Probe) { s.probe = p }
+
+// SetFlightRecorder attaches the post-mortem flight recorder (nil detaches).
+// Call before the first cycle.
+func (s *System) SetFlightRecorder(r *obs.FlightRecorder) { s.flight = r }
 
 // New builds a memory system preloaded with the program image's text and
 // data segments.
@@ -406,9 +415,14 @@ func (s *System) deliver() {
 					f.delivered++
 					s.st.WordsDelivered++
 				}
-				if s.probe != nil && f.delivered > wordsBefore {
-					s.probe.Event(obs.Event{Kind: obs.KindBusBusy, Addr: f.req.Addr,
-						Value: uint64(f.delivered - wordsBefore)})
+				if f.delivered > wordsBefore {
+					if s.flight != nil {
+						s.flight.Record(obs.KindBusBusy, f.req.Addr, 0, uint64(f.delivered-wordsBefore))
+					}
+					if s.probe != nil {
+						s.probe.Event(obs.Event{Kind: obs.KindBusBusy, Addr: f.req.Addr,
+							Value: uint64(f.delivered - wordsBefore)})
+					}
 				}
 			}
 		}
@@ -489,6 +503,9 @@ func (s *System) accept() {
 func (s *System) start(r *Request) {
 	r.accepted = true
 	s.st.Accepted[r.Kind]++
+	if s.flight != nil {
+		s.flight.Record(obs.KindMemAccept, r.Addr, uint32(r.Kind), 0)
+	}
 	if s.probe != nil {
 		s.probe.Event(obs.Event{Kind: obs.KindMemAccept, Addr: r.Addr, Arg: uint32(r.Kind)})
 	}

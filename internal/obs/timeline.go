@@ -18,6 +18,7 @@ const (
 	tidPipeline = 1 // issue-stage attribution spans
 	tidIFetch   = 2 // demand fetch / prefetch spans and instants
 	tidLoops    = 3 // Livermore loop spans
+	tidMem      = 4 // memory-interface instants (replay mode only)
 )
 
 // chromeEvent is one entry of the trace's traceEvents array.
@@ -47,6 +48,13 @@ type chromeTrace struct {
 type Timeline struct {
 	events []chromeEvent
 	last   uint64 // highest cycle seen, to close open spans
+
+	// replay additionally renders the kinds a live timeline ignores —
+	// cache hits/misses, memory accepts, retirements — as instants, so a
+	// sparse flight-recorder snapshot still paints a useful picture. Off
+	// for live probes: at full stream rate those kinds would multiply the
+	// trace size without adding structure. Enable via NewReplayTimeline.
+	replay bool
 
 	// Pipeline attribution span state.
 	bucketOpen  bool
@@ -79,6 +87,16 @@ func NewTimeline() *Timeline {
 	t.meta(tidPipeline, "thread_name", "pipeline")
 	t.meta(tidIFetch, "thread_name", "ifetch")
 	t.meta(tidLoops, "thread_name", "loops")
+	return t
+}
+
+// NewReplayTimeline returns a timeline in replay mode, for re-rendering a
+// bounded event snapshot (a flight-recorder ring) rather than consuming a
+// live stream. See Timeline.replay; used by WriteFlightTrace.
+func NewReplayTimeline() *Timeline {
+	t := NewTimeline()
+	t.replay = true
+	t.meta(tidMem, "thread_name", "memory")
 	return t
 }
 
@@ -127,6 +145,23 @@ func (t *Timeline) Event(e Event) {
 		t.loopOpen, t.loopArg, t.loopStart = true, e.Arg, e.Cycle
 	case KindLoopExit:
 		t.closeLoop(e.Cycle)
+	case KindCacheHit, KindCacheMiss:
+		if t.replay {
+			t.mark(tidIFetch, e.Kind.String(), e.Cycle,
+				map[string]any{"addr": fmt.Sprintf("%#05x", e.Addr)})
+		}
+	case KindMemAccept:
+		if t.replay {
+			t.mark(tidMem, "mem-accept", e.Cycle, map[string]any{
+				"addr": fmt.Sprintf("%#05x", e.Addr),
+				"req":  stats.ReqKind(e.Arg).String(),
+			})
+		}
+	case KindRetire:
+		if t.replay {
+			t.mark(tidPipeline, "retire", e.Cycle,
+				map[string]any{"pc": fmt.Sprintf("%#05x", e.Addr)})
+		}
 	case KindQueueDepth:
 		t.counter(Queue(e.Arg).String(), e.Cycle, map[string]any{"entries": e.Value})
 	case KindBusBusy:
@@ -169,6 +204,10 @@ func (t *Timeline) span(tid int, name string, start, end uint64, args map[string
 
 func (t *Timeline) instant(tid int, name string) {
 	t.events = append(t.events, chromeEvent{Name: name, Ph: "i", Ts: t.last, Pid: 1, Tid: tid, S: "t"})
+}
+
+func (t *Timeline) mark(tid int, name string, ts uint64, args map[string]any) {
+	t.events = append(t.events, chromeEvent{Name: name, Ph: "i", Ts: ts, Pid: 1, Tid: tid, S: "t", Args: args})
 }
 
 func (t *Timeline) counter(name string, ts uint64, args map[string]any) {

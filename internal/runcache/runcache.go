@@ -16,14 +16,17 @@ package runcache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"pipesim/internal/core"
 	"pipesim/internal/program"
 	"pipesim/internal/stats"
+	"pipesim/internal/tracing"
 )
 
 // Key identifies one simulated machine: a canonical hash of the complete
@@ -227,18 +230,44 @@ func (c *Cache) Reset() {
 // Callers needing probes, tracers or any other side effect of execution
 // must run core.New directly: a memoized result replays no events.
 func (c *Cache) Run(cfg core.Config, img *program.Image) (*stats.Sim, error) {
+	return c.RunCtx(context.Background(), cfg, img)
+}
+
+// RunCtx is Run with request-scoped tracing: when the context carries a
+// span (a pipesimd request), the lookup becomes a "runcache.lookup" span
+// annotated with its hit/miss outcome, and an actual simulation becomes a
+// "simulate" span. On an untraced context both spans are no-ops, so the
+// library path pays one context value lookup and nothing more.
+func (c *Cache) RunCtx(ctx context.Context, cfg core.Config, img *program.Image) (*stats.Sim, error) {
 	if c == nil || !c.enabled.Load() {
-		return runFresh(cfg, img)
+		return simulate(ctx, cfg, img)
 	}
+	_, look := tracing.StartSpan(ctx, "runcache.lookup")
 	k := KeyFor(cfg, img.Fingerprint())
 	if st, ok := c.Get(k); ok {
+		look.SetAttr("outcome", "hit")
+		look.End()
 		return &st, nil
 	}
-	st, err := runFresh(cfg, img)
+	look.SetAttr("outcome", "miss")
+	look.End()
+	st, err := simulate(ctx, cfg, img)
 	if err != nil {
 		return nil, err
 	}
 	c.Put(k, st)
+	return st, nil
+}
+
+// simulate is one uncached simulation wrapped in a "simulate" span.
+func simulate(ctx context.Context, cfg core.Config, img *program.Image) (*stats.Sim, error) {
+	_, span := tracing.StartSpan(ctx, "simulate")
+	defer span.End()
+	st, err := runFresh(cfg, img)
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttr("cycles", fmt.Sprint(st.Cycles))
 	return st, nil
 }
 

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"pipesim/internal/mem"
@@ -83,16 +84,16 @@ func TestRunPipeCachedMatchesFresh(t *testing.T) {
 	mcfg := mem.Config{AccessTime: 6, BusWidthBytes: 8, InstrPriority: true, FPULatency: 4}
 	v := TableII[1]
 	runcache.Default.SetEnabled(false)
-	fresh, err := RunPipe(v, 128, mcfg, true)
+	fresh, err := RunPipe(context.Background(), v, 128, mcfg, true)
 	runcache.Default.SetEnabled(true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	miss, err := RunPipe(v, 128, mcfg, true)
+	miss, err := RunPipe(context.Background(), v, 128, mcfg, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hit, err := RunPipe(v, 128, mcfg, true)
+	hit, err := RunPipe(context.Background(), v, 128, mcfg, true)
 	if err != nil {
 		t.Fatal(err)
 	}

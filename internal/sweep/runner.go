@@ -8,6 +8,7 @@ package sweep
 // structured errors for the ones that did not.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"pipesim/internal/stats"
+	"pipesim/internal/tracing"
 )
 
 // Options tunes the parallel runner. The zero value runs every experiment
@@ -36,6 +38,11 @@ type Options struct {
 	// collector goroutine (no locking needed) but arrive in completion
 	// order, not submission order.
 	Progress func(o Outcome, done, total int)
+	// Context, when set, is passed to every experiment body. A context
+	// carrying a tracing span (a pipesimd sweep request) gets one child
+	// span per experiment, named "experiment:<id>"; nil means
+	// context.Background.
+	Context context.Context
 }
 
 // TimeoutError reports an experiment that exceeded the per-run deadline.
@@ -141,6 +148,10 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 	if len(exps) == 0 {
 		return sum
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type job struct {
 		idx int
 		exp Experiment
@@ -151,7 +162,7 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 		go func() {
 			for j := range jobs {
 				t0 := time.Now()
-				res, err := runIsolated(j.exp, opt.Timeout)
+				res, err := runIsolated(ctx, j.exp, opt.Timeout)
 				sum.Outcomes[j.idx] = Outcome{
 					Experiment: j.exp,
 					Result:     res,
@@ -331,8 +342,10 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 }
 
 // runIsolated executes one experiment body behind panic recovery and an
-// optional deadline.
-func runIsolated(e Experiment, timeout time.Duration) (*Result, error) {
+// optional deadline. When ctx carries a tracing span the experiment gets a
+// child span; the span ends when the body returns, even if the sweep has
+// already timed the experiment out and moved on.
+func runIsolated(ctx context.Context, e Experiment, timeout time.Duration) (*Result, error) {
 	type reply struct {
 		res *Result
 		err error
@@ -341,12 +354,18 @@ func runIsolated(e Experiment, timeout time.Duration) (*Result, error) {
 	// let its goroutine exit.
 	ch := make(chan reply, 1)
 	go func() {
+		ctx, span := tracing.StartSpan(ctx, "experiment:"+e.ID)
+		defer span.End()
 		defer func() {
 			if p := recover(); p != nil {
+				span.SetAttr("panic", fmt.Sprint(p))
 				ch <- reply{err: &PanicError{ID: e.ID, Value: p, Stack: string(debug.Stack())}}
 			}
 		}()
-		res, err := e.Run()
+		res, err := e.Run(ctx)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
 		ch <- reply{res: res, err: err}
 	}()
 	if timeout <= 0 {

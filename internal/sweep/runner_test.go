@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,9 +12,10 @@ import (
 	"pipesim/internal/stats"
 )
 
-// fake builds a lightweight experiment for runner tests (no simulation).
+// fake builds a lightweight experiment for runner tests (no simulation;
+// the bodies ignore the context, so they keep the plain signature).
 func fake(id string, run func() (*Result, error)) Experiment {
-	return Experiment{ID: id, Title: "fake " + id, Run: run}
+	return Experiment{ID: id, Title: "fake " + id, Run: func(context.Context) (*Result, error) { return run() }}
 }
 
 func passing(id string) Experiment {

@@ -5,6 +5,8 @@
 package sweep
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -89,8 +91,8 @@ func BenchmarkImage() (*program.Image, error) {
 // sweeps) return the memoized statistics without re-simulating. Experiments
 // that attach tracers or probes must not use it — a cached result replays
 // no events — and call core.New directly instead.
-func runPoint(cfg core.Config, img *program.Image) (*stats.Sim, error) {
-	return runcache.Default.Run(cfg, img)
+func runPoint(ctx context.Context, cfg core.Config, img *program.Image) (*stats.Sim, error) {
+	return runcache.Default.RunCtx(ctx, cfg, img)
 }
 
 // memConfig assembles the paper's memory-system settings.
@@ -105,7 +107,7 @@ func memConfig(accessTime, busWidth int, pipelined bool) mem.Config {
 }
 
 // RunPipe simulates one PIPE configuration point on the benchmark.
-func RunPipe(v PipeVariant, cacheBytes int, mcfg mem.Config, truePrefetch bool) (*stats.Sim, error) {
+func RunPipe(ctx context.Context, v PipeVariant, cacheBytes int, mcfg mem.Config, truePrefetch bool) (*stats.Sim, error) {
 	img, err := BenchmarkImage()
 	if err != nil {
 		return nil, err
@@ -120,11 +122,11 @@ func RunPipe(v PipeVariant, cacheBytes int, mcfg mem.Config, truePrefetch bool) 
 		Mem:          mcfg,
 		CPU:          core.DefaultConfig().CPU,
 	}
-	return runPoint(cfg, img)
+	return runPoint(ctx, cfg, img)
 }
 
 // RunConv simulates one conventional-cache point on the benchmark.
-func RunConv(cacheBytes int, mcfg mem.Config) (*stats.Sim, error) {
+func RunConv(ctx context.Context, cacheBytes int, mcfg mem.Config) (*stats.Sim, error) {
 	img, err := BenchmarkImage()
 	if err != nil {
 		return nil, err
@@ -136,11 +138,11 @@ func RunConv(cacheBytes int, mcfg mem.Config) (*stats.Sim, error) {
 		Mem:        mcfg,
 		CPU:        core.DefaultConfig().CPU,
 	}
-	return runPoint(cfg, img)
+	return runPoint(ctx, cfg, img)
 }
 
 // RunTIB simulates a Target Instruction Buffer point on the benchmark.
-func RunTIB(entries, lineBytes int, mcfg mem.Config) (*stats.Sim, error) {
+func RunTIB(ctx context.Context, entries, lineBytes int, mcfg mem.Config) (*stats.Sim, error) {
 	img, err := BenchmarkImage()
 	if err != nil {
 		return nil, err
@@ -154,12 +156,12 @@ func RunTIB(entries, lineBytes int, mcfg mem.Config) (*stats.Sim, error) {
 		Mem:          mcfg,
 		CPU:          core.DefaultConfig().CPU,
 	}
-	return runPoint(cfg, img)
+	return runPoint(ctx, cfg, img)
 }
 
 // figure runs one cache-size sweep: the conventional cache plus the four
 // Table II PIPE configurations.
-func figure(id, title string, accessTime, busWidth int, pipelined bool) (*Result, error) {
+func figure(ctx context.Context, id, title string, accessTime, busWidth int, pipelined bool) (*Result, error) {
 	mcfg := memConfig(accessTime, busWidth, pipelined)
 	res := &Result{
 		ID:    id,
@@ -175,7 +177,7 @@ func figure(id, title string, accessTime, busWidth int, pipelined bool) (*Result
 			conv.Points = append(conv.Points, Point{CacheBytes: size})
 			continue
 		}
-		st, err := RunConv(size, mcfg)
+		st, err := RunConv(ctx, size, mcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +191,7 @@ func figure(id, title string, accessTime, busWidth int, pipelined bool) (*Result
 				s.Points = append(s.Points, Point{CacheBytes: size})
 				continue
 			}
-			st, err := RunPipe(v, size, mcfg, true)
+			st, err := RunPipe(ctx, v, size, mcfg, true)
 			if err != nil {
 				return nil, err
 			}
@@ -204,7 +206,7 @@ func figure(id, title string, accessTime, busWidth int, pipelined bool) (*Result
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (*Result, error)
+	Run   func(ctx context.Context) (*Result, error)
 }
 
 // Experiments returns every experiment, keyed by figure/table identifier.
@@ -212,29 +214,29 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{ID: "table1", Title: "Table I: inner loop sizes", Run: runTable1},
 		{ID: "table2", Title: "Table II: simulated IQ and IQB configurations", Run: runTable2},
-		{ID: "fig4a", Title: "Figure 4a: T=1, non-pipelined, bus 4B", Run: func() (*Result, error) {
-			return figure("fig4a", "Figure 4a", 1, 4, false)
+		{ID: "fig4a", Title: "Figure 4a: T=1, non-pipelined, bus 4B", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "fig4a", "Figure 4a", 1, 4, false)
 		}},
-		{ID: "fig4b", Title: "Figure 4b: T=1, non-pipelined, bus 8B", Run: func() (*Result, error) {
-			return figure("fig4b", "Figure 4b", 1, 8, false)
+		{ID: "fig4b", Title: "Figure 4b: T=1, non-pipelined, bus 8B", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "fig4b", "Figure 4b", 1, 8, false)
 		}},
-		{ID: "fig5a", Title: "Figure 5a: T=6, non-pipelined, bus 4B", Run: func() (*Result, error) {
-			return figure("fig5a", "Figure 5a", 6, 4, false)
+		{ID: "fig5a", Title: "Figure 5a: T=6, non-pipelined, bus 4B", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "fig5a", "Figure 5a", 6, 4, false)
 		}},
-		{ID: "fig5b", Title: "Figure 5b: T=6, non-pipelined, bus 8B", Run: func() (*Result, error) {
-			return figure("fig5b", "Figure 5b", 6, 8, false)
+		{ID: "fig5b", Title: "Figure 5b: T=6, non-pipelined, bus 8B", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "fig5b", "Figure 5b", 6, 8, false)
 		}},
-		{ID: "fig6a", Title: "Figure 6a: T=6, bus 8B, non-pipelined (= Figure 5b)", Run: func() (*Result, error) {
-			return figure("fig6a", "Figure 6a", 6, 8, false)
+		{ID: "fig6a", Title: "Figure 6a: T=6, bus 8B, non-pipelined (= Figure 5b)", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "fig6a", "Figure 6a", 6, 8, false)
 		}},
-		{ID: "fig6b", Title: "Figure 6b: T=6, bus 8B, pipelined", Run: func() (*Result, error) {
-			return figure("fig6b", "Figure 6b", 6, 8, true)
+		{ID: "fig6b", Title: "Figure 6b: T=6, bus 8B, pipelined", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "fig6b", "Figure 6b", 6, 8, true)
 		}},
-		{ID: "access2", Title: "Claim: T=2 behaves like T=6 (bus 4B)", Run: func() (*Result, error) {
-			return figure("access2", "Access time 2, bus 4B", 2, 4, false)
+		{ID: "access2", Title: "Claim: T=2 behaves like T=6 (bus 4B)", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "access2", "Access time 2, bus 4B", 2, 4, false)
 		}},
-		{ID: "access3", Title: "Claim: T=3 behaves like T=6 (bus 4B)", Run: func() (*Result, error) {
-			return figure("access3", "Access time 3, bus 4B", 3, 4, false)
+		{ID: "access3", Title: "Claim: T=3 behaves like T=6 (bus 4B)", Run: func(ctx context.Context) (*Result, error) {
+			return figure(ctx, "access3", "Access time 3, bus 4B", 3, 4, false)
 		}},
 		{ID: "format", Title: "Extension: native 16/32-bit instruction format code density", Run: runFormat},
 		{ID: "formatsim", Title: "Parameter 1: native 16/32-bit format, simulated timing", Run: runFormatSim},
@@ -259,7 +261,7 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-func runTable1() (*Result, error) {
+func runTable1(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "table1", Title: "Table I", XLabel: "loop number",
 		Description: "inner loop sizes in bytes (generated workload vs the paper)"}
 	s := Series{Label: "bytes"}
@@ -270,7 +272,7 @@ func runTable1() (*Result, error) {
 	return res, nil
 }
 
-func runTable2() (*Result, error) {
+func runTable2(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "table2", Title: "Table II", XLabel: "configuration",
 		Description: "line / IQ / IQB sizes in bytes"}
 	for _, v := range TableII {
@@ -287,7 +289,7 @@ func runTable2() (*Result, error) {
 // chip's native 16/32-bit two-parcel format. The effect of the denser
 // format is static: each inner loop occupies fewer bytes, so a given cache
 // holds more of it. The experiment reports Table I in both encodings.
-func runFormat() (*Result, error) {
+func runFormat(ctx context.Context) (*Result, error) {
 	img, err := BenchmarkImage()
 	if err != nil {
 		return nil, err
@@ -317,7 +319,7 @@ func runFormat() (*Result, error) {
 // benchmark in the fixed 32-bit format versus the chip's native 16/32-bit
 // parcel format, for the PIPE 16-16 machine and the conventional cache.
 // The denser encoding acts like a larger effective cache.
-func runFormatSim() (*Result, error) {
+func runFormatSim(ctx context.Context) (*Result, error) {
 	img, err := BenchmarkImage()
 	if err != nil {
 		return nil, err
@@ -353,7 +355,7 @@ func runFormatSim() (*Result, error) {
 				Mem:          memConfig(6, 8, false),
 				CPU:          core.DefaultConfig().CPU,
 			}
-			st, err := runPoint(cfg, img)
+			st, err := runPoint(ctx, cfg, img)
 			if err != nil {
 				return nil, err
 			}
@@ -364,7 +366,7 @@ func runFormatSim() (*Result, error) {
 	return res, nil
 }
 
-func runNoPrefetch() (*Result, error) {
+func runNoPrefetch(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "noprefetch", Title: "True prefetch ablation",
 		Description: "PIPE 16-16; the original chip policy only fetches lines guaranteed to execute",
 		XLabel:      "cache size (bytes)"}
@@ -385,7 +387,7 @@ func runNoPrefetch() (*Result, error) {
 				s.Points = append(s.Points, Point{CacheBytes: size})
 				continue
 			}
-			st, err := RunPipe(v, size, memConfig(mode.T, 8, false), mode.tp)
+			st, err := RunPipe(ctx, v, size, memConfig(mode.T, 8, false), mode.tp)
 			if err != nil {
 				return nil, err
 			}
@@ -396,7 +398,7 @@ func runNoPrefetch() (*Result, error) {
 	return res, nil
 }
 
-func runPriority() (*Result, error) {
+func runPriority(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "priority", Title: "Memory-interface priority ablation",
 		Description: "PIPE 16-16 and conventional, T=6, bus 8B, non-pipelined",
 		XLabel:      "cache size (bytes)"}
@@ -412,7 +414,7 @@ func runPriority() (*Result, error) {
 				s.Points = append(s.Points, Point{CacheBytes: size})
 				continue
 			}
-			st, err := RunPipe(TableII[1], size, mcfg, true)
+			st, err := RunPipe(ctx, TableII[1], size, mcfg, true)
 			if err != nil {
 				return nil, err
 			}
@@ -432,7 +434,7 @@ func runPriority() (*Result, error) {
 				s.Points = append(s.Points, Point{CacheBytes: size})
 				continue
 			}
-			st, err := RunConv(size, mcfg)
+			st, err := RunConv(ctx, size, mcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -443,7 +445,7 @@ func runPriority() (*Result, error) {
 	return res, nil
 }
 
-func runTIBExp() (*Result, error) {
+func runTIBExp(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "tib", Title: "TIB front end",
 		Description: "cycles vs TIB target-line size (4 entries) at T=1 and T=6, bus 8B; " +
 			"the loop workload has one live branch target at a time, so capacity beyond " +
@@ -454,7 +456,7 @@ func runTIBExp() (*Result, error) {
 		for _, entries := range []int{1, 4} {
 			s := Series{Label: fmt.Sprintf("T=%d e=%d", T, entries)}
 			for _, lineBytes := range []int{8, 16, 32, 64} {
-				st, err := RunTIB(entries, lineBytes, memConfig(T, 8, false))
+				st, err := RunTIB(ctx, entries, lineBytes, memConfig(T, 8, false))
 				if err != nil {
 					return nil, err
 				}
@@ -471,7 +473,7 @@ func runTIBExp() (*Result, error) {
 // on-chip cache to include data". With the I-cache held at the PIPE 16-16
 // arrangement, transistors go into a small data cache instead of a larger
 // instruction cache; the sweep compares both uses of the same extra bytes.
-func runDCache() (*Result, error) {
+func runDCache(ctx context.Context) (*Result, error) {
 	img, err := BenchmarkImage()
 	if err != nil {
 		return nil, err
@@ -493,7 +495,7 @@ func runDCache() (*Result, error) {
 			CPU:          core.DefaultConfig().CPU,
 		}
 		cfg.CPU.DCacheBytes = dcache
-		st, err := runPoint(cfg, img)
+		st, err := runPoint(ctx, cfg, img)
 		if err != nil {
 			return 0, err
 		}
@@ -522,7 +524,7 @@ func runDCache() (*Result, error) {
 // inner loops"): a single synthetic loop of varying byte size runs on a
 // fixed 128-byte cache. Cycles per iteration jump when the loop stops
 // fitting.
-func runKnee() (*Result, error) {
+func runKnee(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "knee", Title: "Cycles per iteration vs inner-loop size (128B cache)",
 		Description: "synthetic loop, 500 iterations, T=6, bus 8B, non-pipelined; " +
 			"the cost step sits at the cache size, explaining the knee of Figures 4-6",
@@ -550,7 +552,7 @@ func runKnee() (*Result, error) {
 				Mem:          mcfg,
 				CPU:          core.DefaultConfig().CPU,
 			}
-			st, err := runPoint(cfg, img)
+			st, err := runPoint(ctx, cfg, img)
 			if err != nil {
 				return nil, err
 			}
@@ -566,7 +568,7 @@ func runKnee() (*Result, error) {
 // (the paper reports only the total; the breakdown shows which loop shapes
 // each strategy handles well). Cache 128B, T=6, bus 8B — the paper's most
 // contested regime.
-func runPerLoop() (*Result, error) {
+func runPerLoop(ctx context.Context) (*Result, error) {
 	img, err := BenchmarkImage()
 	if err != nil {
 		return nil, err
@@ -631,7 +633,7 @@ func runPerLoop() (*Result, error) {
 // compiler can usually fill about four delay slots, and enough slots make
 // branch-resolution latency — and, with a fast memory, even target-fetch
 // latency — disappear. A fixed synthetic loop runs with 0..7 delay slots.
-func runSlots() (*Result, error) {
+func runSlots(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "slots", Title: "Cycles vs PBR delay-slot count",
 		Description: "synthetic 24-instruction loop, 2000 iterations, PIPE 16-16, 128B cache; " +
 			"delay slots hide the branch resolution latency",
@@ -655,7 +657,7 @@ func runSlots() (*Result, error) {
 				Mem:          memConfig(T, 8, false),
 				CPU:          core.DefaultConfig().CPU,
 			}
-			st, err := runPoint(cfg, img)
+			st, err := runPoint(ctx, cfg, img)
 			if err != nil {
 				return nil, err
 			}
@@ -673,7 +675,7 @@ func (f recorderFunc) Record(e trace.Event) { f(e) }
 
 // runIQSize sweeps the paper's last two simulation parameters — the IQ and
 // IQB sizes — beyond the four Table II points, at a fixed 16-byte line.
-func runIQSize() (*Result, error) {
+func runIQSize(ctx context.Context) (*Result, error) {
 	res := &Result{ID: "iqsize", Title: "IQ/IQB size sensitivity (line 16B, T=6, bus 8B)",
 		Description: "total cycles vs cache size for IQ/IQB combinations at a fixed line size",
 		XLabel:      "cache size (bytes)"}
@@ -707,7 +709,7 @@ func runIQSize() (*Result, error) {
 				Mem:          mcfg,
 				CPU:          core.DefaultConfig().CPU,
 			}
-			st, err := runPoint(cfg, img)
+			st, err := runPoint(ctx, cfg, img)
 			if err != nil {
 				return nil, err
 			}

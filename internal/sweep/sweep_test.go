@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -23,7 +24,7 @@ func fig(t *testing.T, id string) *Result {
 	if !ok {
 		t.Fatalf("unknown experiment %q", id)
 	}
-	r, err := exp.Run()
+	r, err := exp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

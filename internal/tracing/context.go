@@ -1,0 +1,47 @@
+package tracing
+
+// Context propagation. Spans travel down call stacks in a context.Context;
+// instrumented library code (sweep's runner, runcache's lookup) calls
+// StartSpan unconditionally and gets a no-op span when nothing upstream
+// started a trace. That keeps the instrumentation free of daemon imports
+// and makes its cost on untraced paths one context value lookup per call —
+// never per cycle, never per event.
+
+import (
+	"context"
+	"time"
+)
+
+// ctxKey is the private context key type for the current span.
+type ctxKey struct{}
+
+// WithSpan returns a context carrying s as the current span.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the current span, or nil (the no-op span) when the
+// context carries none.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's current span and returns a
+// context carrying the child. With no current span — an untraced call
+// path — it returns ctx unchanged and the nil no-op span, whose methods
+// (SetAttr, End, Duration) all no-op, so callers never branch.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{
+		tr:     parent.tr,
+		id:     randomSpanID(),
+		parent: parent.id,
+		name:   name,
+		start:  time.Now(),
+	}
+	return WithSpan(ctx, child), child
+}

@@ -151,6 +151,19 @@ type Config struct {
 	// machine state — long before MaxCycles would fire. Zero selects a
 	// default (one million cycles) that no legitimate stall approaches.
 	WatchdogCycles uint64
+
+	// FlightRecorderDepth sizes the always-on flight recorder: a bounded
+	// ring of recent probe events (cache activity, fetches, prefetches,
+	// flushes, bus transfers, memory accepts, retirements) that every run
+	// keeps for post-mortem diagnosis. On a machine check or deadlock the
+	// ring's tail is snapshotted into the error (MachineCheckError /
+	// DeadlockError .Recent, rendered by Detail); after any run it is
+	// readable via Simulation.RecentEvents. Zero selects the default depth
+	// (256 events); a negative value disables recording. The recorder is
+	// observational only — it never changes simulation results — and its
+	// always-on cost is ~3% of an unobserved run (see
+	// BenchmarkFlightRecorderOverhead).
+	FlightRecorderDepth int
 }
 
 // DefaultConfig returns the paper's baseline presentation point: the PIPE
@@ -239,6 +252,7 @@ func (c Config) toCore() (core.Config, error) {
 		InterruptVector: c.InterruptVector,
 		MaxCycles:       c.MaxCycles,
 		WatchdogCycles:  c.WatchdogCycles,
+		FlightRecDepth:  c.FlightRecorderDepth,
 	}, nil
 }
 
@@ -621,6 +635,21 @@ func (s *Simulation) Run() (*Result, error) {
 	}
 	fireRunHook(s.cfg, res, nil, time.Since(start))
 	return res, nil
+}
+
+// RecentEvents returns a snapshot of the flight recorder's retained events,
+// oldest first — the same tail a MachineCheckError or DeadlockError would
+// carry, available even after a successful run. Nil when the recorder was
+// disabled (Config.FlightRecorderDepth < 0). Call after Run.
+func (s *Simulation) RecentEvents() []ProbeEvent { return s.inner.FlightEvents() }
+
+// WriteFlightTrace renders a flight-recorder snapshot (RecentEvents, or the
+// Recent field of a MachineCheckError/DeadlockError) as Chrome-trace JSON
+// loadable in chrome://tracing or https://ui.perfetto.dev. Unlike a full
+// Timeline it covers only the ring's bounded tail, but it needs no probe
+// attached up front — the post-mortem path of cmd/pipesim -flightrec-dump.
+func WriteFlightTrace(w io.Writer, events []ProbeEvent) error {
+	return obs.WriteFlightTrace(w, events)
 }
 
 // TraceTo streams every retired instruction (cycle, PC, disassembly) to w,

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"pipesim/internal/jobs"
+	"pipesim/internal/tracing"
+)
+
+// Retry-After values (seconds) for shed load: a full queue clears as the
+// executor grinds through jobs; a draining daemon is about to hand its
+// traffic to another replica, so clients should come back sooner.
+const (
+	retryAfterQueueFull = 15
+	retryAfterDraining  = 10
+)
+
+// jobTracing retains one trace per executing job so GET /v1/trace/job-{id}
+// works for background work exactly as it does for requests. The span map
+// carries each live job's root span from the JobStart hook to JobEnd.
+type jobTracing struct {
+	tracer *tracing.Tracer
+	mu     sync.Mutex
+	spans  map[string]*tracing.Span
+}
+
+func (jt *jobTracing) start(v *jobs.View) {
+	_, span := jt.tracer.StartTrace(context.Background(), "job:"+v.ID, "job-"+v.ID, tracing.TraceContext{})
+	jt.mu.Lock()
+	jt.spans[v.ID] = span
+	jt.mu.Unlock()
+}
+
+func (jt *jobTracing) end(v *jobs.View) {
+	jt.mu.Lock()
+	span := jt.spans[v.ID]
+	delete(jt.spans, v.ID)
+	jt.mu.Unlock()
+	if span == nil {
+		return
+	}
+	span.SetAttr("state", string(v.State))
+	span.SetAttr("points", strconv.Itoa(v.CompletedPoints))
+	span.SetAttr("retries", strconv.Itoa(v.RetriesUsed))
+	span.End()
+}
+
+// newJobManager builds the daemon's job manager with its lifecycle hooks
+// wired into the metrics registry and the tracer.
+func (s *server) newJobManager(opts serverOptions) (*jobs.Manager, error) {
+	jt := &jobTracing{tracer: s.tracer, spans: make(map[string]*tracing.Span)}
+	return jobs.New(jobs.Options{
+		Dir:          opts.jobsDir,
+		QueueLimit:   opts.jobsQueue,
+		PointWorkers: opts.jobsPoints,
+		PointTimeout: opts.runLimit,
+		Logger:       s.log,
+		InjectFault:  opts.jobsFault,
+		Hooks: jobs.Hooks{
+			JobStart: func(v *jobs.View) {
+				s.metrics.jobsActive.Inc()
+				jt.start(v)
+			},
+			JobEnd: func(v *jobs.View) {
+				s.metrics.jobsActive.Dec()
+				s.metrics.jobsFinished.With(string(v.State)).Inc()
+				jt.end(v)
+			},
+			Point: func(jobID, outcome string) {
+				s.metrics.jobPoints.With(outcome).Inc()
+			},
+		},
+	})
+}
+
+// requireJobs returns the manager, failing the request when the jobs
+// subsystem is disabled (-jobs-dir not set).
+func (s *server) requireJobs(w http.ResponseWriter, r *http.Request) *jobs.Manager {
+	if s.jobs == nil {
+		s.fail(w, r, errKindUnavailable,
+			errors.New("durable jobs are disabled: start pipesimd with -jobs-dir"))
+		return nil
+	}
+	return s.jobs
+}
+
+// handleJobSubmit admits one durable sweep job. Overload is shed before
+// any work happens: 503 + Retry-After while draining (the work would be
+// killed), 429 + Retry-After when the admission queue is full.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	m := s.requireJobs(w, r)
+	if m == nil {
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+		s.metrics.jobsSubmitted.With("rejected_draining").Inc()
+		s.fail(w, r, errKindUnavailable, errors.New("draining: not accepting jobs"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec jobs.Spec
+	if err := dec.Decode(&spec); err != nil {
+		s.metrics.jobsSubmitted.With("rejected_invalid").Inc()
+		s.fail(w, r, errKindBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	v, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
+		s.metrics.jobsSubmitted.With("rejected_full").Inc()
+		s.fail(w, r, errKindQueueFull, err)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+		s.metrics.jobsSubmitted.With("rejected_draining").Inc()
+		s.fail(w, r, errKindUnavailable, err)
+		return
+	case err != nil:
+		s.metrics.jobsSubmitted.With("rejected_invalid").Inc()
+		s.fail(w, r, errKindBadRequest, err)
+		return
+	}
+	s.metrics.jobsSubmitted.With("accepted").Inc()
+	reqLog(r).Info("job accepted", "job", v.ID, "points", v.TotalPoints)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// handleJobGet serves one job's status, progress and partial results.
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	m := s.requireJobs(w, r)
+	if m == nil {
+		return
+	}
+	v, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, r, errKindNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleJobList serves summaries of every known job, oldest first.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	m := s.requireJobs(w, r)
+	if m == nil {
+		return
+	}
+	type listResponse struct {
+		Jobs []*jobs.View `json:"jobs"`
+	}
+	writeJSON(w, http.StatusOK, listResponse{Jobs: m.List()})
+}
+
+// handleJobCancel cancels a queued or running job. Cancelling a finished
+// job is a conflict, not an error in the job itself.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	m := s.requireJobs(w, r)
+	if m == nil {
+		return
+	}
+	v, err := m.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		s.fail(w, r, errKindNotFound, err)
+		return
+	case errors.Is(err, jobs.ErrTerminal):
+		s.fail(w, r, errKindConflict, fmt.Errorf("job %s already %s", v.ID, v.State))
+		return
+	}
+	reqLog(r).Info("job cancel requested", "job", v.ID, "state", v.State)
+	writeJSON(w, http.StatusOK, v)
+}

@@ -5,6 +5,10 @@
 //
 //	POST /v1/run              run one simulation (JSON config overlay)
 //	GET  /v1/sweep            run Table-II-style sweeps (fault-isolated runner)
+//	POST /v1/jobs             submit a durable sweep job (202 + job id; needs -jobs-dir)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status, progress and partial results
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
 //	GET  /v1/experiments      list sweep experiment IDs
 //	GET  /v1/trace/{id}       span trace of a recent request (?format=chrome for Perfetto)
 //	GET  /metrics             Prometheus text exposition
@@ -19,9 +23,16 @@
 // X-Request-Id (64 bytes max, [A-Za-z0-9._-]). Failed simulations carry the
 // flight recorder's recent-event tail in the error body.
 //
+// With -jobs-dir the daemon runs durable sweep jobs: every completed
+// experiment point is checkpointed to a per-job JSONL file keyed by the
+// runcache content hash, so a crashed or drained daemon resumes exactly
+// the missing points on restart. Admission is bounded (-jobs-queue); a
+// full queue sheds load with 429 + Retry-After.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: readiness drops
-// immediately, in-flight requests get -drain to finish, then the listener
-// closes.
+// immediately, new sweeps and job submissions get 503 + Retry-After,
+// in-flight requests get -drain to finish, the running job checkpoints
+// and stops, then the listener closes.
 //
 // Usage:
 //
@@ -31,6 +42,9 @@
 //	pipesimd -drain 10s            # shutdown drain deadline
 //	pipesimd -run-timeout 2m       # per-run / per-experiment deadline
 //	pipesimd -runcache=false       # disable simulation-result memoization
+//	pipesimd -jobs-dir /var/lib/pipesimd/jobs  # enable durable sweep jobs
+//	pipesimd -jobs-queue 16        # admitted-but-unfinished job bound (429 beyond)
+//	pipesimd -jobs-points 4        # concurrent points per job (0 = one per CPU)
 //	pipesimd -slow-ms 500          # log span breakdowns of requests over 500ms
 //	pipesimd -version              # print build/VCS info and exit
 package main
@@ -64,6 +78,9 @@ func run() int {
 		maxBody    = flag.Int64("max-body", 1<<20, "maximum /v1/run request body in bytes")
 		workers    = flag.Int("parallel", 0, "default sweep worker count (0 = one per CPU)")
 		useCache   = flag.Bool("runcache", true, "memoize simulation results by (config, program) content hash")
+		jobsDir    = flag.String("jobs-dir", "", "directory for durable sweep-job manifests and checkpoints (empty = jobs API disabled)")
+		jobsQueue  = flag.Int("jobs-queue", 0, "admitted-but-unfinished job bound; submissions beyond it get 429 (0 = default 16)")
+		jobsPoints = flag.Int("jobs-points", 0, "concurrent experiment points per job (0 = one per CPU)")
 		slowMS     = flag.Int64("slow-ms", 0, "log the span breakdown of requests slower than this many milliseconds (0 = off)")
 		showVer    = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
@@ -81,12 +98,19 @@ func run() int {
 		return 2
 	}
 
-	srv := newServer(log, serverOptions{
-		maxBody:   *maxBody,
-		runLimit:  *runTimeout,
-		workers:   *workers,
-		slowLimit: time.Duration(*slowMS) * time.Millisecond,
+	srv, err := newServer(log, serverOptions{
+		maxBody:    *maxBody,
+		runLimit:   *runTimeout,
+		workers:    *workers,
+		slowLimit:  time.Duration(*slowMS) * time.Millisecond,
+		jobsDir:    *jobsDir,
+		jobsQueue:  *jobsQueue,
+		jobsPoints: *jobsPoints,
 	})
+	if err != nil {
+		log.Error("starting server", "err", err)
+		return 1
+	}
 
 	v := version.Get()
 	log.Info("pipesimd starting", "addr", *addr, "revision", v.ShortRevision(),
@@ -97,6 +121,16 @@ func run() int {
 	if err := srv.warm(); err != nil {
 		log.Error("warming benchmark image", "err", err)
 		return 1
+	}
+	if srv.jobs != nil {
+		resumed, err := srv.jobs.Recover()
+		if err != nil {
+			log.Error("recovering jobs", "dir", *jobsDir, "err", err)
+			return 1
+		}
+		if resumed > 0 {
+			log.Info("resuming interrupted jobs", "count", resumed, "dir", *jobsDir)
+		}
 	}
 	log.Info("pipesimd ready")
 
@@ -128,7 +162,18 @@ func run() int {
 	if err := hs.Shutdown(sdCtx); err != nil {
 		log.Warn("drain deadline exceeded, closing", "err", err)
 		hs.Close()
+		if srv.jobs != nil {
+			srv.jobs.Close(sdCtx)
+		}
 		return 1
+	}
+	if srv.jobs != nil {
+		// Interrupt the running job (its completed points are already
+		// checkpointed; the next start resumes the rest) and wait for the
+		// executor to stop within the drain budget.
+		if err := srv.jobs.Close(sdCtx); err != nil {
+			log.Warn("job executor did not stop before the drain deadline", "err", err)
+		}
 	}
 	log.Info("pipesimd stopped")
 	return 0

@@ -41,6 +41,14 @@ type daemonMetrics struct {
 	// Sweep experiments through /v1/sweep.
 	sweepExperiments *metrics.CounterVec // pipesimd_sweep_experiments_total{outcome}
 
+	// Durable sweep jobs (POST /v1/jobs). jobsQueued is synced from the
+	// manager at scrape time.
+	jobsSubmitted *metrics.CounterVec // pipesimd_jobs_submitted_total{outcome}
+	jobsFinished  *metrics.CounterVec // pipesimd_jobs_finished_total{state}
+	jobsActive    *metrics.Gauge      // pipesimd_jobs_active
+	jobsQueued    *metrics.Gauge      // pipesimd_jobs_queue_depth
+	jobPoints     *metrics.CounterVec // pipesimd_job_points_total{outcome}
+
 	// Request-stage latency, fed from span completions (tracing.OnSpanEnd):
 	// one observation per finished span, labelled by stage name.
 	stageTime *metrics.HistogramVec // pipesimd_stage_seconds{stage}
@@ -68,6 +76,9 @@ const (
 	errKindPanic         = "panic"
 	errKindNotFound      = "not_found"
 	errKindInternal      = "internal"
+	errKindUnavailable   = "unavailable" // draining, or a disabled subsystem
+	errKindQueueFull     = "queue_full"  // job admission queue at capacity
+	errKindConflict      = "conflict"    // e.g. cancelling a finished job
 )
 
 // newDaemonMetrics registers every family on a fresh registry.
@@ -100,6 +111,19 @@ func newDaemonMetrics() *daemonMetrics {
 				"per-cycle attribution bucket.", "bucket"),
 		sweepExperiments: reg.CounterVec("pipesimd_sweep_experiments_total",
 			"Sweep experiments executed through /v1/sweep, by outcome.", "outcome"),
+		jobsSubmitted: reg.CounterVec("pipesimd_jobs_submitted_total",
+			"Job submissions, by outcome: accepted, rejected_full (admission "+
+				"queue at capacity), rejected_draining, rejected_invalid.", "outcome"),
+		jobsFinished: reg.CounterVec("pipesimd_jobs_finished_total",
+			"Jobs that reached a terminal state, by state: done, failed, cancelled.",
+			"state"),
+		jobsActive: reg.Gauge("pipesimd_jobs_active",
+			"Jobs currently executing points."),
+		jobsQueued: reg.Gauge("pipesimd_jobs_queue_depth",
+			"Jobs admitted but not yet finished (queued plus running)."),
+		jobPoints: reg.CounterVec("pipesimd_job_points_total",
+			"Job experiment points, by outcome: ok, resumed (replayed from "+
+				"checkpoint), retry, failed.", "outcome"),
 		stageTime: reg.HistogramVec("pipesimd_stage_seconds",
 			"Wall-clock seconds per traced request stage (decode, build, run, "+
 				"runcache.lookup, simulate, experiment, root spans).", nil, "stage"),

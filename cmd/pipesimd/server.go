@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pipesim"
+	"pipesim/internal/jobs"
 	"pipesim/internal/obs"
 	"pipesim/internal/sweep"
 	"pipesim/internal/tracing"
@@ -34,9 +35,18 @@ type server struct {
 	tracer  *tracing.Tracer
 	flights *flightArchive
 
+	// jobs is the durable sweep-job manager (-jobs-dir); nil disables
+	// the /v1/jobs API.
+	jobs *jobs.Manager
+
 	// ready gates /readyz: set once the benchmark image is warmed,
 	// cleared when shutdown starts so load balancers drain the instance.
 	ready atomic.Bool
+
+	// draining is set when shutdown begins: work-accepting endpoints
+	// (POST /v1/jobs, GET /v1/sweep) answer 503 + Retry-After instead of
+	// accepting work the drain deadline would kill.
+	draining atomic.Bool
 
 	// reqSeq numbers requests; combined with the process start stamp it
 	// yields a unique request ID for log correlation.
@@ -51,7 +61,7 @@ type server struct {
 // newServer wires the handler tree. The returned server installs the
 // process-wide run hook, so every simulation it executes feeds the
 // metrics registry.
-func newServer(log *slog.Logger, opts serverOptions) *server {
+func newServer(log *slog.Logger, opts serverOptions) (*server, error) {
 	s := &server{
 		log:       log,
 		metrics:   newDaemonMetrics(),
@@ -70,8 +80,20 @@ func newServer(log *slog.Logger, opts serverOptions) *server {
 	pipesim.SetRunHook(s.metrics.observeRun)
 	s.tracer.OnSpanEnd(s.metrics.observeSpan)
 
+	if opts.jobsDir != "" {
+		m, err := s.newJobManager(opts)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = m
+	}
+
 	s.handle("POST /v1/run", "/v1/run", s.handleRun)
 	s.handle("GET /v1/sweep", "/v1/sweep", s.handleSweep)
+	s.handle("POST /v1/jobs", "/v1/jobs", s.handleJobSubmit)
+	s.handle("GET /v1/jobs", "/v1/jobs", s.handleJobList)
+	s.handle("GET /v1/jobs/{id}", "/v1/jobs/id", s.handleJobGet)
+	s.handle("DELETE /v1/jobs/{id}", "/v1/jobs/id", s.handleJobCancel)
 	s.handle("GET /v1/experiments", "/v1/experiments", s.handleExperiments)
 	s.handle("GET /v1/trace/{id}", "/v1/trace", s.handleTrace)
 	s.handle("GET /debug/flightrecorder", "/debug/flightrecorder", s.handleFlightRecorder)
@@ -87,7 +109,7 @@ func newServer(log *slog.Logger, opts serverOptions) *server {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
 }
 
 // serverOptions carries the tunables from the command line into newServer.
@@ -96,6 +118,14 @@ type serverOptions struct {
 	runLimit  time.Duration
 	workers   int
 	slowLimit time.Duration
+
+	// Durable job subsystem (empty jobsDir disables it).
+	jobsDir    string
+	jobsQueue  int
+	jobsPoints int
+	// jobsFault is the chaos fault-injection hook, threaded through to
+	// jobs.Options.InjectFault. Tests only.
+	jobsFault func(jobID, pointID string, attempt int) error
 }
 
 // warm builds the shared Livermore benchmark image (the expensive lazy
@@ -108,9 +138,15 @@ func (s *server) warm() error {
 	return nil
 }
 
-// drain clears readiness: /readyz starts failing so load balancers stop
-// sending traffic while in-flight requests finish.
-func (s *server) drain() { s.ready.Store(false) }
+// drain starts the shutdown path: /readyz fails so load balancers stop
+// routing here, and the work-accepting endpoints shed new sweeps and jobs
+// with 503 + Retry-After instead of admitting work the drain deadline
+// would kill. In-flight requests and the running job finish (the job by
+// checkpointing; jobs.Manager.Close interrupts it).
+func (s *server) drain() {
+	s.ready.Store(false)
+	s.draining.Store(true)
+}
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -246,6 +282,12 @@ func httpStatus(kind string) int {
 		return http.StatusBadRequest
 	case errKindNotFound:
 		return http.StatusNotFound
+	case errKindQueueFull:
+		return http.StatusTooManyRequests
+	case errKindUnavailable:
+		return http.StatusServiceUnavailable
+	case errKindConflict:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -464,6 +506,11 @@ func runWithDeadline(sim *pipesim.Simulation, limit time.Duration) (*pipesim.Res
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+		s.fail(w, r, errKindUnavailable, errors.New("draining: not accepting sweeps"))
+		return
+	}
 	q := r.URL.Query()
 	exps := sweep.Experiments()
 	if raw := q.Get("exp"); raw != "" {
@@ -585,6 +632,9 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.syncRunCache()
+	if s.jobs != nil {
+		s.metrics.jobsQueued.Set(float64(s.jobs.QueueDepth()))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.reg.WritePrometheus(w); err != nil {
 		reqLog(r).Error("rendering metrics", "err", err)

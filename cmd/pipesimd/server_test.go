@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -37,10 +38,23 @@ const deadlockAsm = `
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverOptions{
-		runLimit: time.Minute,
-	})
+	return newTestServerOpts(t, serverOptions{runLimit: time.Minute})
+}
+
+func newTestServerOpts(t *testing.T, opts serverOptions) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), opts)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
 	t.Cleanup(func() { pipesim.SetRunHook(nil) })
+	if s.jobs != nil {
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.jobs.Close(ctx)
+		})
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts

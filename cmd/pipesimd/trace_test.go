@@ -223,9 +223,12 @@ func TestDeadlockErrorCarriesRecentEvents(t *testing.T) {
 }
 
 func TestRunDeadlineKind(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverOptions{
+	s, err := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverOptions{
 		runLimit: time.Nanosecond,
 	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
 	t.Cleanup(func() { pipesim.SetRunHook(nil) })
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
@@ -255,10 +258,13 @@ func TestRunDeadlineKind(t *testing.T) {
 func TestSlowRequestLogging(t *testing.T) {
 	var sb strings.Builder
 	logMu := &syncWriter{w: &sb}
-	s := newServer(slog.New(slog.NewTextHandler(logMu, nil)), serverOptions{
+	s, err := newServer(slog.New(slog.NewTextHandler(logMu, nil)), serverOptions{
 		runLimit:  time.Minute,
 		slowLimit: time.Nanosecond, // everything is slow
 	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
 	t.Cleanup(func() { pipesim.SetRunHook(nil) })
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)

@@ -1,0 +1,84 @@
+package jobs
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy schedules retries of failed experiment points:
+// exponential growth from Base, capped at Cap, with equal jitter (the
+// delay for attempt n is drawn uniformly from [d/2, d) where
+// d = min(Cap, Base<<n)) so a burst of transient failures does not retry
+// in lockstep. The zero value selects the defaults.
+type BackoffPolicy struct {
+	Base time.Duration // first retry delay (default 100ms)
+	Cap  time.Duration // upper bound on any delay (default 5s)
+}
+
+// Backoff defaults.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffCap  = 5 * time.Second
+)
+
+// withDefaults resolves zero fields.
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.Base <= 0 {
+		p.Base = DefaultBackoffBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultBackoffCap
+	}
+	if p.Cap < p.Base {
+		p.Cap = p.Base
+	}
+	return p
+}
+
+// Delay returns the jittered delay before retry attempt n (0-based: the
+// delay between the first failure and the second try). rng may be nil for
+// the global source; tests pass a seeded one for determinism. The result
+// is always in [Base/2, Cap).
+func (p BackoffPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := p.Cap
+	// Base<<attempt overflows past 62 shifts; the cap is reached long
+	// before that for any sane policy, so saturate instead of shifting.
+	if attempt < 62 {
+		if shifted := p.Base << uint(attempt); shifted > 0 && shifted < p.Cap {
+			d = shifted
+		}
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	var j time.Duration
+	if rng != nil {
+		j = time.Duration(rng.Int63n(int64(half)))
+	} else {
+		j = time.Duration(rand.Int63n(int64(half)))
+	}
+	return half + j
+}
+
+// sleepCtx waits d or until the context is cancelled, returning the
+// context's error in the latter case. A non-positive d returns nil
+// immediately (still honoring an already-cancelled context).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,88 @@
+package jobs
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBounds drives the policy through a table of attempts and
+// asserts every sampled delay is inside the documented equal-jitter window
+// [d/2, d) where d = min(Cap, Base<<attempt).
+func TestBackoffDelayBounds(t *testing.T) {
+	p := BackoffPolicy{Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		attempt int
+		full    time.Duration // uncapped d for the attempt
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{2, 400 * time.Millisecond},
+		{3, 800 * time.Millisecond},
+		{5, 3200 * time.Millisecond},
+		{6, 5 * time.Second},  // 6.4s capped
+		{10, 5 * time.Second}, // deep into the cap
+		{63, 5 * time.Second}, // shift overflow territory must stay capped
+		{500, 5 * time.Second},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 200; i++ {
+			d := p.Delay(tc.attempt, rng)
+			if d < tc.full/2 || d >= tc.full {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)",
+					tc.attempt, d, tc.full/2, tc.full)
+			}
+		}
+	}
+}
+
+// TestBackoffDelayJittered asserts the delay actually varies: a fixed
+// backoff synchronizes retry herds, which is what the jitter exists to
+// break up.
+func TestBackoffDelayJittered(t *testing.T) {
+	p := BackoffPolicy{Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		seen[p.Delay(3, rng)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("want jittered delays, got only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+// TestBackoffDefaults exercises the zero-value policy: it must still
+// produce sane bounded delays rather than zeros or panics.
+func TestBackoffDefaults(t *testing.T) {
+	var p BackoffPolicy
+	for attempt := 0; attempt < 100; attempt++ {
+		d := p.Delay(attempt, nil)
+		if d <= 0 || d >= DefaultBackoffCap {
+			t.Fatalf("attempt %d: default policy delay %v outside (0, %v)",
+				attempt, d, DefaultBackoffCap)
+		}
+	}
+}
+
+// TestSleepCtxHonorsCancellation asserts a backoff sleep aborts promptly
+// when the job is cancelled instead of holding the executor for the full
+// delay.
+func TestSleepCtxHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := sleepCtx(ctx, time.Hour); err == nil {
+		t.Fatal("want context error from cancelled sleep")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled sleep took %v", elapsed)
+	}
+
+	// And a zero/negative delay returns immediately without touching the
+	// timer path at all.
+	if err := sleepCtx(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+}

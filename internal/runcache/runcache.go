@@ -19,6 +19,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,24 @@ func KeyFor(cfg core.Config, imageFP [sha256.Size]byte) Key {
 	var k Key
 	h.Sum(k[:0])
 	return k
+}
+
+// String renders the key as lowercase hex — the stable on-disk identity
+// used by job checkpoint files (internal/jobs).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the hex form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("runcache: bad key %q: %w", s, err)
+	}
+	if len(b) != sha256.Size {
+		return k, fmt.Errorf("runcache: bad key %q: want %d bytes, got %d", s, sha256.Size, len(b))
+	}
+	copy(k[:], b)
+	return k, nil
 }
 
 // Counters is a point-in-time snapshot of the cache's activity.

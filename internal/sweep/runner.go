@@ -43,6 +43,12 @@ type Options struct {
 	// span per experiment, named "experiment:<id>"; nil means
 	// context.Background.
 	Context context.Context
+	// InjectFault, when set, is called inside each experiment's isolated
+	// goroutine immediately before the body runs; a non-nil return is
+	// reported as that experiment's error without running it. It exists
+	// for chaos and soak testing only (killing selected points mid-sweep
+	// to exercise checkpoint recovery); production callers leave it nil.
+	InjectFault func(id string) error
 }
 
 // TimeoutError reports an experiment that exceeded the per-run deadline.
@@ -162,7 +168,7 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 		go func() {
 			for j := range jobs {
 				t0 := time.Now()
-				res, err := runIsolated(ctx, j.exp, opt.Timeout)
+				res, err := runIsolated(ctx, j.exp, opt.Timeout, opt.InjectFault)
 				sum.Outcomes[j.idx] = Outcome{
 					Experiment: j.exp,
 					Result:     res,
@@ -233,21 +239,32 @@ func (t *BucketTotals) merge(o BucketTotals) {
 // no point did (table-style experiments whose numbers are not cycle
 // counts, or a failed experiment).
 func (o *Outcome) BucketTotals() (BucketTotals, bool) {
-	var t BucketTotals
-	seen := false
 	if o.Result == nil {
-		return t, false
+		return BucketTotals{}, false
 	}
-	for _, s := range o.Result.Series {
+	return ResultTotals(o.Result)
+}
+
+// ResultTotals sums the cycle attribution of every point of a result that
+// carried full statistics; ok is false when no point did.
+func ResultTotals(r *Result) (t BucketTotals, ok bool) {
+	for _, s := range r.Series {
 		for _, p := range s.Points {
 			if p.Stats == nil {
 				continue
 			}
 			t.add(p.Stats.CPU.CycleBuckets)
-			seen = true
+			ok = true
 		}
 	}
-	return t, seen
+	return t, ok
+}
+
+// StatsTotals is the attribution of one simulated point.
+func StatsTotals(st *stats.Sim) BucketTotals {
+	var t BucketTotals
+	t.add(st.CPU.CycleBuckets)
+	return t
 }
 
 // jsonPoint, jsonSeries and jsonOutcome shape the machine-readable sweep
@@ -344,8 +361,9 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 // runIsolated executes one experiment body behind panic recovery and an
 // optional deadline. When ctx carries a tracing span the experiment gets a
 // child span; the span ends when the body returns, even if the sweep has
-// already timed the experiment out and moved on.
-func runIsolated(ctx context.Context, e Experiment, timeout time.Duration) (*Result, error) {
+// already timed the experiment out and moved on. The fault hook runs
+// inside the isolated goroutine, so a panicking hook is contained too.
+func runIsolated(ctx context.Context, e Experiment, timeout time.Duration, inject func(id string) error) (*Result, error) {
 	type reply struct {
 		res *Result
 		err error
@@ -362,6 +380,13 @@ func runIsolated(ctx context.Context, e Experiment, timeout time.Duration) (*Res
 				ch <- reply{err: &PanicError{ID: e.ID, Value: p, Stack: string(debug.Stack())}}
 			}
 		}()
+		if inject != nil {
+			if err := inject(e.ID); err != nil {
+				span.SetAttr("error", err.Error())
+				ch <- reply{err: err}
+				return
+			}
+		}
 		res, err := e.Run(ctx)
 		if err != nil {
 			span.SetAttr("error", err.Error())
@@ -380,6 +405,55 @@ func runIsolated(ctx context.Context, e Experiment, timeout time.Duration) (*Res
 	case <-timer.C:
 		return nil, &TimeoutError{ID: e.ID, Timeout: timeout}
 	}
+}
+
+// CompactJSON renders the deterministic, replayable core of a result —
+// the x label and every series as (x, cycles, valid) triples, the same
+// shape WriteJSON embeds per outcome. Wall-clock times and raw statistics
+// are deliberately excluded, so the bytes are bit-identical across runs of
+// the same machine; job checkpoints (internal/jobs) and the experiments
+// CLI's -resume flag depend on that.
+func (r *Result) CompactJSON() (json.RawMessage, error) {
+	c := compactResult{Title: r.Title, Description: r.Description, XLabel: r.XLabel}
+	for _, sr := range r.Series {
+		js := jsonSeries{Label: sr.Label, Points: make([]jsonPoint, 0, len(sr.Points))}
+		for _, p := range sr.Points {
+			js.Points = append(js.Points, jsonPoint{X: p.CacheBytes, Cycles: p.Cycles, Valid: p.Valid})
+		}
+		c.Series = append(c.Series, js)
+	}
+	return json.Marshal(c)
+}
+
+// ResultFromCompact rebuilds a renderable Result from its CompactJSON
+// bytes. Per-point statistics are gone (a replayed result carries none),
+// but Format, CSV and Plot all work.
+func ResultFromCompact(raw json.RawMessage, id, title string) (*Result, error) {
+	var c compactResult
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("sweep: decoding compact result: %w", err)
+	}
+	res := &Result{ID: id, Title: title, XLabel: c.XLabel}
+	if c.Title != "" {
+		res.Title = c.Title
+	}
+	res.Description = c.Description
+	for _, js := range c.Series {
+		s := Series{Label: js.Label}
+		for _, p := range js.Points {
+			s.Points = append(s.Points, Point{CacheBytes: p.X, Cycles: p.Cycles, Valid: p.Valid})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// compactResult is the CompactJSON layout (stable: pipesim-job-ckpt/v1).
+type compactResult struct {
+	Title       string       `json:"title,omitempty"`
+	Description string       `json:"description,omitempty"`
+	XLabel      string       `json:"x_label,omitempty"`
+	Series      []jsonSeries `json:"series,omitempty"`
 }
 
 // SortByID orders outcomes by experiment ID (RunAll already preserves

@@ -159,6 +159,55 @@ func RunTIB(ctx context.Context, entries, lineBytes int, mcfg mem.Config) (*stat
 	return runPoint(ctx, cfg, img)
 }
 
+// GridVariants lists the machine variants a grid sweep can name: the
+// conventional cache plus every Table II PIPE arrangement. The order is
+// the figures' presentation order.
+func GridVariants() []string {
+	out := []string{"conv"}
+	for _, v := range TableII {
+		out = append(out, v.Name)
+	}
+	return out
+}
+
+// GridConfig assembles the full core configuration for one figure-style
+// grid point: a named variant ("conv" or a Table II name) at one cache
+// size under the paper's memory-system settings. valid is false when the
+// cache is smaller than the variant's line size (no such machine — the
+// figures leave those cells blank). The returned configuration is exactly
+// what RunConv/RunPipe simulate, so its runcache key identifies the point
+// across processes (job checkpoints rely on that).
+func GridConfig(variant string, cacheBytes, accessTime, busBytes int, pipelined, truePrefetch bool) (cfg core.Config, valid bool, err error) {
+	mcfg := memConfig(accessTime, busBytes, pipelined)
+	if variant == "conv" {
+		cfg = core.Config{
+			Fetch:      core.FetchConventional,
+			CacheBytes: cacheBytes,
+			LineBytes:  ConvLineBytes,
+			Mem:        mcfg,
+			CPU:        core.DefaultConfig().CPU,
+		}
+		return cfg, cacheBytes >= ConvLineBytes, nil
+	}
+	for _, v := range TableII {
+		if v.Name != variant {
+			continue
+		}
+		cfg = core.Config{
+			Fetch:        core.FetchPIPE,
+			CacheBytes:   cacheBytes,
+			LineBytes:    v.Line,
+			IQBytes:      v.IQ,
+			IQBBytes:     v.IQB,
+			TruePrefetch: truePrefetch,
+			Mem:          mcfg,
+			CPU:          core.DefaultConfig().CPU,
+		}
+		return cfg, cacheBytes >= v.Line, nil
+	}
+	return cfg, false, fmt.Errorf("sweep: unknown grid variant %q (want conv or a Table II name)", variant)
+}
+
 // figure runs one cache-size sweep: the conventional cache plus the four
 // Table II PIPE configurations.
 func figure(ctx context.Context, id, title string, accessTime, busWidth int, pipelined bool) (*Result, error) {

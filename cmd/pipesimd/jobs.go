@@ -68,7 +68,12 @@ func (s *server) newJobManager(opts serverOptions) (*jobs.Manager, error) {
 				jt.start(v)
 			},
 			JobEnd: func(v *jobs.View) {
-				s.metrics.jobsActive.Dec()
+				// A job can end without ever starting (cancelled while
+				// queued, failed during recovery); only a started job
+				// incremented the gauge.
+				if v.Started {
+					s.metrics.jobsActive.Dec()
+				}
 				s.metrics.jobsFinished.With(string(v.State)).Inc()
 				jt.end(v)
 			},

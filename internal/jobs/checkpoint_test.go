@@ -118,7 +118,7 @@ func TestReadCheckpointCorruptMiddle(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "job.ckpt.jsonl")
 	lines := []string{
 		`{"point":"a/64","key":"` + strings.Repeat("11", 32) + `","cycles":1,"valid":true,"elapsed_s":0,"attempts":1}`,
-		`{"point":"a/128","key":` , // malformed
+		`{"point":"a/128","key":`, // malformed
 		`{"point":"a/256","key":"` + strings.Repeat("33", 32) + `","cycles":3,"valid":true,"elapsed_s":0,"attempts":1}`,
 		`{"cycles":9,"valid":true}`, // parses, but no identity — dropped
 	}

@@ -280,8 +280,13 @@ type Manifest struct {
 // Results holds the completed points in expansion order (partial while
 // running).
 type View struct {
-	ID              string        `json:"id"`
-	State           State         `json:"state"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Started reports whether this process began executing the job, i.e.
+	// whether Hooks.JobStart fired for it. Hooks.JobEnd consumers use it
+	// to keep gauge-style metrics paired; it is process-local state, not
+	// part of the HTTP API.
+	Started         bool          `json:"-"`
 	Created         time.Time     `json:"created"`
 	Updated         time.Time     `json:"updated"`
 	TotalPoints     int           `json:"total_points"`
@@ -301,6 +306,7 @@ type job struct {
 	done      map[string]PointResult // by point ID
 	resumed   int                    // points replayed from checkpoint
 	retries   int                    // total retries spent
+	started   bool                   // this process fired JobStart for it
 	cancelled bool
 	cancel    context.CancelFunc // non-nil while running
 }
@@ -310,6 +316,7 @@ func (j *job) view(withResults bool) *View {
 	v := &View{
 		ID:              j.man.ID,
 		State:           j.man.State,
+		Started:         j.started,
 		Created:         j.man.Created,
 		Updated:         j.man.Updated,
 		TotalPoints:     j.man.TotalPoints,

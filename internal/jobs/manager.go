@@ -2,6 +2,8 @@ package jobs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,7 +11,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,9 +37,13 @@ const DefaultQueueLimit = 16
 type Hooks struct {
 	// JobStart fires when a job begins (or resumes) executing.
 	JobStart func(v *View)
-	// JobEnd fires when a job reaches a terminal state. It does not fire
-	// for a job interrupted by drain — that job is still live and will
-	// resume after restart.
+	// JobEnd fires exactly once when a job reaches a terminal state,
+	// whether or not the job ever started executing (a job cancelled
+	// while still queued, or one that failed before its checkpoint
+	// replay, is terminal without a JobStart). View.Started tells the
+	// two apart so gauge-style metrics stay paired with JobStart. JobEnd
+	// does not fire for a job interrupted by drain — that job is still
+	// live and will resume after restart.
 	JobEnd func(v *View)
 	// Point fires once per point event with one of the outcomes "ok",
 	// "resumed" (served from checkpoint), "retry" or "failed".
@@ -122,13 +127,21 @@ func New(opt Options) (*Manager, error) {
 	if opt.Logger == nil {
 		opt.Logger = slog.Default()
 	}
+	// Job IDs embed a random per-process instance tag so IDs minted by
+	// different daemon lifetimes over the same state dir never collide —
+	// a reused ID would silently clobber the prior job's manifest and
+	// append unrelated records to its checkpoint.
+	var inst [8]byte
+	if _, err := rand.Read(inst[:]); err != nil {
+		return nil, fmt.Errorf("jobs: seeding instance id: %w", err)
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		opt:     opt,
 		log:     opt.Logger,
 		ctx:     ctx,
 		stop:    stop,
-		startID: strconv.FormatInt(time.Now().UnixNano()&0xffffff, 16),
+		startID: hex.EncodeToString(inst[:]),
 		jobs:    make(map[string]*job),
 		kick:    make(chan struct{}, 1),
 	}
@@ -178,7 +191,17 @@ func (m *Manager) Submit(spec Spec) (*View, error) {
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
+	// Defense in depth against cross-restart ID reuse: never adopt an ID
+	// that already has a manifest on disk, it would overwrite that job's
+	// history.
 	id := fmt.Sprintf("j-%s-%d", m.startID, m.seq.Add(1))
+	for {
+		if _, err := os.Stat(m.manifestPath(id)); err != nil {
+			break
+		}
+		m.log.Warn("job id collides with an existing manifest, regenerating", "id", id)
+		id = fmt.Sprintf("j-%s-%d", m.startID, m.seq.Add(1))
+	}
 	j.man.ID = id
 	if err := m.writeManifestLocked(j); err != nil {
 		m.mu.Unlock()
@@ -253,9 +276,17 @@ func (m *Manager) Cancel(id string) (*View, error) {
 	j.cancelled = true
 	if j.cancel != nil {
 		j.cancel() // running: the executor finalizes the state
-	} else {
-		m.setStateLocked(j, StateCancelled)
+		v := j.view(false)
+		m.mu.Unlock()
+		m.log.Info("job cancelled", "job", id)
+		return v, nil
 	}
+	m.mu.Unlock()
+	// Queued: finalize here so the terminal transition fires JobEnd like
+	// every other; if the executor reaches the job concurrently, finalize
+	// runs exactly once (it is a no-op on an already-terminal job).
+	m.finalize(j, m.log.With("job", id), nil)
+	m.mu.Lock()
 	v := j.view(false)
 	m.mu.Unlock()
 	m.log.Info("job cancelled", "job", id)
@@ -318,12 +349,12 @@ func (m *Manager) Recover() (int, error) {
 		pts, err := expand(man.Spec)
 		if err != nil {
 			// The spec no longer expands (catalog drift across versions):
-			// fail it durably rather than wedging recovery.
-			j.man.Error = fmt.Sprintf("recovery: %v", err)
-			m.setStateLocked(j, StateFailed)
+			// fail it durably — through finalize, so JobEnd fires — rather
+			// than wedging recovery.
 			m.jobs[man.ID] = j
 			m.order = append(m.order, man.ID)
 			m.mu.Unlock()
+			m.finalize(j, m.log.With("job", man.ID), fmt.Errorf("recovery: %w", err))
 			m.log.Warn("recovered job no longer expands, failing it", "job", man.ID, "err", err)
 			continue
 		}
@@ -447,8 +478,8 @@ func (m *Manager) runJob(j *job) {
 		return
 	}
 	if j.cancelled {
-		m.setStateLocked(j, StateCancelled)
 		m.mu.Unlock()
+		m.finalize(j, m.log.With("job", id), nil)
 		return
 	}
 	jctx, cancel := context.WithCancel(m.ctx)
@@ -482,6 +513,7 @@ func (m *Manager) runJob(j *job) {
 			resumedNow++
 		}
 	}
+	j.started = true // from here on, finalize's JobEnd has a JobStart to pair with
 	m.setStateLocked(j, StateRunning)
 	startView := j.view(false)
 	m.mu.Unlock()
@@ -535,10 +567,18 @@ func (m *Manager) runRound(jctx context.Context, j *job, ckpt *Checkpoint, log *
 	id := j.man.ID
 	var prMu sync.Mutex
 	prs := make(map[string]PointResult, len(pts))
+	// This round's attempt numbers, frozen before any worker starts. The
+	// fault hook and the point bodies run on worker goroutines — and, for
+	// a point the per-point timeout abandoned, possibly after the round
+	// ends — so they must never read the mutable attempts map.
+	tries := make(map[string]int, len(pts))
+	for _, p := range pts {
+		tries[p.id] = attempts[p.id] + 1
+	}
 	exps := make([]sweep.Experiment, 0, len(pts))
 	for _, p := range pts {
 		p := p
-		try := attempts[p.id] + 1
+		try := tries[p.id]
 		exps = append(exps, sweep.Experiment{
 			ID:    p.id,
 			Title: p.id,
@@ -575,19 +615,30 @@ func (m *Manager) runRound(jctx context.Context, j *job, ckpt *Checkpoint, log *
 	}
 	if inject := m.opt.InjectFault; inject != nil {
 		opt.InjectFault = func(pointID string) error {
-			return inject(id, pointID, attempts[pointID]+1)
+			return inject(id, pointID, tries[pointID])
 		}
 	}
 	sum := sweep.RunAll(exps, opt)
+
+	// Snapshot the round's results under the lock: a point abandoned by
+	// the per-point timeout still has its goroutine running and may write
+	// prs after RunAll returns. Every point that finished in time is
+	// already in the map.
+	prMu.Lock()
+	completed := make(map[string]PointResult, len(prs))
+	for pid, pr := range prs {
+		completed[pid] = pr
+	}
+	prMu.Unlock()
 
 	maxAttempts := j.maxAttempts()
 	budget := j.retryBudget()
 	var retry []point
 	for i, o := range sum.Outcomes {
 		p := pts[i]
-		try := attempts[p.id] + 1
+		try := tries[p.id]
 		if o.Err == nil {
-			pr := prs[p.id]
+			pr := completed[p.id]
 			attempts[p.id] = try
 			m.mu.Lock()
 			j.done[p.id] = pr
@@ -628,9 +679,16 @@ func (m *Manager) runRound(jctx context.Context, j *job, ckpt *Checkpoint, log *
 
 // finalize settles the job's terminal state — or deliberately leaves it
 // non-terminal when the manager is draining, so the next process recovers
-// and resumes it.
+// and resumes it. Every terminal transition in the manager goes through
+// here, and the first caller wins: JobEnd fires exactly once per job.
 func (m *Manager) finalize(j *job, log *slog.Logger, fatal error) {
 	m.mu.Lock()
+	if j.man.State.Terminal() {
+		// Already finalized (a queued-job Cancel racing the executor);
+		// the transition and its JobEnd fired elsewhere.
+		m.mu.Unlock()
+		return
+	}
 	j.cancel = nil
 	switch {
 	case fatal != nil:

@@ -372,3 +372,165 @@ func TestRetryableErr(t *testing.T) {
 		t.Error("timeouts are the transient failure this subsystem absorbs")
 	}
 }
+
+// TestHooksPairing asserts the lifecycle hooks stay balanced on every
+// path: JobEnd fires exactly once per terminal transition — including a
+// job cancelled while still queued, which never fired JobStart — and
+// View.Started lets a gauge incremented on JobStart pair its decrements
+// so it can never go negative.
+func TestHooksPairing(t *testing.T) {
+	type event struct {
+		start   bool
+		started bool
+		state   State
+		id      string
+	}
+	var evMu sync.Mutex
+	var events []event
+	gate := newBlockGate()
+	defer gate.open()
+	m := newTestManager(t, Options{
+		InjectFault: gate.inject,
+		Hooks: Hooks{
+			JobStart: func(v *View) {
+				evMu.Lock()
+				events = append(events, event{start: true, started: v.Started, id: v.ID})
+				evMu.Unlock()
+			},
+			JobEnd: func(v *View) {
+				evMu.Lock()
+				events = append(events, event{started: v.Started, state: v.State, id: v.ID})
+				evMu.Unlock()
+			},
+		},
+	})
+
+	running, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.reached
+	queued, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel the queued job: it goes terminal without ever starting.
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	gate.open()
+	if fin := waitTerminal(t, m, running.ID); fin.State != StateDone {
+		t.Fatalf("running job finished %s, want done", fin.State)
+	}
+
+	evMu.Lock()
+	defer evMu.Unlock()
+	counts := map[string]struct{ starts, ends int }{}
+	gauge := 0
+	for _, e := range events {
+		c := counts[e.id]
+		if e.start {
+			c.starts++
+			gauge++
+		} else {
+			c.ends++
+			if e.started {
+				gauge--
+			}
+		}
+		counts[e.id] = c
+		if gauge < 0 {
+			t.Fatalf("active gauge went negative: events %+v", events)
+		}
+		if !e.start && e.id == queued.ID {
+			if e.started {
+				t.Error("cancelled-while-queued job reported Started=true at JobEnd")
+			}
+			if e.state != StateCancelled {
+				t.Errorf("queued job ended %s, want cancelled", e.state)
+			}
+		}
+	}
+	if gauge != 0 {
+		t.Errorf("active gauge settled at %d, want 0 (events %+v)", gauge, events)
+	}
+	if c := counts[running.ID]; c.starts != 1 || c.ends != 1 {
+		t.Errorf("running job fired %d starts / %d ends, want 1/1", c.starts, c.ends)
+	}
+	if c := counts[queued.ID]; c.starts != 0 || c.ends != 1 {
+		t.Errorf("queued-cancelled job fired %d starts / %d ends, want 0/1", c.starts, c.ends)
+	}
+}
+
+// TestSubmitSkipsExistingManifestID plants a manifest where the next
+// submission would land and asserts the manager regenerates the ID
+// instead of clobbering the on-disk job history.
+func TestSubmitSkipsExistingManifestID(t *testing.T) {
+	m := newTestManager(t, Options{})
+	next := fmt.Sprintf("j-%s-%d", m.startID, m.seq.Load()+1)
+	planted := m.manifestPath(next)
+	if err := os.WriteFile(planted, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == next {
+		t.Fatalf("Submit reused ID %s that already had a manifest on disk", next)
+	}
+	data, err := os.ReadFile(planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Errorf("planted manifest was clobbered: %q", data)
+	}
+}
+
+// TestTimedOutPointRetriesWithoutCrash wedges one point past the
+// per-point deadline: the sweep runner abandons its goroutine (which may
+// finish later, concurrently with the manager's bookkeeping — run under
+// -race this exercises that synchronization) and the manager must retry
+// the point and finish the job cleanly.
+func TestTimedOutPointRetriesWithoutCrash(t *testing.T) {
+	// Warm the run cache so every point is memoized and far faster than
+	// the deadline; only the injected wedge exceeds it.
+	warm := newTestManager(t, Options{})
+	wv, err := warm.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitTerminal(t, warm, wv.ID); fin.State != StateDone {
+		t.Fatalf("warm-up job finished %s, want done", fin.State)
+	}
+
+	m := newTestManager(t, Options{
+		PointTimeout: 100 * time.Millisecond,
+		InjectFault: func(jobID, pointID string, attempt int) error {
+			if pointID == "conv/512" && attempt == 1 {
+				time.Sleep(400 * time.Millisecond) // wedge past the deadline
+			}
+			return nil
+		},
+	})
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, m, v.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s (error %q), want done after retrying the wedged point", fin.State, fin.Error)
+	}
+	if fin.RetriesUsed < 1 {
+		t.Error("the timed-out point should have burned a retry")
+	}
+	for _, r := range fin.Results {
+		if r.Point == "conv/512" && r.Attempts != 2 {
+			t.Errorf("wedged point recorded %d attempts, want 2", r.Attempts)
+		}
+	}
+	// Let the abandoned goroutine run its course before the test tears
+	// the manager down, so the race detector sees both sides.
+	time.Sleep(500 * time.Millisecond)
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -61,6 +62,7 @@ func (s *server) newJobManager(opts serverOptions) (*jobs.Manager, error) {
 		PointWorkers: opts.jobsPoints,
 		PointTimeout: opts.runLimit,
 		Logger:       s.log,
+		Events:       s.bus,
 		InjectFault:  opts.jobsFault,
 		Hooks: jobs.Hooks{
 			JobStart: func(v *jobs.View) {
@@ -154,16 +156,58 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-// handleJobList serves summaries of every known job, oldest first.
+// handleJobList serves summaries of every known job, ordered by submit
+// time (oldest first; ID breaks ties for same-instant submissions).
+// ?state= filters: an exact job state, or the meta-values "active"
+// (queued, running, recovering) and "terminal" (done, failed, cancelled).
 func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	m := s.requireJobs(w, r)
 	if m == nil {
 		return
 	}
+	views := m.List()
+	sort.Slice(views, func(i, j int) bool {
+		if !views[i].Created.Equal(views[j].Created) {
+			return views[i].Created.Before(views[j].Created)
+		}
+		return views[i].ID < views[j].ID
+	})
+	if raw := r.URL.Query().Get("state"); raw != "" {
+		keep, err := stateFilter(raw)
+		if err != nil {
+			s.fail(w, r, errKindBadRequest, err)
+			return
+		}
+		filtered := views[:0]
+		for _, v := range views {
+			if keep(v) {
+				filtered = append(filtered, v)
+			}
+		}
+		views = filtered
+	}
 	type listResponse struct {
 		Jobs []*jobs.View `json:"jobs"`
 	}
-	writeJSON(w, http.StatusOK, listResponse{Jobs: m.List()})
+	if views == nil {
+		views = []*jobs.View{} // render "jobs": [], not null
+	}
+	writeJSON(w, http.StatusOK, listResponse{Jobs: views})
+}
+
+// stateFilter resolves a ?state= value to its predicate.
+func stateFilter(raw string) (func(*jobs.View) bool, error) {
+	switch raw {
+	case "active":
+		return func(v *jobs.View) bool { return !v.State.Terminal() }, nil
+	case "terminal":
+		return func(v *jobs.View) bool { return v.State.Terminal() }, nil
+	case string(jobs.StateQueued), string(jobs.StateRunning), string(jobs.StateRecovering),
+		string(jobs.StateDone), string(jobs.StateFailed), string(jobs.StateCancelled):
+		want := jobs.State(raw)
+		return func(v *jobs.View) bool { return v.State == want }, nil
+	}
+	return nil, fmt.Errorf("bad state %q (want a job state, active or terminal)", raw)
 }
 
 // handleJobCancel cancels a queued or running job. Cancelling a finished

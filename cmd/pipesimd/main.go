@@ -6,9 +6,11 @@
 //	POST /v1/run              run one simulation (JSON config overlay)
 //	GET  /v1/sweep            run Table-II-style sweeps (fault-isolated runner)
 //	POST /v1/jobs             submit a durable sweep job (202 + job id; needs -jobs-dir)
-//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs             list jobs by submit time (?state= filters)
 //	GET  /v1/jobs/{id}        job status, progress and partial results
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET  /v1/jobs/{id}/events stream one job's events (SSE; Last-Event-ID resumes)
+//	GET  /v1/events           stream the telemetry firehose (SSE; ?kind=, ?job=)
 //	GET  /v1/experiments      list sweep experiment IDs
 //	GET  /v1/trace/{id}       span trace of a recent request (?format=chrome for Perfetto)
 //	GET  /metrics             Prometheus text exposition
@@ -29,6 +31,16 @@
 // the missing points on restart. Admission is bounded (-jobs-queue); a
 // full queue sheds load with 429 + Retry-After.
 //
+// Everything the daemon does is narrated live on an in-process telemetry
+// bus: job lifecycle, per-point outcomes, retries, backoff waits,
+// checkpoint appends and sweep progress. GET /v1/events streams the
+// firehose as Server-Sent Events; GET /v1/jobs/{id}/events streams one
+// job with exactly-once point outcomes — the SSE event ID is the job's
+// outcome-log index, persisted in the checkpoint, so Last-Event-ID
+// resumes precisely even across a daemon crash. Slow consumers lose the
+// oldest events rather than slowing the simulator
+// (pipesimd_eventbus_dropped_total counts the loss).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: readiness drops
 // immediately, new sweeps and job submissions get 503 + Retry-After,
 // in-flight requests get -drain to finish, the running job checkpoints
@@ -46,6 +58,8 @@
 //	pipesimd -jobs-queue 16        # admitted-but-unfinished job bound (429 beyond)
 //	pipesimd -jobs-points 4        # concurrent points per job (0 = one per CPU)
 //	pipesimd -slow-ms 500          # log span breakdowns of requests over 500ms
+//	pipesimd -events-buffer 1024   # per-SSE-stream event ring (drops beyond)
+//	pipesimd -sse-heartbeat 30s    # SSE keepalive comment interval
 //	pipesimd -version              # print build/VCS info and exit
 package main
 
@@ -82,6 +96,8 @@ func run() int {
 		jobsQueue  = flag.Int("jobs-queue", 0, "admitted-but-unfinished job bound; submissions beyond it get 429 (0 = default 16)")
 		jobsPoints = flag.Int("jobs-points", 0, "concurrent experiment points per job (0 = one per CPU)")
 		slowMS     = flag.Int64("slow-ms", 0, "log the span breakdown of requests slower than this many milliseconds (0 = off)")
+		eventsBuf  = flag.Int("events-buffer", 0, "per-SSE-stream event ring capacity; a stalled stream drops the oldest beyond it (0 = 256)")
+		sseHB      = flag.Duration("sse-heartbeat", 0, "SSE heartbeat-comment interval (0 = 15s)")
 		showVer    = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
@@ -99,13 +115,15 @@ func run() int {
 	}
 
 	srv, err := newServer(log, serverOptions{
-		maxBody:    *maxBody,
-		runLimit:   *runTimeout,
-		workers:    *workers,
-		slowLimit:  time.Duration(*slowMS) * time.Millisecond,
-		jobsDir:    *jobsDir,
-		jobsQueue:  *jobsQueue,
-		jobsPoints: *jobsPoints,
+		maxBody:      *maxBody,
+		runLimit:     *runTimeout,
+		workers:      *workers,
+		slowLimit:    time.Duration(*slowMS) * time.Millisecond,
+		eventsBuffer: *eventsBuf,
+		sseHeartbeat: *sseHB,
+		jobsDir:      *jobsDir,
+		jobsQueue:    *jobsQueue,
+		jobsPoints:   *jobsPoints,
 	})
 	if err != nil {
 		log.Error("starting server", "err", err)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pipesim"
+	"pipesim/internal/eventbus"
 	"pipesim/internal/metrics"
 	"pipesim/internal/runcache"
 	"pipesim/internal/sweep"
@@ -22,7 +23,7 @@ type daemonMetrics struct {
 	requests  *metrics.CounterVec   // pipesimd_http_requests_total{route,code}
 	latency   *metrics.HistogramVec // pipesimd_http_request_seconds{route}
 	inFlight  *metrics.Gauge        // pipesimd_http_in_flight
-	buildInfo *metrics.GaugeVec     // pipesimd_build_info{module,version,revision,go}
+	buildInfo *metrics.GaugeVec     // pipesimd_build_info{module,version,vcs_revision,go_version}
 
 	// Simulation runs (fed by the pipesim.RunHook, so every Run in the
 	// process is counted no matter which handler triggered it).
@@ -61,8 +62,18 @@ type daemonMetrics struct {
 	runcacheEvictions *metrics.Counter // pipesimd_runcache_evictions_total
 	runcacheSize      *metrics.Gauge   // pipesimd_runcache_entries
 
+	// Telemetry event bus (GET /v1/events). The bus keeps its own atomic
+	// counters; syncEventBus folds their growth in at scrape time, like
+	// the run cache.
+	eventsPublished   *metrics.Counter // pipesimd_eventbus_published_total
+	eventsDropped     *metrics.Counter // pipesimd_eventbus_dropped_total
+	eventsSubscribers *metrics.Gauge   // pipesimd_eventbus_subscribers
+
 	rcMu   sync.Mutex
 	rcLast runcache.Counters // counter values already folded in
+
+	ebMu                           sync.Mutex
+	ebLastPublished, ebLastDropped uint64 // bus counters already folded in
 }
 
 // Error-kind label values for pipesimd_errors_total.
@@ -94,7 +105,7 @@ func newDaemonMetrics() *daemonMetrics {
 			"HTTP requests currently being served."),
 		buildInfo: reg.GaugeVec("pipesimd_build_info",
 			"Build metadata of the running daemon; the value is always 1.",
-			"module", "version", "revision", "go"),
+			"module", "version", "vcs_revision", "go_version"),
 		runs: reg.CounterVec("pipesimd_runs_total",
 			"Simulation runs, by fetch strategy and outcome.", "strategy", "outcome"),
 		runCycles: reg.HistogramVec("pipesimd_run_cycles",
@@ -135,6 +146,13 @@ func newDaemonMetrics() *daemonMetrics {
 			"Run-cache entries evicted by the LRU bound."),
 		runcacheSize: reg.Gauge("pipesimd_runcache_entries",
 			"Simulation results currently memoized in the run cache."),
+		eventsPublished: reg.Counter("pipesimd_eventbus_published_total",
+			"Telemetry events published to the event bus."),
+		eventsDropped: reg.Counter("pipesimd_eventbus_dropped_total",
+			"Telemetry events dropped because a subscriber's ring was full "+
+				"(slow SSE consumers lose the oldest events, never block publishers)."),
+		eventsSubscribers: reg.Gauge("pipesimd_eventbus_subscribers",
+			"Live event-bus subscriptions (open SSE streams)."),
 	}
 	v := version.Get()
 	m.buildInfo.With(v.Module, v.Version, v.ShortRevision(), v.GoVersion).Set(1)
@@ -159,13 +177,16 @@ func (m *daemonMetrics) observeRun(ri pipesim.RunInfo) {
 
 // observeSpan is the tracing OnSpanEnd hook: one stage-latency observation
 // per finished span. Per-experiment span names ("experiment:fig5a") fold
-// into one "experiment" stage so the label set stays bounded.
+// into one "experiment" stage so the label set stays bounded. The span's
+// trace ID rides along as the bucket's exemplar, so a slow histogram
+// bucket links straight to a trace that landed in it (GET /v1/trace/{id}
+// via the request ID logged with that trace).
 func (m *daemonMetrics) observeSpan(sp *tracing.Span) {
 	stage := sp.Name()
 	if i := strings.IndexByte(stage, ':'); i >= 0 {
 		stage = stage[:i]
 	}
-	m.stageTime.With(stage).Observe(sp.Duration().Seconds())
+	m.stageTime.With(stage).ObserveExemplar(sp.Duration().Seconds(), sp.TraceID().String())
 }
 
 // addAttribution folds one run's exact attribution into the totals.
@@ -193,6 +214,20 @@ func (m *daemonMetrics) syncRunCache() {
 	m.runcacheMisses.Add(float64(cur.Misses - last.Misses))
 	m.runcacheEvictions.Add(float64(cur.Evictions - last.Evictions))
 	m.runcacheSize.Set(float64(cur.Size))
+}
+
+// syncEventBus folds the event bus's publish/drop counter growth into the
+// exported families and refreshes the subscriber gauge, mirroring
+// syncRunCache's scrape-time delta fold.
+func (m *daemonMetrics) syncEventBus(b *eventbus.Bus) {
+	pub, drop := b.Published(), b.Dropped()
+	m.ebMu.Lock()
+	dPub, dDrop := pub-m.ebLastPublished, drop-m.ebLastDropped
+	m.ebLastPublished, m.ebLastDropped = pub, drop
+	m.ebMu.Unlock()
+	m.eventsPublished.Add(float64(dPub))
+	m.eventsDropped.Add(float64(dDrop))
+	m.eventsSubscribers.Set(float64(b.Subscribers()))
 }
 
 // addSweepAttribution folds a sweep outcome's aggregated buckets in (the

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pipesim"
+	"pipesim/internal/eventbus"
 	"pipesim/internal/jobs"
 	"pipesim/internal/obs"
 	"pipesim/internal/sweep"
@@ -39,6 +40,13 @@ type server struct {
 	// the /v1/jobs API.
 	jobs *jobs.Manager
 
+	// bus is the telemetry event bus behind GET /v1/events and
+	// GET /v1/jobs/{id}/events; the job manager and sweep handler publish
+	// into it. Closed by drain so every SSE stream ends cleanly.
+	bus          *eventbus.Bus
+	eventsBuffer int           // per-subscriber ring capacity (0 = bus default)
+	sseHeartbeat time.Duration // SSE heartbeat-comment interval
+
 	// ready gates /readyz: set once the benchmark image is warmed,
 	// cleared when shutdown starts so load balancers drain the instance.
 	ready atomic.Bool
@@ -63,16 +71,19 @@ type server struct {
 // metrics registry.
 func newServer(log *slog.Logger, opts serverOptions) (*server, error) {
 	s := &server{
-		log:       log,
-		metrics:   newDaemonMetrics(),
-		mux:       http.NewServeMux(),
-		tracer:    tracing.New(0),
-		flights:   newFlightArchive(0),
-		startID:   fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
-		maxBody:   opts.maxBody,
-		runLimit:  opts.runLimit,
-		workers:   opts.workers,
-		slowLimit: opts.slowLimit,
+		log:          log,
+		metrics:      newDaemonMetrics(),
+		mux:          http.NewServeMux(),
+		tracer:       tracing.New(0),
+		flights:      newFlightArchive(0),
+		startID:      fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff),
+		bus:          eventbus.New(),
+		eventsBuffer: opts.eventsBuffer,
+		sseHeartbeat: opts.sseHeartbeat,
+		maxBody:      opts.maxBody,
+		runLimit:     opts.runLimit,
+		workers:      opts.workers,
+		slowLimit:    opts.slowLimit,
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = 1 << 20
@@ -94,6 +105,8 @@ func newServer(log *slog.Logger, opts serverOptions) (*server, error) {
 	s.handle("GET /v1/jobs", "/v1/jobs", s.handleJobList)
 	s.handle("GET /v1/jobs/{id}", "/v1/jobs/id", s.handleJobGet)
 	s.handle("DELETE /v1/jobs/{id}", "/v1/jobs/id", s.handleJobCancel)
+	s.handle("GET /v1/jobs/{id}/events", "/v1/jobs/id/events", s.handleJobEvents)
+	s.handle("GET /v1/events", "/v1/events", s.handleEvents)
 	s.handle("GET /v1/experiments", "/v1/experiments", s.handleExperiments)
 	s.handle("GET /v1/trace/{id}", "/v1/trace", s.handleTrace)
 	s.handle("GET /debug/flightrecorder", "/debug/flightrecorder", s.handleFlightRecorder)
@@ -119,6 +132,10 @@ type serverOptions struct {
 	workers   int
 	slowLimit time.Duration
 
+	// Telemetry streaming (GET /v1/events).
+	eventsBuffer int           // per-SSE-subscriber ring capacity (0 = 256)
+	sseHeartbeat time.Duration // heartbeat-comment interval (0 = 15s)
+
 	// Durable job subsystem (empty jobsDir disables it).
 	jobsDir    string
 	jobsQueue  int
@@ -143,9 +160,13 @@ func (s *server) warm() error {
 // with 503 + Retry-After instead of admitting work the drain deadline
 // would kill. In-flight requests and the running job finish (the job by
 // checkpointing; jobs.Manager.Close interrupts it).
+// Closing the event bus wakes every SSE stream, which delivers its
+// buffered events, writes a terminal "end" frame and returns — so the
+// http.Server's Shutdown is not held open by long-lived streams.
 func (s *server) drain() {
 	s.ready.Store(false)
 	s.draining.Store(true)
+	s.bus.Close()
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -159,6 +180,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 type ctxKey int
@@ -524,7 +553,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			exps = append(exps, e)
 		}
 	}
-	opt := sweep.Options{Workers: s.workers, Timeout: s.runLimit, Context: r.Context()}
+	opt := sweep.Options{Workers: s.workers, Timeout: s.runLimit, Context: r.Context(), Events: s.bus}
 	if raw := q.Get("parallel"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
@@ -632,6 +661,7 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.syncRunCache()
+	s.metrics.syncEventBus(s.bus)
 	if s.jobs != nil {
 		s.metrics.jobsQueued.Set(float64(s.jobs.QueueDepth()))
 	}

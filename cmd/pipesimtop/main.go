@@ -1,0 +1,466 @@
+// Command pipesimtop is a live terminal dashboard for a running pipesimd:
+// job progress bars, point throughput, retry counts and queue depth,
+// driven by the daemon's SSE telemetry firehose (GET /v1/events) plus a
+// periodic /metrics scrape.
+//
+// The dashboard bootstraps its job table from GET /v1/jobs, then follows
+// the event stream: every point outcome advances its job's bar the moment
+// the daemon checkpoints it. If the stream drops (daemon restart, network
+// blip) it reconnects with backoff and re-bootstraps, so a recovered
+// daemon's resumed jobs show up again automatically.
+//
+// Usage:
+//
+//	pipesimtop                          # watch http://127.0.0.1:8974
+//	pipesimtop -addr http://host:8974   # point at another daemon
+//	pipesimtop -refresh 500ms           # redraw faster
+//	pipesimtop -once                    # print one snapshot and exit (no SSE)
+//	pipesimtop -no-color                # plain output, no ANSI (for pipes)
+//	pipesimtop -version                 # print build/VCS info and exit
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pipesim/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("pipesimtop", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8974", "pipesimd base URL")
+	refresh := fs.Duration("refresh", 2*time.Second, "redraw interval")
+	once := fs.Bool("once", false, "print one snapshot and exit instead of following the event stream")
+	noColor := fs.Bool("no-color", false, "plain output: no ANSI colors or screen clearing")
+	showVer := fs.Bool("version", false, "print build/VCS info and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVer {
+		fmt.Fprintln(out, version.Get())
+		return 0
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	top := newTop(base, time.Now)
+	if *once {
+		if err := top.bootstrap(); err != nil {
+			fmt.Fprintf(os.Stderr, "pipesimtop: %v\n", err)
+			return 1
+		}
+		top.scrapeMetrics()
+		top.render(out, *noColor)
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go top.followEvents(ctx)
+
+	ticker := time.NewTicker(*refresh)
+	defer ticker.Stop()
+	if err := top.bootstrap(); err != nil {
+		fmt.Fprintf(os.Stderr, "pipesimtop: %v (will keep retrying)\n", err)
+	}
+	for {
+		top.scrapeMetrics()
+		if !*noColor {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, cursor home
+		}
+		top.render(out, *noColor)
+		select {
+		case <-ctx.Done():
+			return 0
+		case <-ticker.C:
+		}
+	}
+}
+
+// jobRow is one job's dashboard state, merged from the /v1/jobs bootstrap
+// and the live event stream.
+type jobRow struct {
+	ID        string
+	State     string
+	Total     int
+	Completed int
+	Resumed   int
+	Retries   int
+	Failed    int
+	Created   time.Time
+}
+
+// envelope mirrors the firehose SSE data payload (eventbus.Event JSON).
+type envelope struct {
+	Seq    uint64          `json:"seq"`
+	TimeMS int64           `json:"time_ms"`
+	Kind   string          `json:"kind"`
+	Job    string          `json:"job"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// jobEvent is the subset of the daemon's job.* payload the dashboard uses.
+type jobEvent struct {
+	State           string `json:"state"`
+	TotalPoints     int    `json:"total_points"`
+	CompletedPoints int    `json:"completed_points"`
+	ResumedPoints   int    `json:"resumed_points"`
+	RetriesUsed     int    `json:"retries_used"`
+	FailedPoints    int    `json:"failed_points"`
+}
+
+// top is the dashboard model: everything the render needs, guarded by one
+// mutex because the SSE follower and the redraw loop race on it.
+type top struct {
+	base string
+	now  func() time.Time
+
+	mu         sync.Mutex
+	jobs       map[string]*jobRow
+	events     uint64      // firehose events observed this session
+	pointTimes []time.Time // recent point completions, for throughput
+	streamErr  string      // last stream problem, shown in the header
+
+	// scraped from /metrics
+	queueDepth  float64
+	subscribers float64
+	dropped     float64
+	haveMetrics bool
+}
+
+func newTop(base string, now func() time.Time) *top {
+	return &top{base: base, now: now, jobs: make(map[string]*jobRow)}
+}
+
+// bootstrap seeds the job table from GET /v1/jobs (already sorted by
+// submit time).
+func (t *top) bootstrap() error {
+	resp, err := http.Get(t.base + "/v1/jobs")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET /v1/jobs: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var list struct {
+		Jobs []struct {
+			ID              string    `json:"id"`
+			State           string    `json:"state"`
+			Created         time.Time `json:"created"`
+			TotalPoints     int       `json:"total_points"`
+			CompletedPoints int       `json:"completed_points"`
+			ResumedPoints   int       `json:"resumed_points"`
+			RetriesUsed     int       `json:"retries_used"`
+			FailedPoints    []any     `json:"failed_points"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return fmt.Errorf("decoding /v1/jobs: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, j := range list.Jobs {
+		t.jobs[j.ID] = &jobRow{
+			ID: j.ID, State: j.State, Created: j.Created,
+			Total: j.TotalPoints, Completed: j.CompletedPoints,
+			Resumed: j.ResumedPoints, Retries: j.RetriesUsed, Failed: len(j.FailedPoints),
+		}
+	}
+	return nil
+}
+
+// followEvents consumes the firehose, reconnecting with backoff until the
+// context ends. Each (re)connect re-bootstraps: events missed while
+// disconnected are reflected in the job snapshots.
+func (t *top) followEvents(ctx context.Context) {
+	backoff := time.Second
+	for ctx.Err() == nil {
+		err := t.streamOnce(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		t.mu.Lock()
+		if err != nil {
+			t.streamErr = err.Error()
+		} else {
+			t.streamErr = "stream closed, reconnecting"
+		}
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 8*time.Second {
+			backoff *= 2
+		}
+		t.bootstrap()
+	}
+}
+
+func (t *top) streamOnce(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/v1/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/events: %s", resp.Status)
+	}
+	t.mu.Lock()
+	t.streamErr = ""
+	t.mu.Unlock()
+	sr := newSSEReader(resp.Body)
+	for {
+		ev, data, err := sr.next()
+		if err != nil {
+			return err
+		}
+		t.apply(ev, data)
+	}
+}
+
+// sseReader decodes Server-Sent Events frames: (event name, data line).
+// Comments and IDs are skipped — the dashboard is a live view, it never
+// resumes.
+type sseReader struct {
+	br *bufio.Reader
+}
+
+func newSSEReader(r io.Reader) *sseReader { return &sseReader{br: bufio.NewReader(r)} }
+
+func (s *sseReader) next() (event, data string, err error) {
+	sawField := false
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return "", "", err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if sawField {
+				return event, data, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "event:"):
+			event, sawField = strings.TrimSpace(line[len("event:"):]), true
+		case strings.HasPrefix(line, "data:"):
+			data, sawField = strings.TrimSpace(line[len("data:"):]), true
+		case strings.HasPrefix(line, "id:"):
+			sawField = true
+		}
+	}
+}
+
+// apply folds one firehose event into the model.
+func (t *top) apply(kind, data string) {
+	var env envelope
+	if err := json.Unmarshal([]byte(data), &env); err != nil {
+		return
+	}
+	if env.Kind == "" {
+		env.Kind = kind
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events++
+	row := t.jobs[env.Job]
+	switch {
+	case strings.HasPrefix(env.Kind, "job."):
+		if env.Job == "" {
+			return
+		}
+		if row == nil {
+			row = &jobRow{ID: env.Job, Created: t.now()}
+			t.jobs[env.Job] = row
+		}
+		var je jobEvent
+		if err := json.Unmarshal(env.Data, &je); err != nil {
+			return
+		}
+		row.State = je.State
+		row.Total = je.TotalPoints
+		row.Completed = je.CompletedPoints
+		row.Resumed = je.ResumedPoints
+		row.Retries = je.RetriesUsed
+		row.Failed = je.FailedPoints
+	case env.Kind == "point.ok" || env.Kind == "point.resumed":
+		t.pointTimes = append(t.pointTimes, t.now())
+		if row != nil {
+			row.Completed++
+			if env.Kind == "point.resumed" {
+				row.Resumed++
+			}
+		}
+	case env.Kind == "point.retry":
+		if row != nil {
+			row.Retries++
+		}
+	case env.Kind == "point.failed":
+		if row != nil {
+			row.Failed++
+		}
+	}
+}
+
+// throughputWindow is the sliding window for the points/s figure.
+const throughputWindow = 10 * time.Second
+
+// throughputLocked returns recent point completions per second. Caller
+// holds mu.
+func (t *top) throughputLocked() float64 {
+	cut := t.now().Add(-throughputWindow)
+	i := 0
+	for i < len(t.pointTimes) && t.pointTimes[i].Before(cut) {
+		i++
+	}
+	t.pointTimes = t.pointTimes[i:]
+	return float64(len(t.pointTimes)) / throughputWindow.Seconds()
+}
+
+// scrapeMetrics pulls the operator numbers the event stream does not
+// carry: queue depth, subscriber count and slow-consumer drops.
+func (t *top) scrapeMetrics() {
+	resp, err := http.Get(t.base + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return
+	}
+	vals := parseMetrics(string(body))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.haveMetrics = true
+	t.queueDepth = vals["pipesimd_jobs_queue_depth"]
+	t.subscribers = vals["pipesimd_eventbus_subscribers"]
+	t.dropped = vals["pipesimd_eventbus_dropped_total"]
+}
+
+// parseMetrics extracts un-labelled families from Prometheus text.
+func parseMetrics(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsAny(name, "{") {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out
+}
+
+// ANSI styles, elided in -no-color mode.
+const (
+	ansiReset = "\x1b[0m"
+	ansiBold  = "\x1b[1m"
+	ansiDim   = "\x1b[2m"
+	ansiGreen = "\x1b[32m"
+	ansiRed   = "\x1b[31m"
+	ansiCyan  = "\x1b[36m"
+)
+
+// render draws one frame of the dashboard.
+func (t *top) render(w io.Writer, plain bool) {
+	style := func(code, s string) string {
+		if plain {
+			return s
+		}
+		return code + s + ansiReset
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	fmt.Fprintf(w, "%s  %s", style(ansiBold, "pipesimtop"), t.base)
+	if t.haveMetrics {
+		fmt.Fprintf(w, "   queue %d   streams %d   drops %d",
+			int(t.queueDepth), int(t.subscribers), int(t.dropped))
+	}
+	fmt.Fprintf(w, "   %.1f points/s   %d events", t.throughputLocked(), t.events)
+	if t.streamErr != "" {
+		fmt.Fprintf(w, "   %s", style(ansiRed, "["+t.streamErr+"]"))
+	}
+	fmt.Fprintln(w)
+
+	if len(t.jobs) == 0 {
+		fmt.Fprintln(w, style(ansiDim, "  no jobs"))
+		return
+	}
+	rows := make([]*jobRow, 0, len(t.jobs))
+	for _, r := range t.jobs {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if !rows[i].Created.Equal(rows[j].Created) {
+			return rows[i].Created.Before(rows[j].Created)
+		}
+		return rows[i].ID < rows[j].ID
+	})
+	for _, r := range rows {
+		stateStyle := ansiCyan
+		switch r.State {
+		case "done":
+			stateStyle = ansiGreen
+		case "failed", "cancelled":
+			stateStyle = ansiRed
+		}
+		fmt.Fprintf(w, "  %-14s %s %s %d/%d", r.ID,
+			style(stateStyle, fmt.Sprintf("%-10s", r.State)),
+			progressBar(r.Completed, r.Total, 20), r.Completed, r.Total)
+		if r.Resumed > 0 {
+			fmt.Fprintf(w, "  resumed %d", r.Resumed)
+		}
+		if r.Retries > 0 {
+			fmt.Fprintf(w, "  retries %d", r.Retries)
+		}
+		if r.Failed > 0 {
+			fmt.Fprintf(w, "  %s", style(ansiRed, fmt.Sprintf("failed %d", r.Failed)))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// progressBar renders [#####.....] scaled to width cells.
+func progressBar(done, total, width int) string {
+	if total <= 0 {
+		return "[" + strings.Repeat(".", width) + "]"
+	}
+	if done > total {
+		done = total
+	}
+	filled := done * width / total
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const fakeJobs = `{"jobs":[
+  {"id":"j-aaa","state":"running","created":"2026-01-02T10:00:00Z",
+   "total_points":4,"completed_points":1,"resumed_points":1,"retries_used":0},
+  {"id":"j-bbb","state":"done","created":"2026-01-02T09:00:00Z",
+   "total_points":2,"completed_points":2,"failed_points":[]}
+]}`
+
+const fakeMetrics = `# HELP pipesimd_jobs_queue_depth Jobs admitted but not yet finished.
+# TYPE pipesimd_jobs_queue_depth gauge
+pipesimd_jobs_queue_depth 3
+pipesimd_eventbus_subscribers 2
+pipesimd_eventbus_dropped_total 7
+pipesimd_http_requests_total{route="/metrics",code="200"} 9
+`
+
+// fakeDaemon serves canned /v1/jobs and /metrics plus a scripted SSE
+// firehose.
+func fakeDaemon(t *testing.T, events []string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, fakeJobs)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, fakeMetrics)
+	})
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		f := w.(http.Flusher)
+		for i, data := range events {
+			fmt.Fprintf(w, "id: %d\nevent: x\ndata: %s\n\n", i+1, data)
+		}
+		f.Flush()
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestOnceSnapshot(t *testing.T) {
+	ts := fakeDaemon(t, nil)
+	var buf bytes.Buffer
+	if code := run([]string{"-once", "-no-color", "-addr", ts.URL}, &buf); code != 0 {
+		t.Fatalf("run -once exited %d\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"queue 3", "streams 2", "drops 7",
+		"j-aaa", "running", "1/4", "resumed 1",
+		"j-bbb", "done", "2/2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+	// The bootstrap listing is oldest-first: the done job was created
+	// earlier and must render above the running one.
+	if strings.Index(out, "j-bbb") > strings.Index(out, "j-aaa") {
+		t.Errorf("jobs not in submit order:\n%s", out)
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("-no-color output contains ANSI escapes:\n%s", out)
+	}
+}
+
+func TestOnceAgainstDeadDaemon(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-once", "-addr", "http://127.0.0.1:1"}, &buf); code != 1 {
+		t.Fatalf("run -once against nothing exited %d, want 1", code)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-version"}, &buf); code != 0 || buf.Len() == 0 {
+		t.Fatalf("run -version: code %d, output %q", code, buf.String())
+	}
+}
+
+// TestApplyEvents drives the model with firehose envelopes and asserts the
+// rows and throughput window advance.
+func TestApplyEvents(t *testing.T) {
+	clock := time.Date(2026, 1, 2, 10, 0, 0, 0, time.UTC)
+	tp := newTop("http://x", func() time.Time { return clock })
+
+	tp.apply("job.queued", `{"kind":"job.queued","job":"j-1","data":{"state":"queued","total_points":3}}`)
+	tp.apply("job.start", `{"kind":"job.start","job":"j-1","data":{"state":"running","total_points":3,"completed_points":0}}`)
+	tp.apply("point.ok", `{"kind":"point.ok","job":"j-1","data":{"index":1,"point":"conv/128","outcome":"ok"}}`)
+	tp.apply("point.retry", `{"kind":"point.retry","job":"j-1","data":{"point":"conv/256","outcome":"retry","error":"boom"}}`)
+	tp.apply("point.failed", `{"kind":"point.failed","job":"j-1","data":{"index":2,"point":"conv/256","outcome":"failed"}}`)
+	tp.apply("ckpt.append", `{"kind":"ckpt.append","job":"j-1","data":{"point":"conv/128","seq":1}}`)
+	tp.apply("garbage", `not json`)
+
+	row := tp.jobs["j-1"]
+	if row == nil {
+		t.Fatal("no row for j-1")
+	}
+	if row.State != "running" || row.Total != 3 || row.Completed != 1 || row.Retries != 1 || row.Failed != 1 {
+		t.Errorf("row after events: %+v", row)
+	}
+	if tp.events != 6 {
+		t.Errorf("events counted = %d, want 6 (garbage dropped)", tp.events)
+	}
+
+	// Terminal snapshot overrides the incremental counts.
+	tp.apply("job.end", `{"kind":"job.end","job":"j-1","data":{"state":"failed","total_points":3,"completed_points":2,"failed_points":1}}`)
+	if row.State != "failed" || row.Completed != 2 {
+		t.Errorf("row after job.end: %+v", row)
+	}
+
+	// Throughput counts only the last 10s of completions.
+	tp.mu.Lock()
+	got := tp.throughputLocked()
+	tp.mu.Unlock()
+	if got != 0.1 { // 1 completion / 10s window
+		t.Errorf("throughput = %v, want 0.1", got)
+	}
+	clock = clock.Add(time.Minute)
+	tp.mu.Lock()
+	got = tp.throughputLocked()
+	tp.mu.Unlock()
+	if got != 0 {
+		t.Errorf("throughput after the window = %v, want 0", got)
+	}
+}
+
+// TestFollowEventsAgainstFakeServer runs the real SSE consumer against a
+// scripted stream and renders the result.
+func TestFollowEventsAgainstFakeServer(t *testing.T) {
+	ts := fakeDaemon(t, []string{
+		`{"kind":"job.start","job":"j-aaa","data":{"state":"running","total_points":4,"completed_points":1,"resumed_points":1}}`,
+		`{"kind":"point.ok","job":"j-aaa","data":{"index":2,"point":"conv/256","outcome":"ok"}}`,
+		`{"kind":"point.ok","job":"j-aaa","data":{"index":3,"point":"conv/512","outcome":"ok"}}`,
+	})
+	tp := newTop(ts.URL, time.Now)
+	if err := tp.bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// streamOnce consumes the scripted events, then the handler returns and
+	// the read errors out — exactly one pass.
+	if err := tp.streamOnce(ctx); err == nil {
+		t.Fatal("streamOnce returned nil on a finite stream")
+	}
+	tp.scrapeMetrics()
+
+	var buf bytes.Buffer
+	tp.render(&buf, true)
+	out := buf.String()
+	for _, want := range []string{"j-aaa", "3/4", "resumed 1", "queue 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSSEReader(t *testing.T) {
+	in := ": hello\n\nid: 4\nevent: point.ok\ndata: {\"a\":1}\n\n: hb\n\nevent: end\ndata: {}\n\n"
+	sr := newSSEReader(strings.NewReader(in))
+	ev, data, err := sr.next()
+	if err != nil || ev != "point.ok" || data != `{"a":1}` {
+		t.Fatalf("frame 1: %q %q %v", ev, data, err)
+	}
+	ev, data, err = sr.next()
+	if err != nil || ev != "end" || data != "{}" {
+		t.Fatalf("frame 2: %q %q %v", ev, data, err)
+	}
+	if _, _, err = sr.next(); err == nil {
+		t.Fatal("expected EOF after the stream")
+	}
+}
+
+func TestProgressBar(t *testing.T) {
+	for _, tc := range []struct {
+		done, total int
+		want        string
+	}{
+		{0, 4, "[....................]"},
+		{2, 4, "[##########..........]"},
+		{4, 4, "[####################]"},
+		{5, 4, "[####################]"},
+		{0, 0, "[....................]"},
+	} {
+		if got := progressBar(tc.done, tc.total, 20); got != tc.want {
+			t.Errorf("progressBar(%d,%d) = %s, want %s", tc.done, tc.total, got, tc.want)
+		}
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	vals := parseMetrics(fakeMetrics)
+	if vals["pipesimd_jobs_queue_depth"] != 3 || vals["pipesimd_eventbus_dropped_total"] != 7 {
+		t.Errorf("parsed: %v", vals)
+	}
+	if _, ok := vals["pipesimd_http_requests_total"]; ok {
+		t.Error("labelled family should be skipped")
+	}
+}

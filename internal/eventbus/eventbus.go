@@ -1,0 +1,290 @@
+// Package eventbus is a dependency-free in-process publish/subscribe bus
+// for telemetry events: the push-based counterpart to the pull-based
+// /metrics endpoint. Producers (the durable-job manager, the sweep
+// runner, the daemon itself) publish small structured events; consumers
+// (SSE streams, dashboards, tests) subscribe with optional kind/job
+// filters and read at their own pace.
+//
+// Delivery is best-effort by design. Each subscriber owns a bounded ring
+// buffer: a consumer that keeps up sees every matching event in publish
+// order; a stalled consumer loses the OLDEST buffered events first (ring
+// semantics — the freshest state always survives) and every loss is
+// counted, per subscriber and bus-wide, so slow consumers are an
+// observable condition instead of a silent gap or — worse — backpressure
+// into the simulation path. Publish never blocks and never allocates
+// proportionally to subscriber count beyond the fan-out loop itself.
+package eventbus
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one telemetry record. Seq and Time are assigned by Publish;
+// producers fill Kind, optionally Job and Point, and an arbitrary
+// JSON-marshalable Data payload.
+type Event struct {
+	// Seq is the bus-wide publish sequence number, starting at 1. It
+	// orders the firehose and doubles as the SSE event ID on the global
+	// stream.
+	Seq uint64 `json:"seq"`
+	// TimeMS is the publish wall-clock time in Unix milliseconds.
+	TimeMS int64 `json:"time_ms"`
+	// Kind names the event in dotted-hierarchy form ("job.start",
+	// "point.ok", "sweep.experiment"). Filters match exact kinds or
+	// dotted prefixes.
+	Kind string `json:"kind"`
+	// Job is the owning job ID, when the event belongs to one.
+	Job string `json:"job,omitempty"`
+	// Data is the kind-specific payload (a struct or map that marshals
+	// to JSON).
+	Data any `json:"data,omitempty"`
+}
+
+// DefaultBuffer is the per-subscriber ring capacity when SubOptions does
+// not set one.
+const DefaultBuffer = 256
+
+// Bus fans events out to subscribers. The zero value is not usable; call
+// New. All methods are safe for concurrent use.
+type Bus struct {
+	seq       atomic.Uint64
+	published atomic.Uint64
+	dropped   atomic.Uint64
+
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{subs: make(map[*Subscriber]struct{})}
+}
+
+// SubOptions filters and sizes one subscription.
+type SubOptions struct {
+	// Buffer is the ring capacity (<= 0 selects DefaultBuffer). When the
+	// ring is full the oldest buffered event is dropped and counted.
+	Buffer int
+	// Kinds restricts delivery to matching kinds: an entry matches an
+	// event whose Kind equals it, or begins with it followed by a dot
+	// ("job" matches "job.start"). Empty means every kind.
+	Kinds []string
+	// Job restricts delivery to events of one job ID ("" = all; events
+	// with no job are only delivered to unrestricted subscribers).
+	Job string
+}
+
+// Subscribe registers a new subscriber. On a closed (draining) bus the
+// subscription is returned already closed: Done is closed and Pop drains
+// nothing, so callers need no special case.
+func (b *Bus) Subscribe(opt SubOptions) *Subscriber {
+	if opt.Buffer <= 0 {
+		opt.Buffer = DefaultBuffer
+	}
+	s := &Subscriber{
+		bus:    b,
+		job:    opt.Job,
+		buf:    make([]Event, opt.Buffer),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	if len(opt.Kinds) > 0 {
+		s.kinds = append([]string(nil), opt.Kinds...)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(s.done)
+		s.closed = true
+		return s
+	}
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Publish stamps the event with the next sequence number and the current
+// time and delivers it to every matching subscriber, dropping the oldest
+// buffered event of any subscriber whose ring is full. It returns the
+// assigned sequence number (0 when the bus is closed).
+func (b *Bus) Publish(ev Event) uint64 {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0
+	}
+	ev.Seq = b.seq.Add(1)
+	ev.TimeMS = time.Now().UnixMilli()
+	b.published.Add(1)
+	// Fan out under the bus lock: subscriber set mutation and delivery
+	// serialize, so a subscriber never misses an event published after
+	// its Subscribe returned. Per-subscriber work is O(1) (a ring slot
+	// write), so the critical section stays short.
+	for s := range b.subs {
+		if !s.matches(ev) {
+			continue
+		}
+		if s.push(ev) {
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+	return ev.Seq
+}
+
+// Close shuts the bus down: every subscriber's Done channel closes (after
+// its buffered events are drained by Pop), later Publishes are dropped,
+// and later Subscribes return closed subscriptions. Used by the daemon's
+// drain path so every open stream can send a terminal event and exit.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Subscriber, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[*Subscriber]struct{})
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.markClosed()
+	}
+}
+
+// Published returns the total events accepted by Publish.
+func (b *Bus) Published() uint64 { return b.published.Load() }
+
+// Dropped returns the total events lost to full subscriber rings,
+// bus-wide (the per-subscriber counts are on Subscriber.Dropped).
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Subscriber is one bounded-buffer subscription. Read it with Pop (and
+// Wait/Done for blocking); call Close when finished.
+type Subscriber struct {
+	bus   *Bus
+	kinds []string
+	job   string
+
+	mu      sync.Mutex
+	buf     []Event // ring
+	head, n int
+	dropped uint64
+	closed  bool
+
+	notify chan struct{} // capacity 1: "the ring may be non-empty"
+	done   chan struct{} // closed by Close / bus Close
+}
+
+// matches reports whether the subscriber's filters admit the event.
+func (s *Subscriber) matches(ev Event) bool {
+	if s.job != "" && ev.Job != s.job {
+		return false
+	}
+	if len(s.kinds) == 0 {
+		return true
+	}
+	for _, k := range s.kinds {
+		if ev.Kind == k || (strings.HasPrefix(ev.Kind, k) && len(ev.Kind) > len(k) && ev.Kind[len(k)] == '.') {
+			return true
+		}
+	}
+	return false
+}
+
+// push buffers one event, evicting the oldest when full. It reports
+// whether an event was dropped. Called with the bus lock held.
+func (s *Subscriber) push(ev Event) (droppedOne bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.n == len(s.buf) {
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+		droppedOne = true
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return droppedOne
+}
+
+// Pop returns the oldest buffered event, if any. It keeps returning
+// buffered events after the subscription closes, so a drain can deliver
+// everything already queued before the terminal close.
+func (s *Subscriber) Pop() (Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Event{}, false
+	}
+	ev := s.buf[s.head]
+	s.buf[s.head] = Event{} // release payload references
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	return ev, true
+}
+
+// Wait returns a channel that receives after new events arrive. After a
+// receive, drain Pop until it returns false before waiting again (the
+// channel coalesces bursts into one wakeup).
+func (s *Subscriber) Wait() <-chan struct{} { return s.notify }
+
+// Done returns a channel closed when the subscription (or the bus) is
+// closed. Events buffered before the close remain Poppable.
+func (s *Subscriber) Done() <-chan struct{} { return s.done }
+
+// Dropped returns how many events this subscriber lost to a full ring.
+func (s *Subscriber) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Len returns how many events are currently buffered.
+func (s *Subscriber) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Close unregisters the subscriber and closes Done. Safe to call more
+// than once and concurrently with Publish.
+func (s *Subscriber) Close() {
+	s.bus.mu.Lock()
+	delete(s.bus.subs, s)
+	s.bus.mu.Unlock()
+	s.markClosed()
+}
+
+// markClosed flips the closed state exactly once.
+func (s *Subscriber) markClosed() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+}

@@ -1,0 +1,281 @@
+package eventbus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain pops everything currently buffered.
+func drain(s *Subscriber) []Event {
+	var out []Event
+	for {
+		ev, ok := s.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestPublishDeliversInOrder(t *testing.T) {
+	b := New()
+	s := b.Subscribe(SubOptions{Buffer: 16})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if seq := b.Publish(Event{Kind: "k", Data: i}); seq != uint64(i+1) {
+			t.Fatalf("publish %d returned seq %d", i, seq)
+		}
+	}
+	evs := drain(s)
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) || ev.Kind != "k" || ev.Data.(int) != i {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+		if ev.TimeMS == 0 {
+			t.Errorf("event %d missing timestamp", i)
+		}
+	}
+	if b.Published() != 5 || b.Dropped() != 0 {
+		t.Errorf("bus counters: published %d dropped %d", b.Published(), b.Dropped())
+	}
+}
+
+func TestKindAndJobFilters(t *testing.T) {
+	b := New()
+	all := b.Subscribe(SubOptions{})
+	jobOnly := b.Subscribe(SubOptions{Job: "j-1"})
+	kinds := b.Subscribe(SubOptions{Kinds: []string{"point", "job.end"}})
+	defer all.Close()
+	defer jobOnly.Close()
+	defer kinds.Close()
+
+	b.Publish(Event{Kind: "job.start", Job: "j-1"})
+	b.Publish(Event{Kind: "point.ok", Job: "j-2"})
+	b.Publish(Event{Kind: "pointer"}) // prefix must match on dot boundary
+	b.Publish(Event{Kind: "job.end", Job: "j-1"})
+	b.Publish(Event{Kind: "sweep.experiment"})
+
+	if got := len(drain(all)); got != 5 {
+		t.Errorf("unfiltered subscriber got %d events, want 5", got)
+	}
+	jevs := drain(jobOnly)
+	if len(jevs) != 2 || jevs[0].Kind != "job.start" || jevs[1].Kind != "job.end" {
+		t.Errorf("job filter got %+v", jevs)
+	}
+	kevs := drain(kinds)
+	if len(kevs) != 2 || kevs[0].Kind != "point.ok" || kevs[1].Kind != "job.end" {
+		t.Errorf("kind filter got %+v", kevs)
+	}
+}
+
+// TestSlowConsumerDropsOldest is the ring-semantics contract: a stalled
+// subscriber loses the oldest events, keeps the freshest, and every loss
+// is counted on the subscriber and the bus.
+func TestSlowConsumerDropsOldest(t *testing.T) {
+	b := New()
+	fast := b.Subscribe(SubOptions{Buffer: 64})
+	slow := b.Subscribe(SubOptions{Buffer: 4})
+	defer fast.Close()
+	defer slow.Close()
+
+	for i := 1; i <= 10; i++ {
+		b.Publish(Event{Kind: "k", Data: i})
+	}
+	if got := len(drain(fast)); got != 10 {
+		t.Errorf("keeping-up subscriber got %d events, want all 10", got)
+	}
+	evs := drain(slow)
+	if len(evs) != 4 {
+		t.Fatalf("stalled subscriber has %d buffered, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 7 + i; ev.Data.(int) != want {
+			t.Errorf("stalled subscriber kept %v at %d, want %d (freshest survive)", ev.Data, i, want)
+		}
+	}
+	if slow.Dropped() != 6 {
+		t.Errorf("subscriber dropped %d, want 6", slow.Dropped())
+	}
+	if fast.Dropped() != 0 {
+		t.Errorf("fast subscriber dropped %d, want 0", fast.Dropped())
+	}
+	if b.Dropped() != 6 {
+		t.Errorf("bus-wide dropped %d, want 6", b.Dropped())
+	}
+}
+
+func TestWaitCoalescesAndWakes(t *testing.T) {
+	b := New()
+	s := b.Subscribe(SubOptions{Buffer: 8})
+	defer s.Close()
+
+	got := make(chan Event, 8)
+	go func() {
+		for {
+			ev, ok := s.Pop()
+			if ok {
+				got <- ev
+				continue
+			}
+			select {
+			case <-s.Wait():
+			case <-s.Done():
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		b.Publish(Event{Kind: "k", Data: i})
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case ev := <-got:
+			if ev.Data.(int) != i {
+				t.Errorf("got %v, want %d", ev.Data, i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("subscriber never woke up")
+		}
+	}
+	s.Close()
+}
+
+func TestCloseUnsubscribesAndBusCloseDrains(t *testing.T) {
+	b := New()
+	s1 := b.Subscribe(SubOptions{})
+	s2 := b.Subscribe(SubOptions{})
+	if n := b.Subscribers(); n != 2 {
+		t.Fatalf("subscribers %d, want 2", n)
+	}
+	s1.Close()
+	s1.Close() // idempotent
+	if n := b.Subscribers(); n != 1 {
+		t.Fatalf("subscribers after close %d, want 1", n)
+	}
+	b.Publish(Event{Kind: "k"})
+	if got := len(drain(s1)); got != 0 {
+		t.Errorf("closed subscriber received %d events", got)
+	}
+
+	// Bus close: buffered events stay readable, Done closes, later
+	// publishes and subscribes are inert.
+	b.Close()
+	select {
+	case <-s2.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("bus close did not close subscriber Done")
+	}
+	if got := len(drain(s2)); got != 1 {
+		t.Errorf("subscriber drained %d buffered events after bus close, want 1", got)
+	}
+	if seq := b.Publish(Event{Kind: "k"}); seq != 0 {
+		t.Errorf("publish on closed bus returned seq %d, want 0", seq)
+	}
+	s3 := b.Subscribe(SubOptions{})
+	select {
+	case <-s3.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscribe on closed bus returned an open subscription")
+	}
+}
+
+// TestConcurrentPublishSubscribe hammers the bus from many publishers
+// while subscribers come and go; run under -race this is the data-race
+// gate for the whole package.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Publish(Event{Kind: "k", Job: fmt.Sprintf("j-%d", i%3)})
+			}
+		}(p)
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := b.Subscribe(SubOptions{Buffer: 8, Job: "j-1"})
+				s.Pop()
+				s.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Published() != 2000 {
+		t.Errorf("published %d, want 2000", b.Published())
+	}
+	if b.Subscribers() != 0 {
+		t.Errorf("%d subscribers leaked", b.Subscribers())
+	}
+}
+
+// TestNoSubscriberGetsEventAfterClose pins the Subscribe/Publish
+// ordering contract: an event published after Subscribe returns is
+// either delivered or counted as dropped — never silently skipped.
+func TestSubscribeThenPublishNeverMisses(t *testing.T) {
+	b := New()
+	for i := 0; i < 100; i++ {
+		s := b.Subscribe(SubOptions{Buffer: 1})
+		b.Publish(Event{Kind: "k"})
+		if _, ok := s.Pop(); !ok && s.Dropped() == 0 {
+			t.Fatalf("iteration %d: event neither delivered nor counted", i)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkEventBusPublish measures the publish cost the jobs and sweep
+// layers pay per event (the bus is off the simulation hot path; this
+// bounds the overhead of instrumenting job execution).
+func BenchmarkEventBusPublish(b *testing.B) {
+	b.Run("no-subscribers", func(b *testing.B) {
+		bus := New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(Event{Kind: "point.ok", Job: "j-1"})
+		}
+	})
+	b.Run("one-subscriber", func(b *testing.B) {
+		bus := New()
+		s := bus.Subscribe(SubOptions{Buffer: 1024})
+		defer s.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(Event{Kind: "point.ok", Job: "j-1"})
+			if i%512 == 0 {
+				drainBench(s)
+			}
+		}
+	})
+	b.Run("eight-subscribers-filtered", func(b *testing.B) {
+		bus := New()
+		for i := 0; i < 8; i++ {
+			s := bus.Subscribe(SubOptions{Buffer: 64, Kinds: []string{"other"}})
+			defer s.Close()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(Event{Kind: "point.ok", Job: "j-1"})
+		}
+	})
+}
+
+func drainBench(s *Subscriber) {
+	for {
+		if _, ok := s.Pop(); !ok {
+			return
+		}
+	}
+}

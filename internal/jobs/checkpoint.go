@@ -56,6 +56,11 @@ type PointResult struct {
 	// FromCheckpoint marks a result replayed from disk rather than
 	// simulated by this process.
 	FromCheckpoint bool `json:"from_checkpoint,omitempty"`
+	// Seq is the point's index in the job's outcome log (events.go),
+	// persisted so a restarted manager rebinds the same SSE event IDs to
+	// the same points — the anchor for Last-Event-ID resume across
+	// crashes. Zero in records written before the event layer existed.
+	Seq int `json:"seq,omitempty"`
 }
 
 // Checkpoint is an append-only JSONL file of completed point results.

@@ -1,0 +1,222 @@
+// Telemetry events and the per-job outcome log. The manager publishes
+// its lifecycle to an optional eventbus.Bus (Options.Events) — job
+// admission, start, backoff, end; one event per point outcome; one per
+// checkpoint append — and keeps, per job, an ordered log of the
+// *terminal* point outcomes ("ok", "resumed", "failed"). Log entries
+// carry a dense 1-based Index that doubles as the SSE event ID on the
+// daemon's GET /v1/jobs/{id}/events stream, and the index is persisted
+// into each checkpoint record (PointResult.Seq), so a consumer that
+// reconnects with Last-Event-ID after a daemon crash resumes exactly
+// where it left off: the rebuilt log binds the same indexes to the same
+// points. Transient events (retries, backoff waits, lifecycle) are
+// published without an index — they are observability, not ledger.
+package jobs
+
+import (
+	"sort"
+
+	"pipesim/internal/eventbus"
+)
+
+// Event kinds published by the manager. Subscribers may filter by exact
+// kind or by dotted prefix ("job" matches every job.* kind).
+const (
+	KindJobQueued     = "job.queued"
+	KindJobStart      = "job.start"
+	KindJobRecovering = "job.recovering"
+	KindJobBackoff    = "job.backoff"
+	KindJobEnd        = "job.end"
+	KindPointOK       = "point.ok"
+	KindPointResumed  = "point.resumed"
+	KindPointRetry    = "point.retry"
+	KindPointFailed   = "point.failed"
+	KindCkptAppend    = "ckpt.append"
+)
+
+// PointOutcome is one entry of a job's outcome log and the payload of
+// every point.* event. Terminal outcomes ("ok", "resumed", "failed")
+// carry a log Index and are delivered exactly once per consumer;
+// transient "retry" events have Index 0.
+type PointOutcome struct {
+	// Index is the 1-based position in the job's outcome log (0 for
+	// transient events that are not part of the log).
+	Index int `json:"index,omitempty"`
+	// Point is the job-scoped point ID ("conv/128", "exp:fig5b").
+	Point string `json:"point"`
+	// Outcome is "ok", "resumed", "retry" or "failed" (the Hooks.Point
+	// labels).
+	Outcome string `json:"outcome"`
+	// Cycles/Valid mirror the point's result for successful outcomes.
+	Cycles uint64 `json:"cycles,omitempty"`
+	Valid  bool   `json:"valid,omitempty"`
+	// Attempts is how many tries the point has consumed so far.
+	Attempts int `json:"attempts,omitempty"`
+	// Error describes the failure for "retry" and "failed" outcomes.
+	Error string `json:"error,omitempty"`
+	// ElapsedS is the wall-clock seconds of the completing attempt.
+	ElapsedS float64 `json:"elapsed_s,omitempty"`
+	// FromCheckpoint marks an outcome replayed from the checkpoint file
+	// rather than simulated by this process.
+	FromCheckpoint bool `json:"from_checkpoint,omitempty"`
+}
+
+// JobEvent is the payload of the job.* lifecycle events: a compact
+// progress snapshot.
+type JobEvent struct {
+	State           State  `json:"state"`
+	TotalPoints     int    `json:"total_points"`
+	CompletedPoints int    `json:"completed_points"`
+	ResumedPoints   int    `json:"resumed_points,omitempty"`
+	RetriesUsed     int    `json:"retries_used,omitempty"`
+	FailedPoints    int    `json:"failed_points,omitempty"`
+	Error           string `json:"error,omitempty"`
+}
+
+// BackoffEvent is the payload of job.backoff: the job is sleeping before
+// its next retry round.
+type BackoffEvent struct {
+	Round   int   `json:"round"`
+	DelayMS int64 `json:"delay_ms"`
+	Pending int   `json:"pending"`
+}
+
+// CkptEvent is the payload of ckpt.append: one point result hit the
+// durable checkpoint.
+type CkptEvent struct {
+	Point string `json:"point"`
+	Seq   int    `json:"seq"`
+}
+
+// outcomeFromRecord shapes a checkpoint record as the "resumed" outcome
+// it replays as.
+func outcomeFromRecord(r PointResult) PointOutcome {
+	return PointOutcome{
+		Point:          r.Point,
+		Outcome:        PointResumed,
+		Cycles:         r.Cycles,
+		Valid:          r.Valid,
+		Attempts:       r.Attempts,
+		ElapsedS:       r.ElapsedS,
+		FromCheckpoint: true,
+	}
+}
+
+// publish sends one event to the configured bus; a nil bus means
+// telemetry is off and costs one predictable branch.
+func (m *Manager) publish(kind, jobID string, data any) {
+	if m.opt.Events == nil {
+		return
+	}
+	m.opt.Events.Publish(eventbus.Event{Kind: kind, Job: jobID, Data: data})
+}
+
+// jobEventLocked snapshots the lifecycle payload. Caller holds mu.
+func jobEventLocked(j *job) JobEvent {
+	return JobEvent{
+		State:           j.man.State,
+		TotalPoints:     j.man.TotalPoints,
+		CompletedPoints: len(j.done),
+		ResumedPoints:   j.resumed,
+		RetriesUsed:     j.retries,
+		FailedPoints:    len(j.man.FailedPoints),
+		Error:           j.man.Error,
+	}
+}
+
+// logOutcomeLocked appends one terminal outcome to the job's log,
+// assigning the next index, unless the point already has an entry — a
+// point abandoned by the per-point timeout can complete a stale attempt
+// after the round retried it, and the ledger records only the first
+// terminal outcome. It returns the entry (with its index bound) and
+// whether it was fresh; only fresh entries are published. Caller holds
+// mu.
+func (j *job) logOutcomeLocked(e PointOutcome) (PointOutcome, bool) {
+	if idx, ok := j.logged[e.Point]; ok {
+		e.Index = idx
+		return e, false
+	}
+	if j.nextIdx == 0 {
+		j.nextIdx = 1
+	}
+	e.Index = j.nextIdx
+	j.nextIdx++
+	if j.logged == nil {
+		j.logged = make(map[string]int)
+	}
+	j.logged[e.Point] = e.Index
+	j.outcomeLog = append(j.outcomeLog, e)
+	return e, true
+}
+
+// bindLogEntryLocked inserts one replayed outcome at its persisted index
+// (PointResult.Seq), falling back to a fresh index for records written
+// before Seq existed or with a colliding index. Used only while
+// rebuilding a log from a checkpoint; call finishLogRebuildLocked after
+// the batch. Caller holds mu.
+func (j *job) bindLogEntryLocked(e PointOutcome, seq int) {
+	if _, ok := j.logged[e.Point]; ok {
+		return
+	}
+	if j.logged == nil {
+		j.logged = make(map[string]int)
+	}
+	if seq > 0 && !j.indexInUseLocked(seq) {
+		e.Index = seq
+	} else {
+		// Legacy or duplicate record: park it past every known index;
+		// finishLogRebuildLocked renumbers nothing, it only sorts, so the
+		// binding stays stable once assigned.
+		e.Index = j.maxIndexLocked() + 1
+	}
+	j.logged[e.Point] = e.Index
+	j.outcomeLog = append(j.outcomeLog, e)
+}
+
+func (j *job) indexInUseLocked(idx int) bool {
+	for _, n := range j.logged {
+		if n == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (j *job) maxIndexLocked() int {
+	max := 0
+	for _, n := range j.logged {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// finishLogRebuildLocked sorts the rebuilt log by index and positions
+// the next-index counter after it. Caller holds mu.
+func (j *job) finishLogRebuildLocked() {
+	sort.Slice(j.outcomeLog, func(a, b int) bool {
+		return j.outcomeLog[a].Index < j.outcomeLog[b].Index
+	})
+	j.nextIdx = j.maxIndexLocked() + 1
+}
+
+// Outcomes returns the job's outcome-log entries with Index > after
+// (after = 0 returns the whole log) together with a summary snapshot of
+// the job. The log holds every terminal point outcome in index order, so
+// an SSE stream that replays it and then follows live point events —
+// deduplicating by index — observes each outcome exactly once, across
+// process restarts included.
+func (m *Manager) Outcomes(id string, after int) ([]PointOutcome, *View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	// The log is sorted by index: binary-search the cut.
+	i := sort.Search(len(j.outcomeLog), func(i int) bool {
+		return j.outcomeLog[i].Index > after
+	})
+	out := append([]PointOutcome(nil), j.outcomeLog[i:]...)
+	return out, j.view(false), nil
+}

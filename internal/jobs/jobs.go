@@ -309,6 +309,12 @@ type job struct {
 	started   bool                   // this process fired JobStart for it
 	cancelled bool
 	cancel    context.CancelFunc // non-nil while running
+
+	// The outcome log (see events.go): terminal point outcomes in index
+	// order, the ledger behind exactly-once SSE delivery.
+	outcomeLog []PointOutcome
+	logged     map[string]int // point ID -> log index
+	nextIdx    int            // next log index to assign (1-based)
 }
 
 // view snapshots the job. Caller holds the manager lock.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pipesim/internal/core"
+	"pipesim/internal/eventbus"
 	"pipesim/internal/sweep"
 )
 
@@ -84,6 +85,11 @@ type Options struct {
 	// (attempt is 1-based); a non-nil return fails the attempt. Chaos
 	// and soak tests only.
 	InjectFault func(jobID, pointID string, attempt int) error
+	// Events, when set, receives the manager's telemetry: job lifecycle,
+	// per-point outcomes, retries, backoff waits and checkpoint appends
+	// (see events.go for kinds and payloads). Publishing never blocks
+	// job execution.
+	Events *eventbus.Bus
 }
 
 // Manager owns the durable job queue: admission, execution on the
@@ -211,9 +217,11 @@ func (m *Manager) Submit(spec Spec) (*View, error) {
 	m.order = append(m.order, id)
 	m.pending = append(m.pending, id)
 	v := j.view(false)
+	ev := jobEventLocked(j)
 	m.mu.Unlock()
 
 	m.wake()
+	m.publish(KindJobQueued, id, ev)
 	m.log.Info("job admitted", "job", id, "points", len(pts))
 	return v, nil
 }
@@ -332,7 +340,9 @@ func (m *Manager) Recover() (int, error) {
 		}
 		j := &job{man: man, done: make(map[string]PointResult)}
 		if man.State.Terminal() {
-			// Load its results so GET /v1/jobs/{id} still serves them.
+			// Load its results so GET /v1/jobs/{id} still serves them, and
+			// rebuild the outcome log so an SSE stream over the finished job
+			// replays its history with the original event IDs.
 			recs, err := ReadCheckpoint(m.ckptPath(man.ID), m.log)
 			if err != nil {
 				m.log.Warn("loading finished job's checkpoint", "job", man.ID, "err", err)
@@ -340,7 +350,9 @@ func (m *Manager) Recover() (int, error) {
 			for _, r := range recs {
 				r.FromCheckpoint = true
 				j.done[r.Point] = r
+				j.bindLogEntryLocked(outcomeFromRecord(r), r.Seq)
 			}
+			j.finishLogRebuildLocked()
 			m.jobs[man.ID] = j
 			m.order = append(m.order, man.ID)
 			m.mu.Unlock()
@@ -360,11 +372,13 @@ func (m *Manager) Recover() (int, error) {
 		}
 		j.points = pts
 		m.setStateLocked(j, StateRecovering)
+		ev := jobEventLocked(j)
 		m.jobs[man.ID] = j
 		m.order = append(m.order, man.ID)
 		m.pending = append(m.pending, man.ID)
 		m.mu.Unlock()
 		resumed++
+		m.publish(KindJobRecovering, man.ID, ev)
 		m.log.Info("recovered interrupted job", "job", man.ID, "points", len(pts))
 	}
 	if resumed > 0 {
@@ -500,7 +514,7 @@ func (m *Manager) runJob(j *job) {
 	for _, r := range recs {
 		byKey[r.Key] = r
 	}
-	resumedNow := 0
+	var replayed []PointOutcome
 	m.mu.Lock()
 	for _, p := range j.points {
 		if _, ok := j.done[p.id]; ok {
@@ -510,19 +524,30 @@ func (m *Manager) runJob(j *job) {
 			r.FromCheckpoint = true
 			j.done[p.id] = r
 			j.resumed++
-			resumedNow++
+			// Rebind the outcome log at the persisted index: the SSE event
+			// IDs this process emits for replayed points match the ones the
+			// previous process emitted, which is what makes Last-Event-ID
+			// resume exact across a crash.
+			j.bindLogEntryLocked(outcomeFromRecord(r), r.Seq)
 		}
 	}
+	j.finishLogRebuildLocked()
+	replayed = append(replayed, j.outcomeLog...)
 	j.started = true // from here on, finalize's JobEnd has a JobStart to pair with
 	m.setStateLocked(j, StateRunning)
 	startView := j.view(false)
+	startEv := jobEventLocked(j)
 	m.mu.Unlock()
 
-	for i := 0; i < resumedNow; i++ {
+	for range replayed {
 		m.point(id, PointResumed)
 	}
 	if h := m.opt.Hooks.JobStart; h != nil {
 		h(startView)
+	}
+	m.publish(KindJobStart, id, startEv)
+	for _, e := range replayed {
+		m.publish(KindPointResumed, id, e)
 	}
 	log.Info("job starting", "points", startView.TotalPoints,
 		"resumed", startView.ResumedPoints, "workers", m.opt.PointWorkers)
@@ -549,7 +574,11 @@ func (m *Manager) runJob(j *job) {
 	interrupted := false
 	for round := 0; len(pending) > 0 && !interrupted; round++ {
 		if round > 0 {
-			if err := sleepCtx(jctx, m.opt.Backoff.Delay(round-1, nil)); err != nil {
+			d := m.opt.Backoff.Delay(round-1, nil)
+			m.publish(KindJobBackoff, id, BackoffEvent{
+				Round: round, DelayMS: d.Milliseconds(), Pending: len(pending),
+			})
+			if err := sleepCtx(jctx, d); err != nil {
 				break
 			}
 		}
@@ -593,6 +622,18 @@ func (m *Manager) runRound(jctx context.Context, j *job, ckpt *Checkpoint, log *
 				}
 				pr.Attempts = try
 				pr.ElapsedS = time.Since(start).Seconds()
+				// Reserve the outcome-log slot before the checkpoint write so
+				// the persisted Seq always equals the index any subscriber
+				// saw; a stale attempt of an already-logged point (abandoned
+				// by the per-point timeout, completing after its retry) reuses
+				// the first index and publishes nothing.
+				m.mu.Lock()
+				entry, fresh := j.logOutcomeLocked(PointOutcome{
+					Point: p.id, Outcome: PointOK, Cycles: pr.Cycles,
+					Valid: pr.Valid, Attempts: try, ElapsedS: pr.ElapsedS,
+				})
+				m.mu.Unlock()
+				pr.Seq = entry.Index
 				// Checkpoint here, not after the round: the record must hit
 				// disk the moment the point completes, so a hard kill
 				// mid-round loses only in-flight points, never finished ones.
@@ -604,14 +645,20 @@ func (m *Manager) runRound(jctx context.Context, j *job, ckpt *Checkpoint, log *
 				prMu.Lock()
 				prs[p.id] = pr
 				prMu.Unlock()
+				if fresh {
+					m.publish(KindPointOK, id, entry)
+					m.publish(KindCkptAppend, id, CkptEvent{Point: p.id, Seq: entry.Index})
+				}
 				return nil, nil
 			},
 		})
 	}
 	opt := sweep.Options{
-		Workers: m.opt.PointWorkers,
-		Timeout: m.opt.PointTimeout,
-		Context: jctx,
+		Workers:  m.opt.PointWorkers,
+		Timeout:  m.opt.PointTimeout,
+		Context:  jctx,
+		Events:   m.opt.Events,
+		EventJob: id,
 	}
 	if inject := m.opt.InjectFault; inject != nil {
 		opt.InjectFault = func(pointID string) error {
@@ -661,6 +708,9 @@ func (m *Manager) runRound(jctx context.Context, j *job, ckpt *Checkpoint, log *
 		if canRetry {
 			log.Warn("point failed, will retry", "point", p.id, "attempt", try, "err", o.Err)
 			m.point(id, PointRetry)
+			m.publish(KindPointRetry, id, PointOutcome{
+				Point: p.id, Outcome: PointRetry, Attempts: try, Error: o.Err.Error(),
+			})
 			retry = append(retry, p)
 			continue
 		}
@@ -671,8 +721,14 @@ func (m *Manager) runRound(jctx context.Context, j *job, ckpt *Checkpoint, log *
 			Error:    o.Err.Error(),
 			Attempts: try,
 		})
+		entry, fresh := j.logOutcomeLocked(PointOutcome{
+			Point: p.id, Outcome: PointFailed, Attempts: try, Error: o.Err.Error(),
+		})
 		m.mu.Unlock()
 		m.point(id, PointFailed)
+		if fresh {
+			m.publish(KindPointFailed, id, entry)
+		}
 	}
 	return retry
 }
@@ -713,10 +769,12 @@ func (m *Manager) finalize(j *job, log *slog.Logger, fatal error) {
 		m.setStateLocked(j, StateDone)
 	}
 	v := j.view(false)
+	ev := jobEventLocked(j)
 	m.mu.Unlock()
 	if h := m.opt.Hooks.JobEnd; h != nil {
 		h(v)
 	}
+	m.publish(KindJobEnd, v.ID, ev)
 	log.Info("job finished", "state", v.State, "completed", v.CompletedPoints,
 		"failed", len(v.FailedPoints), "retries", v.RetriesUsed, "resumed", v.ResumedPoints)
 }

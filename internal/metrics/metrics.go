@@ -7,8 +7,16 @@
 // stdlib-only repository. It implements exactly the subset the daemon
 // needs — counter/gauge/histogram families with a fixed label schema per
 // family, cumulative histogram buckets, HELP/TYPE headers, deterministic
-// output ordering — and nothing else (no summaries, no exemplars, no
-// push gateways).
+// output ordering, per-bucket trace exemplars — and nothing else (no
+// summaries, no push gateways).
+//
+// Exemplars link a histogram bucket to one recent traced observation:
+// ObserveExemplar(x, traceID) records the observation normally and
+// remembers (traceID, x) on the bucket the value landed in; the text
+// exposition appends an OpenMetrics-style annotation to that bucket line
+// (`... 42 # {trace_id="abc"} 0.93`) so a latency spike points straight
+// at a retrievable trace. Histograms that never see ObserveExemplar
+// render byte-identically to before.
 //
 // All metric operations are safe for concurrent use and lock-free on the
 // hot path: counters and gauges are single atomic words, histogram
@@ -107,6 +115,15 @@ type Histogram struct {
 	counts []atomic.Uint64
 	inf    atomic.Uint64
 	sum    value
+	// exemplars holds one slot per bucket plus a final +Inf slot,
+	// last-write-wins; nil entries mean "no exemplar yet".
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // Observe records one observation.
@@ -120,6 +137,32 @@ func (h *Histogram) Observe(x float64) {
 		h.inf.Add(1)
 	}
 	h.sum.add(x)
+}
+
+// ObserveExemplar records one observation and, when traceID is
+// non-empty, remembers it as the exemplar for the bucket the value
+// landed in (replacing any previous one — the freshest trace is the
+// useful one when chasing a live spike).
+func (h *Histogram) ObserveExemplar(x float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sum.add(x)
+	if traceID != "" && h.exemplars != nil {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: x})
+	}
+}
+
+// BucketExemplar returns the current exemplar for bucket i (index
+// len(bounds) is the +Inf bucket), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h.exemplars == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -272,6 +315,7 @@ func (f *family) get(values []string) any {
 	case kindHistogram:
 		h := &Histogram{bounds: f.buckets}
 		h.counts = make([]atomic.Uint64, len(f.buckets))
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(f.buckets)+1)
 		made = h
 	}
 	f.series[key] = made
@@ -369,6 +413,15 @@ func formatFloat(x float64) string {
 	return strconv.FormatFloat(x, 'g', -1, 64)
 }
 
+// exemplarSuffix renders the OpenMetrics-style exemplar annotation for
+// one bucket line, or "" when the bucket has none.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabel(e.TraceID) + `"} ` + formatFloat(e.Value)
+}
+
 // labelPairs renders {a="x",b="y"} for a series key; extra appends one
 // more pre-rendered pair (the histogram le label).
 func labelPairs(names []string, key, extra string) string {
@@ -420,10 +473,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				for i, bound := range s.bounds {
 					cum += s.counts[i].Load()
 					le := fmt.Sprintf("le=%q", formatFloat(bound))
-					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, key, le), cum)
+					fmt.Fprintf(&sb, "%s_bucket%s %d%s\n", f.name, labelPairs(f.labels, key, le), cum, exemplarSuffix(s.BucketExemplar(i)))
 				}
 				cum += s.inf.Load()
-				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, labelPairs(f.labels, key, `le="+Inf"`), cum)
+				fmt.Fprintf(&sb, "%s_bucket%s %d%s\n", f.name, labelPairs(f.labels, key, `le="+Inf"`), cum, exemplarSuffix(s.BucketExemplar(len(s.bounds))))
 				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, labelPairs(f.labels, key, ""), formatFloat(s.Sum()))
 				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, labelPairs(f.labels, key, ""), cum)
 			}

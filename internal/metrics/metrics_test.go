@@ -82,6 +82,46 @@ test_requests_total 4
 	}
 }
 
+// TestExemplarRendering pins the OpenMetrics-style exemplar annotation:
+// ObserveExemplar tags the bucket the value landed in (last write wins,
+// escaped trace ID), plain Observe never produces one, and a histogram
+// that never sees an exemplar renders byte-identically to before.
+func TestExemplarRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ex_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05) // no exemplar on plain Observe
+	h.ObserveExemplar(0.5, "aaaa0000")
+	h.ObserveExemplar(0.7, `tr"ace\id`) // replaces, and must be escaped
+	h.ObserveExemplar(50, "ffff1111")   // lands in +Inf
+	h.ObserveExemplar(2, "")            // empty trace ID: counted, no exemplar
+
+	want := `# HELP ex_seconds Latency.
+# TYPE ex_seconds histogram
+ex_seconds_bucket{le="0.1"} 1
+ex_seconds_bucket{le="1"} 3 # {trace_id="tr\"ace\\id"} 0.7
+ex_seconds_bucket{le="+Inf"} 5 # {trace_id="ffff1111"} 50
+ex_seconds_sum 53.25
+ex_seconds_count 5
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("exemplar rendering mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+
+	if e := h.BucketExemplar(0); e != nil {
+		t.Errorf("bucket 0 exemplar = %+v, want nil", e)
+	}
+	if e := h.BucketExemplar(1); e == nil || e.TraceID != `tr"ace\id` || e.Value != 0.7 {
+		t.Errorf("bucket 1 exemplar = %+v", e)
+	}
+	if e := h.BucketExemplar(99); e != nil {
+		t.Errorf("out-of-range exemplar = %+v, want nil", e)
+	}
+}
+
 func TestSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "").Add(2)
@@ -193,7 +233,11 @@ func TestConcurrentUse(t *testing.T) {
 				c.Inc()
 				l := labels[(w+i)%len(labels)]
 				cv.With(l).Inc()
-				h.With(l).Observe(float64(i % 5))
+				if i%2 == 0 {
+					h.With(l).Observe(float64(i % 5))
+				} else {
+					h.With(l).ObserveExemplar(float64(i%5), "trace")
+				}
 			}
 		}(w)
 	}

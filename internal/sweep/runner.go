@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"pipesim/internal/eventbus"
 	"pipesim/internal/stats"
 	"pipesim/internal/tracing"
 )
@@ -49,6 +50,25 @@ type Options struct {
 	// for chaos and soak testing only (killing selected points mid-sweep
 	// to exercise checkpoint recovery); production callers leave it nil.
 	InjectFault func(id string) error
+	// Events, when set, receives one "sweep.experiment" event per
+	// finished experiment (published from the collector goroutine, in
+	// completion order, alongside Progress). Publishing never blocks:
+	// the bus drops on slow consumers, so the sweep is unaffected by who
+	// is watching.
+	Events *eventbus.Bus
+	// EventJob stamps published events with an owning job ID (set by the
+	// durable-job layer; empty for ad-hoc sweeps).
+	EventJob string
+}
+
+// ExperimentEvent is the payload of a "sweep.experiment" bus event.
+type ExperimentEvent struct {
+	ID       string  `json:"id"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	OK       bool    `json:"ok"`
+	Error    string  `json:"error,omitempty"`
+	ElapsedS float64 `json:"elapsed_s"`
 }
 
 // TimeoutError reports an experiment that exceeded the per-run deadline.
@@ -189,6 +209,20 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 		idx := <-done
 		if opt.Progress != nil {
 			opt.Progress(sum.Outcomes[idx], n, len(exps))
+		}
+		if opt.Events != nil {
+			o := sum.Outcomes[idx]
+			ev := ExperimentEvent{
+				ID:       o.Experiment.ID,
+				Done:     n,
+				Total:    len(exps),
+				OK:       o.Err == nil,
+				ElapsedS: o.Elapsed.Seconds(),
+			}
+			if o.Err != nil {
+				ev.Error = o.Err.Error()
+			}
+			opt.Events.Publish(eventbus.Event{Kind: "sweep.experiment", Job: opt.EventJob, Data: ev})
 		}
 	}
 	sum.Elapsed = time.Since(start)

@@ -272,6 +272,39 @@ func BenchmarkFlightRecorderOverhead(b *testing.B) {
 	b.Run("deep-4096", func(b *testing.B) { run(b, 4096) })
 }
 
+// BenchmarkMissClassOverhead prices the cache-introspection layer. "off"
+// is the default configuration — one nil check at each engine accounting
+// site — and rides BenchmarkSingleRun's CI gate, which holds it within 2%
+// of the pre-introspection baseline. "on" feeds every reference through
+// the two shadow models (infinite seen-set plus equal-size FA-LRU); that
+// cost is only paid when Config.CacheStats is requested. "on-64B" is the
+// worst case for the shadows: the thrashing small cache misses constantly,
+// so the classification switch and hot-PC map run at peak rate.
+func BenchmarkMissClassOverhead(b *testing.B) {
+	uncached(b)
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cacheBytes int, on bool) {
+		cfg := pipesim.DefaultConfig()
+		cfg.CacheBytes = cacheBytes
+		cfg.CacheStats = on
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			res, err := pipesim.Run(cfg, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.Cycles
+		}
+		b.ReportMetric(float64(cycles), "sim_cycles")
+	}
+	b.Run("off", func(b *testing.B) { run(b, 128, false) })
+	b.Run("on", func(b *testing.B) { run(b, 128, true) })
+	b.Run("on-64B", func(b *testing.B) { run(b, 64, true) })
+}
+
 // BenchmarkRunHookOverhead guards the per-run metrics hook the same way
 // BenchmarkProbeOverhead guards the probe layer: a full benchmark run with
 // no hook installed (one atomic load per Run) against the same run firing

@@ -1,0 +1,204 @@
+// Tests for the cache-introspection surface: the 3C classification
+// invariants (classes sum exactly to the miss count), the golden
+// attribution identity with introspection enabled, per-loop miss-class
+// folding, and the bit-identical-cycles guarantee that makes the
+// introspector safe to leave compiled into the hot path.
+package pipesim_test
+
+import (
+	"testing"
+
+	"pipesim"
+)
+
+// smallCacheConfig is the paper's interesting regime for miss
+// classification: a 64-byte cache under 6-cycle memory, where the
+// direct-mapped array thrashes and compulsory misses are noise.
+func smallCacheConfig(strategy pipesim.Strategy) pipesim.Config {
+	cfg := pipesim.DefaultConfig()
+	cfg.Strategy = strategy
+	cfg.CacheBytes = 64
+	cfg.MemAccessTime = 6
+	cfg.BusWidthBytes = 8
+	cfg.CacheStats = true
+	return cfg
+}
+
+func runBenchmark(t *testing.T, cfg pipesim.Config) *pipesim.Result {
+	t.Helper()
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCacheStatsGolden runs the 64-byte benchmark with introspection on
+// and checks every cross-layer identity at once: attribution buckets sum
+// to cycles, miss classes sum to the engine's miss count, the per-set
+// heatmap sums to the same totals, and the hot-PC table is resolved to
+// Livermore loop labels.
+func TestCacheStatsGolden(t *testing.T) {
+	for _, strategy := range []pipesim.Strategy{pipesim.StrategyPIPE, pipesim.StrategyConventional} {
+		t.Run(string(strategy), func(t *testing.T) {
+			res := runBenchmark(t, smallCacheConfig(strategy))
+			cs := res.CacheStats
+			if cs == nil {
+				t.Fatal("Config.CacheStats set but Result.CacheStats is nil")
+			}
+
+			// The golden identity: introspection must not perturb the
+			// attribution invariant.
+			if got := res.Attribution.Total(); got != res.Cycles {
+				t.Errorf("attribution buckets sum to %d, want Cycles = %d", got, res.Cycles)
+			}
+			// Classes sum exactly to the engine's miss statistic, by
+			// construction (the shadows ride the engine's accounting sites).
+			if got := cs.Misses(); got != res.CacheMisses {
+				t.Errorf("class sum = %d (compulsory %d + capacity %d + conflict %d), want CacheMisses = %d",
+					got, cs.Compulsory, cs.Capacity, cs.Conflict, res.CacheMisses)
+			}
+			// At 64 bytes the benchmark's working set dwarfs the cache:
+			// compulsory misses must be a rounding error next to
+			// capacity+conflict (the acceptance shape for the paper's knee).
+			if cs.Compulsory >= cs.Capacity+cs.Conflict {
+				t.Errorf("compulsory %d >= capacity %d + conflict %d: 64 B cache should thrash",
+					cs.Compulsory, cs.Capacity, cs.Conflict)
+			}
+
+			// Per-set heatmap sums to the same totals.
+			var setMisses, setEvictions, setDead uint64
+			for _, s := range cs.Sets {
+				setMisses += s.Misses
+				setEvictions += s.Evictions
+				setDead += s.DeadEvictions
+				if s.Misses > s.Accesses {
+					t.Errorf("set has more misses (%d) than accesses (%d)", s.Misses, s.Accesses)
+				}
+			}
+			if setMisses != res.CacheMisses {
+				t.Errorf("per-set misses sum to %d, want %d", setMisses, res.CacheMisses)
+			}
+			if setEvictions != cs.Evictions || setDead != cs.DeadEvictions {
+				t.Errorf("per-set evictions %d/%d, want %d/%d", setEvictions, setDead, cs.Evictions, cs.DeadEvictions)
+			}
+			if cs.DeadEvictions > cs.Evictions {
+				t.Errorf("dead evictions %d exceed evictions %d", cs.DeadEvictions, cs.Evictions)
+			}
+			if want := 64 / 16; len(cs.Sets) != want {
+				t.Errorf("heatmap has %d sets, want %d", len(cs.Sets), want)
+			}
+
+			// Hot PCs: present, sorted, within the default top-N, and
+			// resolved to Livermore loop labels.
+			if len(cs.HotPCs) == 0 {
+				t.Fatal("no hot PCs on a thrashing cache")
+			}
+			if len(cs.HotPCs) > 10 {
+				t.Errorf("hot-PC table has %d entries, want the default top 10", len(cs.HotPCs))
+			}
+			labelled := 0
+			for i, h := range cs.HotPCs {
+				if i > 0 && h.Misses > cs.HotPCs[i-1].Misses {
+					t.Errorf("hot PCs not sorted: %+v above %+v", cs.HotPCs[i-1], h)
+				}
+				if h.Loop != 0 {
+					labelled++
+					if h.Label == "" {
+						t.Errorf("hot PC %#x in loop %d has no label", h.PC, h.Loop)
+					}
+				}
+			}
+			if labelled == 0 {
+				t.Error("no hot PC resolved to a Livermore loop")
+			}
+		})
+	}
+}
+
+// TestCacheStatsPerLoop checks the per-loop miss-class fold: every loop's
+// class split sums to its miss count, and the loop totals sum to the
+// run's classes.
+func TestCacheStatsPerLoop(t *testing.T) {
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := pipesim.NewSimulation(smallCacheConfig(pipesim.StrategyPIPE), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CollectPerLoop(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comp, capa, conf uint64
+	for _, l := range res.PerLoop {
+		if got := l.MissCompulsory + l.MissCapacity + l.MissConflict; got != l.CacheMisses {
+			t.Errorf("loop %d: classes sum to %d, want CacheMisses = %d", l.Loop, got, l.CacheMisses)
+		}
+		comp += l.MissCompulsory
+		capa += l.MissCapacity
+		conf += l.MissConflict
+	}
+	cs := res.CacheStats
+	if comp != cs.Compulsory || capa != cs.Capacity || conf != cs.Conflict {
+		t.Errorf("per-loop class totals %d/%d/%d, want %d/%d/%d",
+			comp, capa, conf, cs.Compulsory, cs.Capacity, cs.Conflict)
+	}
+}
+
+// TestCacheStatsDeterminism: the introspector is purely observational, so
+// every architectural number must be bit-identical with it on or off.
+func TestCacheStatsDeterminism(t *testing.T) {
+	for _, strategy := range []pipesim.Strategy{pipesim.StrategyPIPE, pipesim.StrategyConventional} {
+		t.Run(string(strategy), func(t *testing.T) {
+			on := smallCacheConfig(strategy)
+			off := on
+			off.CacheStats = false
+
+			resOn := runBenchmark(t, on)
+			resOff := runBenchmark(t, off)
+			if resOff.CacheStats != nil {
+				t.Error("Result.CacheStats set without Config.CacheStats")
+			}
+			if resOn.Cycles != resOff.Cycles {
+				t.Errorf("cycles differ: %d with introspection, %d without", resOn.Cycles, resOff.Cycles)
+			}
+			if resOn.Instructions != resOff.Instructions {
+				t.Errorf("instructions differ: %d vs %d", resOn.Instructions, resOff.Instructions)
+			}
+			if resOn.Attribution != resOff.Attribution {
+				t.Errorf("attribution differs:\n on: %+v\noff: %+v", resOn.Attribution, resOff.Attribution)
+			}
+			if resOn.CacheMisses != resOff.CacheMisses || resOn.CacheHits != resOff.CacheHits {
+				t.Errorf("cache counters differ: %d/%d vs %d/%d",
+					resOn.CacheHits, resOn.CacheMisses, resOff.CacheHits, resOff.CacheMisses)
+			}
+		})
+	}
+}
+
+// TestCacheStatsTIB: the TIB front end has no cache array to introspect;
+// enabling CacheStats is accepted and yields no report rather than a
+// misleading one.
+func TestCacheStatsTIB(t *testing.T) {
+	cfg := pipesim.DefaultConfig()
+	cfg.Strategy = pipesim.StrategyTIB
+	cfg.CacheStats = true
+	res := runBenchmark(t, cfg)
+	if res.CacheStats != nil {
+		t.Errorf("TIB run produced CacheStats: %+v", res.CacheStats)
+	}
+}

@@ -52,6 +52,8 @@ func main() {
 		timeline  = flag.String("timeline", "", "write a Chrome-trace timeline of the run to this file")
 		frDump    = flag.String("flightrec-dump", "", "write the flight recorder's recent-event tail to this file as Chrome-trace JSON (written on failure too)")
 		frDepth   = flag.Int("flightrec-depth", 0, "flight recorder depth in events (0 = default 256, negative disables)")
+		cstats    = flag.Bool("cachestats", false, "classify every cache miss (compulsory/capacity/conflict) and print the per-set heatmap and hot miss PCs")
+		ctop      = flag.Int("cache-top", 0, "hot miss-PC table size with -cachestats (0 = default 10, negative keeps every PC)")
 		showVer   = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
@@ -77,6 +79,8 @@ func main() {
 	cfg.PipelinedMemory = *pipelined
 	cfg.InstrPriority = !*dataPrio
 	cfg.FlightRecorderDepth = *frDepth
+	cfg.CacheStats = *cstats
+	cfg.CacheTopPCs = *ctop
 
 	var (
 		prog *pipesim.Program
@@ -168,6 +172,9 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if res.CacheStats != nil {
+		printCacheStats(res)
+	}
 	if *verbose {
 		fmt.Printf("branches      %d (%d taken, %d flushes)\n", res.Branches, res.TakenBranches, res.BranchFlushes)
 		fmt.Printf("loads/stores  %d / %d\n", res.Loads, res.Stores)
@@ -187,6 +194,62 @@ func main() {
 		}
 		fmt.Printf("(words delivered %d)\n", res.WordsDelivered)
 	}
+}
+
+// printCacheStats renders the introspection report: the 3C class breakdown,
+// eviction counts, the per-set heatmap and the hot miss-PC table.
+func printCacheStats(res *pipesim.Result) {
+	cs := res.CacheStats
+	total := cs.Misses()
+	pct := func(n uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	fmt.Printf("\nmiss classes  compulsory=%d (%.1f%%) capacity=%d (%.1f%%) conflict=%d (%.1f%%)\n",
+		cs.Compulsory, pct(cs.Compulsory), cs.Capacity, pct(cs.Capacity), cs.Conflict, pct(cs.Conflict))
+	deadPct := 0.0
+	if cs.Evictions > 0 {
+		deadPct = 100 * float64(cs.DeadEvictions) / float64(cs.Evictions)
+	}
+	fmt.Printf("evictions     %d (%d dead on eviction, %.1f%%)\n", cs.Evictions, cs.DeadEvictions, deadPct)
+	var maxMiss uint64
+	for _, s := range cs.Sets {
+		if s.Misses > maxMiss {
+			maxMiss = s.Misses
+		}
+	}
+	fmt.Printf("\n%-4s %10s %8s %10s %6s  %s\n", "set", "accesses", "misses", "evictions", "dead", "miss heat")
+	for i, s := range cs.Sets {
+		bar := ""
+		if maxMiss > 0 {
+			bar = barOf(int(20 * s.Misses / maxMiss))
+		}
+		fmt.Printf("%-4d %10d %8d %10d %6d  %s\n", i, s.Accesses, s.Misses, s.Evictions, s.DeadEvictions, bar)
+	}
+	if len(cs.HotPCs) > 0 {
+		fmt.Printf("\n%-10s %8s  %s\n", "miss pc", "misses", "loop")
+		for _, h := range cs.HotPCs {
+			loc := "-"
+			if h.Loop != 0 {
+				loc = fmt.Sprintf("loop %d (%s)", h.Loop, h.Label)
+			}
+			fmt.Printf("%#-10x %8d  %s\n", h.PC, h.Misses, loc)
+		}
+	}
+	fmt.Println()
+}
+
+func barOf(n int) string {
+	if n < 1 {
+		n = 1
+	}
+	b := make([]rune, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
 }
 
 // dumpFlight writes a flight-recorder snapshot as Chrome-trace JSON.

@@ -26,7 +26,38 @@ import (
 
 	"pipesim/internal/eventbus"
 	"pipesim/internal/jobs"
+	"pipesim/internal/sweep"
 )
+
+// registeredEventKinds is every kind the daemon publishes on the bus. A
+// ?kind= filter entry must name one of these exactly or be a dotted prefix
+// of one ("job" matches job.start; "job.s" matches nothing): anything else
+// is a typo that would silently stream zero events forever, so handleEvents
+// rejects it up front.
+var registeredEventKinds = []string{
+	jobs.KindJobQueued,
+	jobs.KindJobStart,
+	jobs.KindJobRecovering,
+	jobs.KindJobBackoff,
+	jobs.KindJobEnd,
+	jobs.KindPointOK,
+	jobs.KindPointResumed,
+	jobs.KindPointRetry,
+	jobs.KindPointFailed,
+	jobs.KindCkptAppend,
+	sweep.KindExperiment,
+}
+
+// validEventKind reports whether k exactly names a registered kind or is a
+// dotted prefix of one.
+func validEventKind(k string) bool {
+	for _, rk := range registeredEventKinds {
+		if rk == k || strings.HasPrefix(rk, k+".") {
+			return true
+		}
+	}
+	return false
+}
 
 // defaultSSEHeartbeat is the idle-stream comment interval when -sse-heartbeat
 // is not set: frequent enough to defeat common proxy idle timeouts.
@@ -98,6 +129,12 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("kind"); raw != "" {
 		for _, k := range strings.Split(raw, ",") {
 			if k = strings.TrimSpace(k); k != "" {
+				if !validEventKind(k) {
+					s.fail(w, r, errKindBadRequest, fmt.Errorf(
+						"unknown event kind %q (registered kinds: %s)",
+						k, strings.Join(registeredEventKinds, ", ")))
+					return
+				}
 				opt.Kinds = append(opt.Kinds, k)
 			}
 		}

@@ -150,6 +150,45 @@ func metricValue(t *testing.T, body, name string) float64 {
 	return 0
 }
 
+// TestEventsKindFilterValidation: a ?kind= entry that matches no registered
+// kind (neither exactly nor as a dotted prefix) is a 400 up front, not a
+// stream that silently never delivers anything.
+func TestEventsKindFilterValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	for _, bad := range []string{"bogus", "job.s", "jobs", "point.ok.extra", "job,typo"} {
+		resp, err := http.Get(ts.URL + "/v1/events?kind=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("kind=%q: status %d, want 400", bad, resp.StatusCode)
+			continue
+		}
+		var apiErr struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(body, &apiErr); err != nil {
+			t.Fatalf("kind=%q: non-JSON error body %q", bad, body)
+		}
+		if apiErr.Kind != errKindBadRequest || !strings.Contains(apiErr.Error, "unknown event kind") {
+			t.Errorf("kind=%q: error = %+v", bad, apiErr)
+		}
+		if !strings.Contains(apiErr.Error, jobs.KindJobStart) {
+			t.Errorf("kind=%q: error does not list the registered kinds: %s", bad, apiErr.Error)
+		}
+	}
+
+	// Exact kinds, dotted prefixes and comma-separated mixes all subscribe.
+	for _, good := range []string{"job", "point", "job.start", "point.ok", "ckpt.append", "sweep.experiment", "job.end,point"} {
+		s := openSSE(t, ts.URL+"/v1/events?kind="+good, "")
+		s.close()
+	}
+}
+
 // TestSSEHeartbeat: an idle firehose stream receives keepalive comments at
 // the configured interval.
 func TestSSEHeartbeat(t *testing.T) {

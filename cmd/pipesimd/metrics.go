@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 
@@ -38,6 +39,13 @@ type daemonMetrics struct {
 	// Probe-derived attribution totals: every simulated cycle the daemon
 	// executed, classified by the exact per-cycle attribution buckets.
 	attribution *metrics.CounterVec // pipesimd_attribution_cycles_total{bucket}
+
+	// Cache-introspection totals (runs and sweep points that enabled
+	// Config.CacheStats): miss counts by 3C class, plus the per-set
+	// miss/dead-eviction heatmap of the most recent introspected run.
+	cacheMiss    *metrics.CounterVec // pipesimd_cache_miss_total{class}
+	cacheSetMiss *metrics.GaugeVec   // pipesimd_cache_set_misses{set}
+	cacheSetDead *metrics.GaugeVec   // pipesimd_cache_set_dead_evictions{set}
 
 	// Sweep experiments through /v1/sweep.
 	sweepExperiments *metrics.CounterVec // pipesimd_sweep_experiments_total{outcome}
@@ -120,6 +128,13 @@ func newDaemonMetrics() *daemonMetrics {
 		attribution: reg.CounterVec("pipesimd_attribution_cycles_total",
 			"Simulated cycles executed by this daemon, classified by the exact "+
 				"per-cycle attribution bucket.", "bucket"),
+		cacheMiss: reg.CounterVec("pipesimd_cache_miss_total",
+			"Instruction-cache misses of introspected runs (Config.CacheStats), "+
+				"by 3C class: compulsory, capacity, conflict.", "class"),
+		cacheSetMiss: reg.GaugeVec("pipesimd_cache_set_misses",
+			"Per-set miss counts of the most recent introspected run.", "set"),
+		cacheSetDead: reg.GaugeVec("pipesimd_cache_set_dead_evictions",
+			"Per-set dead-on-eviction counts of the most recent introspected run.", "set"),
 		sweepExperiments: reg.CounterVec("pipesimd_sweep_experiments_total",
 			"Sweep experiments executed through /v1/sweep, by outcome.", "outcome"),
 		jobsSubmitted: reg.CounterVec("pipesimd_jobs_submitted_total",
@@ -172,7 +187,33 @@ func (m *daemonMetrics) observeRun(ri pipesim.RunInfo) {
 	if ri.Result != nil {
 		m.runCycles.With(strategy).Observe(float64(ri.Result.Cycles))
 		m.addAttribution(ri.Result.Attribution)
+		if cs := ri.Result.CacheStats; cs != nil {
+			m.addCacheStats(cs)
+		}
 	}
+}
+
+// addCacheStats folds one introspected run's miss classes into the class
+// counters and snapshots its per-set heatmap into the gauges (the gauges
+// describe the most recent introspected run; sets beyond this run's count
+// keep stale values, so dashboards should filter on the run's set range).
+func (m *daemonMetrics) addCacheStats(cs *pipesim.CacheStats) {
+	m.cacheMiss.With("compulsory").Add(float64(cs.Compulsory))
+	m.cacheMiss.With("capacity").Add(float64(cs.Capacity))
+	m.cacheMiss.With("conflict").Add(float64(cs.Conflict))
+	for i, s := range cs.Sets {
+		set := strconv.Itoa(i)
+		m.cacheSetMiss.With(set).Set(float64(s.Misses))
+		m.cacheSetDead.With(set).Set(float64(s.DeadEvictions))
+	}
+}
+
+// addSweepCache folds a sweep outcome's aggregated miss classes in (sweep
+// points bypass the run hook, like addSweepAttribution).
+func (m *daemonMetrics) addSweepCache(t sweep.CacheTotals) {
+	m.cacheMiss.With("compulsory").Add(float64(t.Compulsory))
+	m.cacheMiss.With("capacity").Add(float64(t.Capacity))
+	m.cacheMiss.With("conflict").Add(float64(t.Conflict))
 }
 
 // observeSpan is the tracing OnSpanEnd hook: one stage-latency observation

@@ -601,6 +601,9 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if t, ok := o.BucketTotals(); ok {
 			s.metrics.addSweepAttribution(t)
 		}
+		if t, ok := o.CacheTotals(); ok {
+			s.metrics.addSweepCache(t)
+		}
 	}
 
 	w.Header().Set("Content-Type", "application/json")

@@ -165,6 +165,57 @@ func TestRunEndpoint(t *testing.T) {
 	}
 }
 
+// TestRunEndpointCacheStats: the same 3C breakdown the CLI prints comes
+// back through POST /v1/run (cache_stats in the result) and lands in the
+// pipesimd_cache_miss_total class counters, with the per-class counts
+// summing exactly to the run's miss total.
+func TestRunEndpointCacheStats(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Without the knob: no block, no class counters.
+	resp, body := post(t, ts.URL+"/v1/run", `{"asm": `+quote(smallLoop)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain run = %d\n%s", resp.StatusCode, body)
+	}
+	var rr runResponse
+	if err := json.Unmarshal([]byte(body), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Result.CacheStats != nil {
+		t.Error("plain run returned cache_stats")
+	}
+
+	resp, body = post(t, ts.URL+"/v1/run",
+		`{"asm": `+quote(smallLoop)+`, "config": {"CacheStats": true, "CacheBytes": 64}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("introspected run = %d\n%s", resp.StatusCode, body)
+	}
+	rr = runResponse{}
+	if err := json.Unmarshal([]byte(body), &rr); err != nil {
+		t.Fatal(err)
+	}
+	cs := rr.Result.CacheStats
+	if cs == nil {
+		t.Fatalf("introspected run missing cache_stats:\n%s", body)
+	}
+	if got := cs.Misses(); got != rr.Result.CacheMisses {
+		t.Errorf("classes sum to %d, want CacheMisses = %d", got, rr.Result.CacheMisses)
+	}
+	if len(cs.Sets) != 64/16 {
+		t.Errorf("heatmap has %d sets, want 4", len(cs.Sets))
+	}
+
+	// The run hook folded the same counts into /metrics.
+	snap := s.metrics.reg.Snapshot()
+	var fromMetrics float64
+	for _, class := range []string{"compulsory", "capacity", "conflict"} {
+		fromMetrics += snap[`pipesimd_cache_miss_total{class="`+class+`"}`]
+	}
+	if uint64(fromMetrics) != cs.Misses() {
+		t.Errorf("metrics classes sum to %v, want %d", fromMetrics, cs.Misses())
+	}
+}
+
 func TestRunEndpointErrors(t *testing.T) {
 	s, ts := newTestServer(t)
 
@@ -240,9 +291,14 @@ func TestSweepEndpoint(t *testing.T) {
 		t.Fatalf("sweep = %d\n%s", resp.StatusCode, body)
 	}
 	var sum struct {
-		Schema   string `json:"schema"`
-		Total    int    `json:"total"`
-		Passed   int    `json:"passed"`
+		Schema string `json:"schema"`
+		Total  int    `json:"total"`
+		Passed int    `json:"passed"`
+		Cache  *struct {
+			Compulsory uint64 `json:"compulsory"`
+			Capacity   uint64 `json:"capacity"`
+			Conflict   uint64 `json:"conflict"`
+		} `json:"cache"`
 		Outcomes []struct {
 			ID string `json:"id"`
 			OK bool   `json:"ok"`
@@ -254,12 +310,28 @@ func TestSweepEndpoint(t *testing.T) {
 	if sum.Total != 1 || sum.Passed != 1 || sum.Outcomes[0].ID != "slots" {
 		t.Errorf("sweep summary = %+v", sum)
 	}
+	// slots runs with cache introspection: the summary carries the
+	// aggregated 3C breakdown and the daemon folds it into /metrics.
+	if sum.Cache == nil {
+		t.Fatalf("sweep summary missing cache totals:\n%s", body)
+	}
+	wantMisses := sum.Cache.Compulsory + sum.Cache.Capacity + sum.Cache.Conflict
+	if wantMisses == 0 {
+		t.Error("sweep cache totals are all zero")
+	}
 	snap := s.metrics.reg.Snapshot()
 	if got := snap[`pipesimd_sweep_experiments_total{outcome="ok"}`]; got != 1 {
 		t.Errorf("sweep_experiments_total = %v, want 1", got)
 	}
 	if got := snap[`pipesimd_attribution_cycles_total{bucket="issue"}`]; got <= 0 {
 		t.Errorf("sweep attribution issue cycles = %v, want > 0", got)
+	}
+	var fromMetrics float64
+	for _, class := range []string{"compulsory", "capacity", "conflict"} {
+		fromMetrics += snap[`pipesimd_cache_miss_total{class="`+class+`"}`]
+	}
+	if uint64(fromMetrics) != wantMisses {
+		t.Errorf("metrics classes sum to %v, want the summary's %d", fromMetrics, wantMisses)
 	}
 
 	if resp, body := get(t, ts.URL+"/v1/sweep?exp=nonsense"); resp.StatusCode != http.StatusBadRequest {

@@ -141,6 +141,7 @@ type top struct {
 	queueDepth  float64
 	subscribers float64
 	dropped     float64
+	missClass   map[string]float64 // pipesimd_cache_miss_total by class label
 	haveMetrics bool
 }
 
@@ -339,6 +340,12 @@ func (t *top) throughputLocked() float64 {
 		i++
 	}
 	t.pointTimes = t.pointTimes[i:]
+	// No samples in the window short-circuits to exactly 0 — and the guard
+	// keeps this from ever dividing by a degenerate window if the constant
+	// becomes a flag.
+	if len(t.pointTimes) == 0 || throughputWindow <= 0 {
+		return 0
+	}
 	return float64(len(t.pointTimes)) / throughputWindow.Seconds()
 }
 
@@ -361,6 +368,30 @@ func (t *top) scrapeMetrics() {
 	t.queueDepth = vals["pipesimd_jobs_queue_depth"]
 	t.subscribers = vals["pipesimd_eventbus_subscribers"]
 	t.dropped = vals["pipesimd_eventbus_dropped_total"]
+	t.missClass = parseLabelled(string(body), "pipesimd_cache_miss_total", "class")
+}
+
+// parseLabelled extracts one single-label family from Prometheus text:
+// family{label="v"} 12 becomes map["v"]12. Everything else (other
+// families, other label sets) is ignored.
+func parseLabelled(text, family, label string) map[string]float64 {
+	out := make(map[string]float64)
+	prefix := family + "{" + label + `="`
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		val, rest, ok := strings.Cut(line[len(prefix):], `"`)
+		if !ok || !strings.HasPrefix(rest, "}") {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(rest[1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[val] = f
+	}
+	return out
 }
 
 // parseMetrics extracts un-labelled families from Prometheus text.
@@ -415,8 +446,16 @@ func (t *top) render(w io.Writer, plain bool) {
 	}
 	fmt.Fprintln(w)
 
+	// Miss-class panel: the daemon exports these only after a run or sweep
+	// with Config.CacheStats enabled, so an empty map just hides the row.
+	if len(t.missClass) > 0 {
+		fmt.Fprintf(w, "  %s  compulsory %d   capacity %d   conflict %d\n",
+			style(ansiBold, "cache misses"),
+			int(t.missClass["compulsory"]), int(t.missClass["capacity"]), int(t.missClass["conflict"]))
+	}
+
 	if len(t.jobs) == 0 {
-		fmt.Fprintln(w, style(ansiDim, "  no jobs"))
+		fmt.Fprintln(w, style(ansiDim, "  no jobs yet — submit a sweep with POST /v1/jobs"))
 		return
 	}
 	rows := make([]*jobRow, 0, len(t.jobs))

@@ -24,6 +24,9 @@ pipesimd_jobs_queue_depth 3
 pipesimd_eventbus_subscribers 2
 pipesimd_eventbus_dropped_total 7
 pipesimd_http_requests_total{route="/metrics",code="200"} 9
+pipesimd_cache_miss_total{class="compulsory"} 202
+pipesimd_cache_miss_total{class="capacity"} 28798
+pipesimd_cache_miss_total{class="conflict"} 11
 `
 
 // fakeDaemon serves canned /v1/jobs and /metrics plus a scripted SSE
@@ -60,6 +63,7 @@ func TestOnceSnapshot(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"queue 3", "streams 2", "drops 7",
+		"compulsory 202", "capacity 28798", "conflict 11",
 		"j-aaa", "running", "1/4", "resumed 1",
 		"j-bbb", "done", "2/2",
 	} {
@@ -199,6 +203,63 @@ func TestProgressBar(t *testing.T) {
 		if got := progressBar(tc.done, tc.total, 20); got != tc.want {
 			t.Errorf("progressBar(%d,%d) = %s, want %s", tc.done, tc.total, got, tc.want)
 		}
+	}
+}
+
+// TestOnceNoJobs: a daemon with nothing submitted still renders a usable
+// snapshot — the header plus an explicit empty state, not a blank screen.
+func TestOnceNoJobs(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"jobs":[]}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pipesimd_jobs_queue_depth 0\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	var buf bytes.Buffer
+	if code := run([]string{"-once", "-no-color", "-addr", ts.URL}, &buf); code != 0 {
+		t.Fatalf("run -once exited %d\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"no jobs yet", "0.0 points/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty snapshot missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("empty snapshot leaked a NaN:\n%s", out)
+	}
+}
+
+// TestThroughputNoSamples: the rolling window must return exactly 0 with
+// no completions recorded — never NaN or a panic from an empty slice.
+func TestThroughputNoSamples(t *testing.T) {
+	tp := newTop("http://x", time.Now)
+	tp.mu.Lock()
+	got := tp.throughputLocked()
+	tp.mu.Unlock()
+	if got != 0 {
+		t.Errorf("throughput with no samples = %v, want exactly 0", got)
+	}
+}
+
+func TestParseLabelled(t *testing.T) {
+	got := parseLabelled(fakeMetrics, "pipesimd_cache_miss_total", "class")
+	want := map[string]float64{"compulsory": 202, "capacity": 28798, "conflict": 11}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("class %q = %v, want %v", k, got[k], v)
+		}
+	}
+	if other := parseLabelled(fakeMetrics, "pipesimd_http_requests_total", "class"); len(other) != 0 {
+		t.Errorf("mismatched label parsed %v, want empty", other)
 	}
 }
 

@@ -29,6 +29,10 @@ type Cache struct {
 	// Hits and Misses count Lookup results since the last Reset.
 	Hits   uint64
 	Misses uint64
+
+	// intr, when attached, observes evictions (tag replacements) for the
+	// introspection heatmaps. Fill paths pay one nil check when detached.
+	intr *Introspector
 }
 
 // New constructs a cache. Size, line and sub-block must be powers of two
@@ -72,6 +76,17 @@ func (c *Cache) SubBlockBytes() int { return c.subBlockBytes }
 
 // LineAddr returns the line-aligned address containing addr.
 func (c *Cache) LineAddr(addr uint32) uint32 { return addr &^ uint32(c.lineBytes-1) }
+
+// SetIntrospector attaches the introspection observer to the array's fill
+// paths (nil detaches). The observer sees every tag replacement; it never
+// influences the array's contents or counters.
+func (c *Cache) SetIntrospector(in *Introspector) { c.intr = in }
+
+// residentLine reconstructs the line address resident in frame i from its
+// stored tag.
+func (c *Cache) residentLine(i int) uint32 {
+	return (c.tags[i]*uint32(c.nLines) + uint32(i)) * uint32(c.lineBytes)
+}
 
 func (c *Cache) index(addr uint32) int {
 	return int(addr/uint32(c.lineBytes)) % c.nLines
@@ -135,6 +150,9 @@ func (c *Cache) FillSub(addr uint32) {
 	i := c.index(addr)
 	t := c.tag(addr)
 	if !c.tagValid[i] || c.tags[i] != t {
+		if c.intr != nil {
+			c.intr.TrackFill(i, c.tagValid[i], c.residentLine(i))
+		}
 		c.tagValid[i] = true
 		c.tags[i] = t
 		for s := 0; s < c.subsPerLine; s++ {
@@ -147,8 +165,12 @@ func (c *Cache) FillSub(addr uint32) {
 // FillLine makes the whole line containing addr valid.
 func (c *Cache) FillLine(addr uint32) {
 	i := c.index(addr)
+	t := c.tag(addr)
+	if c.intr != nil && (!c.tagValid[i] || c.tags[i] != t) {
+		c.intr.TrackFill(i, c.tagValid[i], c.residentLine(i))
+	}
 	c.tagValid[i] = true
-	c.tags[i] = c.tag(addr)
+	c.tags[i] = t
 	for s := 0; s < c.subsPerLine; s++ {
 		c.valid[i*c.subsPerLine+s] = true
 	}

@@ -99,7 +99,24 @@ type Config struct {
 	// recording. Purely observational — it never changes simulation
 	// results, so runcache deliberately excludes it from its keys.
 	FlightRecDepth int
+
+	// CacheIntrospect enables the cache-introspection layer: 3C miss
+	// classification via shadow models, per-set heatmaps with
+	// dead-on-eviction tracking, and the hot miss-PC table, reported in
+	// stats.Sim.Cache. Off by default. Introspection never changes cycle
+	// counts, but it does add content to the result, so runcache includes
+	// it (unlike FlightRecDepth). Ignored by the TIB front end, which has
+	// no shared cache array.
+	CacheIntrospect bool
+
+	// CacheTopPCs bounds the hot miss-PC table when introspection is on.
+	// Zero selects DefaultCacheTopPCs; negative keeps every PC.
+	CacheTopPCs int
 }
+
+// DefaultCacheTopPCs is the hot miss-PC table size used when
+// CacheIntrospect is set and CacheTopPCs is zero.
+const DefaultCacheTopPCs = 10
 
 // DefaultConfig returns the configuration used as the paper's baseline
 // presentation point: the PIPE 16-16 arrangement, instruction priority,
@@ -151,6 +168,7 @@ type Simulator struct {
 	loopSeen bool            // a retirement has initialized curLoop
 
 	flight *obs.FlightRecorder // always-on post-mortem ring, nil when disabled
+	intr   *cache.Introspector // cache introspection, nil when disabled
 }
 
 // New builds a simulator for the image.
@@ -208,6 +226,30 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if cfg.CacheIntrospect && cfg.Fetch != FetchTIB {
+		topN := cfg.CacheTopPCs
+		if topN == 0 {
+			topN = DefaultCacheTopPCs
+		}
+		s.intr = cache.NewIntrospector(cfg.CacheBytes, cfg.LineBytes, topN)
+		// Evictions surface as KindCacheEvict probe/flight events. The
+		// closure reads the recorder and probe fields at call time, so it
+		// is safe to build before either is attached.
+		s.intr.OnEvict = func(set int, lineAddr uint32, dead bool) {
+			var val uint64
+			if dead {
+				val = 1
+			}
+			if s.flight != nil {
+				s.flight.Record(obs.KindCacheEvict, lineAddr, uint32(set), val)
+			}
+			if s.probe != nil {
+				s.probe.Event(obs.Event{Kind: obs.KindCacheEvict, Addr: lineAddr, Arg: uint32(set), Value: val})
+			}
+		}
+		arr.SetIntrospector(s.intr)
+		s.eng.SetIntrospector(s.intr)
 	}
 	s.cpu, err = cpu.New(cfg.CPU, s.eng, s.sys, &s.st.CPU)
 	if err != nil {
@@ -385,6 +427,9 @@ func (s *Simulator) Run() (st *stats.Sim, err error) {
 		}
 	}
 	s.st.Fetch = *s.eng.Stats()
+	if s.intr != nil {
+		s.st.Cache = s.intr.Stats()
+	}
 	return &s.st, nil
 }
 

@@ -69,6 +69,7 @@ type Conv struct {
 
 	probe  obs.Probe
 	flight *obs.FlightRecorder
+	intr   *cache.Introspector
 }
 
 // SetProbe attaches an observability probe. Call before the first Tick.
@@ -77,13 +78,24 @@ func (c *Conv) SetProbe(p obs.Probe) { c.probe = p }
 // SetFlightRecorder attaches the post-mortem flight recorder (nil detaches).
 func (c *Conv) SetFlightRecorder(r *obs.FlightRecorder) { c.flight = r }
 
+// SetIntrospector attaches the cache-introspection shadow models (nil
+// detaches). The engine feeds it every demand reference at its own hit/miss
+// accounting sites, so the shadows' per-class counts sum to CacheMisses.
+func (c *Conv) SetIntrospector(in *cache.Introspector) { c.intr = in }
+
 // emit sends an event to the flight recorder and, when attached, the probe.
 func (c *Conv) emit(kind obs.Kind, addr uint32) {
+	c.emitArg(kind, addr, 0)
+}
+
+// emitArg is emit with a kind-specific Arg payload (the 3C miss class on
+// classified KindCacheMiss events).
+func (c *Conv) emitArg(kind obs.Kind, addr, arg uint32) {
 	if c.flight != nil {
-		c.flight.Record(kind, addr, 0, 0)
+		c.flight.Record(kind, addr, arg, 0)
 	}
 	if c.probe != nil {
-		c.probe.Event(obs.Event{Kind: kind, Addr: addr})
+		c.probe.Event(obs.Event{Kind: kind, Addr: addr, Arg: arg})
 	}
 }
 
@@ -174,6 +186,9 @@ func (c *Conv) Consume() {
 	}
 	c.st.SupplyCycles++
 	c.st.CacheHits++
+	if c.intr != nil {
+		c.intr.Reference(pc, true)
+	}
 	c.emit(obs.KindCacheHit, pc)
 	if c.capValid && c.capAddr == pc {
 		c.capValid = false
@@ -266,7 +281,11 @@ func (c *Conv) demand(pc uint32) {
 	}
 	c.st.CacheMisses++
 	c.st.LineFetches++
-	c.emit(obs.KindCacheMiss, pc)
+	class := stats.MissUnclassified
+	if c.intr != nil {
+		class = c.intr.Reference(pc, false)
+	}
+	c.emitArg(obs.KindCacheMiss, pc, uint32(class))
 	c.issue(chunk, true)
 }
 

@@ -112,6 +112,10 @@ type Pipe struct {
 	// flight is the always-on post-mortem ring (concrete type, see
 	// Engine.SetFlightRecorder).
 	flight *obs.FlightRecorder
+
+	// intr, when set, is the cache-introspection shadow model fed at the
+	// engine's hit/miss accounting sites (see Engine.SetIntrospector).
+	intr *cache.Introspector
 }
 
 // SetProbe attaches an observability probe. Call before the first Tick.
@@ -123,13 +127,24 @@ func (p *Pipe) SetProbe(pr obs.Probe) {
 // SetFlightRecorder attaches the post-mortem flight recorder (nil detaches).
 func (p *Pipe) SetFlightRecorder(r *obs.FlightRecorder) { p.flight = r }
 
+// SetIntrospector attaches the cache-introspection shadow models (nil
+// detaches). References ride the same accounting sites as the CacheHits /
+// CacheMisses counters, so the shadows' per-class totals sum to CacheMisses.
+func (p *Pipe) SetIntrospector(in *cache.Introspector) { p.intr = in }
+
 // emit sends an event to the flight recorder and, when attached, the probe.
 func (p *Pipe) emit(kind obs.Kind, addr uint32) {
+	p.emitArg(kind, addr, 0)
+}
+
+// emitArg is emit with a kind-specific Arg payload (the 3C miss class on
+// classified KindCacheMiss events).
+func (p *Pipe) emitArg(kind obs.Kind, addr, arg uint32) {
 	if p.flight != nil {
-		p.flight.Record(kind, addr, 0, 0)
+		p.flight.Record(kind, addr, arg, 0)
 	}
 	if p.probe != nil {
-		p.probe.Event(obs.Event{Kind: kind, Addr: addr})
+		p.probe.Event(obs.Event{Kind: kind, Addr: addr, Arg: arg})
 	}
 }
 
@@ -460,6 +475,9 @@ func (p *Pipe) fillIQBFromCache() {
 	}
 	if p.cache.LookupLine(p.fetchAddr) {
 		p.st.CacheHits++
+		if p.intr != nil {
+			p.intr.Reference(p.fetchAddr, true)
+		}
 		p.emit(obs.KindCacheHit, p.fetchAddr)
 		stop, hasStop := p.stopAt()
 		lineEnd := lineAddr + uint32(p.cfg.LineBytes)
@@ -498,7 +516,11 @@ func (p *Pipe) requestLine(lineAddr uint32) {
 		}
 	}
 	p.st.CacheMisses++
-	p.emit(obs.KindCacheMiss, p.fetchAddr)
+	class := stats.MissUnclassified
+	if p.intr != nil {
+		class = p.intr.Reference(p.fetchAddr, false)
+	}
+	p.emitArg(obs.KindCacheMiss, p.fetchAddr, uint32(class))
 	kind := stats.ReqIPrefetch
 	if demand {
 		kind = stats.ReqIFetch
@@ -587,6 +609,9 @@ func (p *Pipe) fillNative() {
 	start := p.fetchAddr
 	if p.drainNative() {
 		p.st.CacheHits++
+		if p.intr != nil {
+			p.intr.Reference(start, true)
+		}
 		p.emit(obs.KindCacheHit, start)
 		return
 	}

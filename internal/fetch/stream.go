@@ -18,6 +18,7 @@ package fetch
 import (
 	"fmt"
 
+	"pipesim/internal/cache"
 	"pipesim/internal/isa"
 	"pipesim/internal/obs"
 	"pipesim/internal/stats"
@@ -58,6 +59,13 @@ type Engine interface {
 	// events; queue-occupancy samples are deliberately excluded (too
 	// frequent to be worth their ring slots).
 	SetFlightRecorder(r *obs.FlightRecorder)
+	// SetIntrospector attaches the cache-introspection shadow models (a
+	// concrete type, like the flight recorder: the classification call
+	// rides the engine's own hit/miss accounting sites, so the per-class
+	// counts sum exactly to the Stats CacheMisses counter). Call before the
+	// first Tick; nil detaches. Engines without a cache array (TIB) ignore
+	// the call.
+	SetIntrospector(in *cache.Introspector)
 	// DebugState renders the engine's occupancy and cursor state in one
 	// line, for deadlock and machine-check diagnostics.
 	DebugState() string

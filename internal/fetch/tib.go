@@ -3,6 +3,7 @@ package fetch
 import (
 	"fmt"
 
+	"pipesim/internal/cache"
 	"pipesim/internal/isa"
 	"pipesim/internal/mem"
 	"pipesim/internal/obs"
@@ -88,6 +89,10 @@ func (t *TIB) SetProbe(p obs.Probe) {
 
 // SetFlightRecorder attaches the post-mortem flight recorder (nil detaches).
 func (t *TIB) SetFlightRecorder(r *obs.FlightRecorder) { t.flight = r }
+
+// SetIntrospector is a no-op: the TIB front end has no shared cache array,
+// so the 3C shadow models do not apply to it.
+func (t *TIB) SetIntrospector(*cache.Introspector) {}
 
 // emit sends an event to the flight recorder and, when attached, the probe.
 func (t *TIB) emit(kind obs.Kind, addr uint32) {

@@ -121,6 +121,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d] retire pc=%#05x", e.Cycle, e.Addr)
 	case KindLoopEnter, KindLoopExit:
 		return fmt.Sprintf("[%d] %s loop=%d", e.Cycle, e.Kind, e.Arg)
+	case KindCacheEvict:
+		return fmt.Sprintf("[%d] cache-evict line=%#05x set=%d dead=%v", e.Cycle, e.Addr, e.Arg, e.Value != 0)
 	default:
 		return fmt.Sprintf("[%d] %s addr=%#05x", e.Cycle, e.Kind, e.Addr)
 	}
@@ -152,6 +154,8 @@ func RecordOf(e Event) EventRecord {
 		r.Addr, r.Req = fmt.Sprintf("%#05x", e.Addr), stats.ReqKind(e.Arg).String()
 	case KindLoopEnter, KindLoopExit:
 		r.Loop = e.Arg
+	case KindCacheEvict:
+		r.Addr, r.Value = fmt.Sprintf("%#05x", e.Addr), e.Value
 	case KindCycle:
 		r.Value = uint64(e.Arg)
 	default:

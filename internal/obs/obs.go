@@ -34,7 +34,10 @@ const (
 	// the requested address.
 	KindCacheHit
 	// KindCacheMiss: a lookup went (or wanted to go) off chip. Addr is the
-	// requested address.
+	// requested address. When cache introspection is enabled Arg carries
+	// the stats.MissClass (compulsory/capacity/conflict); it is
+	// MissUnclassified (zero) otherwise, matching the pre-introspection
+	// event layout.
 	KindCacheMiss
 	// KindFetchIssue / KindFetchComplete bracket a demand instruction
 	// fetch. Addr is the line (or chunk) address on both events, so a
@@ -73,6 +76,11 @@ const (
 	// the loop number being left. Always paired before the next
 	// KindLoopEnter.
 	KindLoopExit
+	// KindCacheEvict: the cache array displaced a resident line for a new
+	// tag. Addr is the evicted line address, Arg the set (frame) index,
+	// Value 1 when the line was dead (never referenced after its fill).
+	// Emitted only when cache introspection is enabled.
+	KindCacheEvict
 	numKinds
 )
 
@@ -80,6 +88,7 @@ var kindNames = [...]string{
 	"cycle", "cache-hit", "cache-miss", "fetch-issue", "fetch-complete",
 	"prefetch-issue", "prefetch-complete", "prefetch-blocked", "branch-flush",
 	"queue-depth", "bus-busy", "mem-accept", "retire", "loop-enter", "loop-exit",
+	"cache-evict",
 }
 
 // String names the event kind.

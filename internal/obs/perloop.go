@@ -15,6 +15,13 @@ type LoopStat struct {
 	BranchFlush  uint64 // taken-branch flushes
 	OffChipWords uint64 // 32-bit words the input bus delivered during the loop
 
+	// MissCompulsory/MissCapacity/MissConflict split CacheMisses by the 3C
+	// classification carried on KindCacheMiss events. All zero when the run
+	// did not enable cache introspection; otherwise they sum to CacheMisses.
+	MissCompulsory uint64
+	MissCapacity   uint64
+	MissConflict   uint64
+
 	// Buckets is the loop's share of the run's cycle attribution, indexed
 	// by stats.CycleBucket. Buckets sum to Cycles.
 	Buckets [stats.NumCycleBuckets]uint64
@@ -88,6 +95,14 @@ func (p *PerLoop) Event(e Event) {
 		s.CacheHits++
 	case KindCacheMiss:
 		s.CacheMisses++
+		switch stats.MissClass(e.Arg) {
+		case stats.MissCompulsory:
+			s.MissCompulsory++
+		case stats.MissCapacity:
+			s.MissCapacity++
+		case stats.MissConflict:
+			s.MissConflict++
+		}
 	case KindBranchFlush:
 		s.BranchFlush++
 	case KindBusBusy:

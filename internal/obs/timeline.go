@@ -77,6 +77,14 @@ type Timeline struct {
 	// Input-bus counter state: cycle of the last busy sample, so idle
 	// gaps get an explicit zero sample and the counter renders as steps.
 	busLast uint64
+
+	// Cache-introspection counter state: cumulative miss counts per 3C
+	// class and cumulative evictions, sampled on each classified event so
+	// the tracks render as monotone steps. Populated only when the run
+	// enabled introspection (unclassified misses emit no counter row).
+	missClasses [stats.NumMissClasses]uint64
+	evictions   uint64
+	deadEvicts  uint64
 }
 
 // NewTimeline returns an empty timeline with the process/thread metadata
@@ -146,9 +154,33 @@ func (t *Timeline) Event(e Event) {
 	case KindLoopExit:
 		t.closeLoop(e.Cycle)
 	case KindCacheHit, KindCacheMiss:
+		if e.Kind == KindCacheMiss && e.Arg != 0 && int(e.Arg) < len(t.missClasses) {
+			t.missClasses[e.Arg]++
+			t.counter("miss-classes", e.Cycle, map[string]any{
+				"compulsory": t.missClasses[stats.MissCompulsory],
+				"capacity":   t.missClasses[stats.MissCapacity],
+				"conflict":   t.missClasses[stats.MissConflict],
+			})
+		}
 		if t.replay {
 			t.mark(tidIFetch, e.Kind.String(), e.Cycle,
 				map[string]any{"addr": fmt.Sprintf("%#05x", e.Addr)})
+		}
+	case KindCacheEvict:
+		t.evictions++
+		if e.Value != 0 {
+			t.deadEvicts++
+		}
+		t.counter("evictions", e.Cycle, map[string]any{
+			"total": t.evictions,
+			"dead":  t.deadEvicts,
+		})
+		if t.replay {
+			t.mark(tidIFetch, "cache-evict", e.Cycle, map[string]any{
+				"line": fmt.Sprintf("%#05x", e.Addr),
+				"set":  e.Arg,
+				"dead": e.Value != 0,
+			})
 		}
 	case KindMemAccept:
 		if t.replay {

@@ -44,6 +44,14 @@ func KeyFor(cfg core.Config, imageFP [sha256.Size]byte) Key {
 	if cfg.WatchdogCycles == 0 {
 		cfg.WatchdogCycles = core.DefaultWatchdogCycles
 	}
+	// Introspection never changes cycle counts, but it adds the Cache block
+	// to the result, so it is part of the key (unlike FlightRecDepth). The
+	// top-PC bound only matters when introspection is on.
+	if !cfg.CacheIntrospect {
+		cfg.CacheTopPCs = 0
+	} else if cfg.CacheTopPCs == 0 {
+		cfg.CacheTopPCs = core.DefaultCacheTopPCs
+	}
 	h := sha256.New()
 	var b [8]byte
 	u64 := func(v uint64) {
@@ -60,7 +68,7 @@ func KeyFor(cfg core.Config, imageFP [sha256.Size]byte) Key {
 	}
 	// Version tag: bump when the hashed field set changes, so stale keys
 	// from an older layout can never alias a new one.
-	h.Write([]byte("pipesim-runcache/v1"))
+	h.Write([]byte("pipesim-runcache/v2"))
 	num(int(cfg.Fetch))
 	num(cfg.CacheBytes)
 	num(cfg.LineBytes)
@@ -86,6 +94,8 @@ func KeyFor(cfg core.Config, imageFP [sha256.Size]byte) Key {
 	u64(uint64(cfg.InterruptVector))
 	u64(cfg.MaxCycles)
 	u64(cfg.WatchdogCycles)
+	flag(cfg.CacheIntrospect)
+	num(cfg.CacheTopPCs)
 	h.Write(imageFP[:])
 	var k Key
 	h.Sum(k[:0])

@@ -81,6 +81,41 @@ func TestKeySeparatesMachines(t *testing.T) {
 	}
 }
 
+// TestKeySeparatesIntrospection: cache introspection changes the result's
+// content (Result.CacheStats), so unlike observation-only knobs it must
+// reach the key — but its tuning parameter canonicalizes, and it is wiped
+// entirely when introspection is off.
+func TestKeySeparatesIntrospection(t *testing.T) {
+	img := testImage(t)
+	fp := img.Fingerprint()
+	base := core.DefaultConfig()
+
+	on := base
+	on.CacheIntrospect = true
+	if KeyFor(base, fp) == KeyFor(on, fp) {
+		t.Error("CacheIntrospect does not reach the key: a cached plain result would satisfy an introspected request")
+	}
+
+	// The default top-N and an explicit default hash identically.
+	explicit := on
+	explicit.CacheTopPCs = core.DefaultCacheTopPCs
+	if KeyFor(on, fp) != KeyFor(explicit, fp) {
+		t.Error("zero CacheTopPCs should hash like the explicit default")
+	}
+	wider := on
+	wider.CacheTopPCs = 50
+	if KeyFor(on, fp) == KeyFor(wider, fp) {
+		t.Error("CacheTopPCs does not reach the key of an introspected run")
+	}
+
+	// With introspection off the top-N is inert and must not fragment keys.
+	stray := base
+	stray.CacheTopPCs = 50
+	if KeyFor(base, fp) != KeyFor(stray, fp) {
+		t.Error("CacheTopPCs fragments keys of uninstrumented runs")
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	c := New(2)
 	k := func(b byte) Key { var k Key; k[0] = b; return k }

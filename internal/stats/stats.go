@@ -99,6 +99,66 @@ type CPU struct {
 	CycleBuckets [NumCycleBuckets]uint64
 }
 
+// MissClass classifies one instruction-cache miss per the standard 3C
+// model (Hill): compulsory misses would occur even in an infinite cache,
+// capacity misses would occur even in a fully-associative LRU cache of the
+// same size, and the remainder are conflicts of the direct-mapped mapping.
+// MissUnclassified marks events recorded while introspection was off (and
+// is the zero Arg of every pre-introspection KindCacheMiss event).
+type MissClass uint8
+
+// Miss classes, in reporting order.
+const (
+	MissUnclassified MissClass = iota
+	MissCompulsory
+	MissCapacity
+	MissConflict
+	NumMissClasses
+)
+
+var missClassNames = [...]string{"unclassified", "compulsory", "capacity", "conflict"}
+
+// String returns the class's lower-case name.
+func (m MissClass) String() string {
+	if int(m) < len(missClassNames) {
+		return missClassNames[m]
+	}
+	return fmt.Sprintf("class(%d)", int(m))
+}
+
+// CacheSetStats is the introspection heatmap entry for one cache set
+// (frame) of the direct-mapped array.
+type CacheSetStats struct {
+	Accesses      uint64 `json:"accesses"`       // demand references that indexed this set
+	Misses        uint64 `json:"misses"`         // references that went off chip
+	Evictions     uint64 `json:"evictions"`      // resident lines displaced by a different tag
+	DeadEvictions uint64 `json:"dead_evictions"` // evicted lines never referenced after their fill
+}
+
+// CacheHotPC is one entry of the hot miss-PC table: a fetch address ranked
+// by how many cache misses it caused.
+type CacheHotPC struct {
+	PC     uint32 `json:"pc"`
+	Misses uint64 `json:"misses"`
+}
+
+// CacheStats is the cache-introspection block: the 3C classification of
+// every miss, the per-set heatmap, eviction/dead-line totals and the hot
+// miss PCs. Collected only when core.Config.CacheIntrospect is on; the
+// per-class counts sum exactly to the fetch engine's CacheMisses counter.
+type CacheStats struct {
+	Compulsory    uint64          `json:"compulsory"`
+	Capacity      uint64          `json:"capacity"`
+	Conflict      uint64          `json:"conflict"`
+	Evictions     uint64          `json:"evictions"`
+	DeadEvictions uint64          `json:"dead_evictions"`
+	Sets          []CacheSetStats `json:"sets"`
+	HotPCs        []CacheHotPC    `json:"hot_pcs,omitempty"`
+}
+
+// Misses sums the three miss classes.
+func (c *CacheStats) Misses() uint64 { return c.Compulsory + c.Capacity + c.Conflict }
+
 // Sim aggregates everything measured in one run.
 type Sim struct {
 	Cycles uint64 // total cycles to run the program to completion (the
@@ -106,6 +166,12 @@ type Sim struct {
 	Mem   Mem
 	Fetch Fetch
 	CPU   CPU
+
+	// Cache holds the cache-introspection block when the run collected it
+	// (core.Config.CacheIntrospect); nil otherwise. The snapshot is
+	// immutable after the run, so sharing the pointer across stats.Sim
+	// copies (the run cache stores values) is safe.
+	Cache *CacheStats
 }
 
 // CPI returns cycles per instruction, or 0 before any instruction retires.

@@ -61,7 +61,11 @@ type Options struct {
 	EventJob string
 }
 
-// ExperimentEvent is the payload of a "sweep.experiment" bus event.
+// KindExperiment is the event-bus kind of the per-experiment progress
+// events RunAll publishes (see Options.Events).
+const KindExperiment = "sweep.experiment"
+
+// ExperimentEvent is the payload of a KindExperiment bus event.
 type ExperimentEvent struct {
 	ID       string  `json:"id"`
 	Done     int     `json:"done"`
@@ -222,7 +226,7 @@ func RunAll(exps []Experiment, opt Options) *Summary {
 			if o.Err != nil {
 				ev.Error = o.Err.Error()
 			}
-			opt.Events.Publish(eventbus.Event{Kind: "sweep.experiment", Job: opt.EventJob, Data: ev})
+			opt.Events.Publish(eventbus.Event{Kind: KindExperiment, Job: opt.EventJob, Data: ev})
 		}
 	}
 	sum.Elapsed = time.Since(start)
@@ -301,6 +305,65 @@ func StatsTotals(st *stats.Sim) BucketTotals {
 	return t
 }
 
+// CacheTotals aggregates the cache-introspection miss classes and eviction
+// counts across simulated points, with the same stable lower_snake JSON
+// names as the per-run Result.CacheStats block. Per-set heatmaps are
+// per-machine data and are deliberately not aggregated here.
+type CacheTotals struct {
+	Compulsory    uint64 `json:"compulsory"`
+	Capacity      uint64 `json:"capacity"`
+	Conflict      uint64 `json:"conflict"`
+	Evictions     uint64 `json:"evictions"`
+	DeadEvictions uint64 `json:"dead_evictions"`
+}
+
+// Misses sums the three miss classes.
+func (t CacheTotals) Misses() uint64 { return t.Compulsory + t.Capacity + t.Conflict }
+
+// add accumulates one run's introspection block.
+func (t *CacheTotals) add(c *stats.CacheStats) {
+	t.Compulsory += c.Compulsory
+	t.Capacity += c.Capacity
+	t.Conflict += c.Conflict
+	t.Evictions += c.Evictions
+	t.DeadEvictions += c.DeadEvictions
+}
+
+// merge accumulates another totals value.
+func (t *CacheTotals) merge(o CacheTotals) {
+	t.Compulsory += o.Compulsory
+	t.Capacity += o.Capacity
+	t.Conflict += o.Conflict
+	t.Evictions += o.Evictions
+	t.DeadEvictions += o.DeadEvictions
+}
+
+// CacheTotals sums the miss-class breakdown of every simulated point of the
+// outcome that ran with cache introspection. The second result is false
+// when no point did (introspection off, a table-style experiment, or a
+// failed experiment).
+func (o *Outcome) CacheTotals() (CacheTotals, bool) {
+	if o.Result == nil {
+		return CacheTotals{}, false
+	}
+	return ResultCacheTotals(o.Result)
+}
+
+// ResultCacheTotals sums the miss classes of every introspected point of a
+// result; ok is false when no point carried an introspection block.
+func ResultCacheTotals(r *Result) (t CacheTotals, ok bool) {
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.Stats == nil || p.Stats.Cache == nil {
+				continue
+			}
+			t.add(p.Stats.Cache)
+			ok = true
+		}
+	}
+	return t, ok
+}
+
 // jsonPoint, jsonSeries and jsonOutcome shape the machine-readable sweep
 // metrics: stable lower_snake field names, durations in seconds, errors as
 // strings. The full per-point stats structures are deliberately omitted —
@@ -323,6 +386,7 @@ type jsonOutcome struct {
 	Error          string        `json:"error,omitempty"`
 	ElapsedSeconds float64       `json:"elapsed_seconds"`
 	Attribution    *BucketTotals `json:"attribution,omitempty"`
+	Cache          *CacheTotals  `json:"cache,omitempty"`
 	XLabel         string        `json:"x_label,omitempty"`
 	Series         []jsonSeries  `json:"series,omitempty"`
 }
@@ -333,6 +397,7 @@ type jsonSummary struct {
 	Passed         int           `json:"passed"`
 	ElapsedSeconds float64       `json:"elapsed_seconds"`
 	Attribution    *BucketTotals `json:"attribution,omitempty"`
+	Cache          *CacheTotals  `json:"cache,omitempty"`
 	Outcomes       []jsonOutcome `json:"outcomes"`
 }
 
@@ -356,6 +421,8 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 	}
 	var sweepTotals BucketTotals
 	anyTotals := false
+	var sweepCache CacheTotals
+	anyCache := false
 	for _, o := range s.Outcomes {
 		jo := jsonOutcome{
 			ID:             o.Experiment.ID,
@@ -372,6 +439,12 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 			sweepTotals.merge(t)
 			anyTotals = true
 		}
+		if t, ok := o.CacheTotals(); ok {
+			ct := t
+			jo.Cache = &ct
+			sweepCache.merge(t)
+			anyCache = true
+		}
 		if o.Result != nil {
 			jo.XLabel = o.Result.XLabel
 			for _, sr := range o.Result.Series {
@@ -386,6 +459,9 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 	}
 	if anyTotals {
 		out.Attribution = &sweepTotals
+	}
+	if anyCache {
+		out.Cache = &sweepCache
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

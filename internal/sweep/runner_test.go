@@ -301,3 +301,76 @@ func TestSummaryWriteJSONAttribution(t *testing.T) {
 		t.Error("BucketTotals ok on a stat-less outcome")
 	}
 }
+
+// TestSummaryWriteJSONCache pins the cache-introspection aggregation:
+// experiments whose points ran with Config.CacheStats get per-experiment
+// miss-class totals under "cache", the summary carries the sweep-wide sum,
+// and uninstrumented experiments omit the field.
+func TestSummaryWriteJSONCache(t *testing.T) {
+	withCache := func(id string, comp, capa, conf uint64) Experiment {
+		return fake(id, func() (*Result, error) {
+			st := &stats.Sim{}
+			st.Cache = &stats.CacheStats{
+				Compulsory: comp, Capacity: capa, Conflict: conf,
+				Evictions: comp + capa + conf, DeadEvictions: conf,
+			}
+			return &Result{ID: id, Series: []Series{{Label: "s", Points: []Point{
+				{CacheBytes: 64, Cycles: 1, Valid: true, Stats: st},
+			}}}}, nil
+		})
+	}
+	sum := RunAll([]Experiment{
+		withCache("a", 10, 200, 30),
+		withCache("b", 5, 100, 15),
+		passing("plain"),
+	}, Options{Workers: 1})
+
+	var buf strings.Builder
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Cache *struct {
+			Compulsory    uint64 `json:"compulsory"`
+			Capacity      uint64 `json:"capacity"`
+			Conflict      uint64 `json:"conflict"`
+			Evictions     uint64 `json:"evictions"`
+			DeadEvictions uint64 `json:"dead_evictions"`
+		} `json:"cache"`
+		Outcomes []struct {
+			ID    string          `json:"id"`
+			Cache json.RawMessage `json:"cache"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Cache == nil {
+		t.Fatal("summary cache totals missing")
+	}
+	if decoded.Cache.Compulsory != 15 || decoded.Cache.Capacity != 300 || decoded.Cache.Conflict != 45 {
+		t.Errorf("summary cache = %+v, want 15/300/45", decoded.Cache)
+	}
+	if decoded.Cache.Evictions != 360 || decoded.Cache.DeadEvictions != 45 {
+		t.Errorf("summary evictions = %d/%d, want 360/45", decoded.Cache.Evictions, decoded.Cache.DeadEvictions)
+	}
+	byID := map[string]json.RawMessage{}
+	for _, o := range decoded.Outcomes {
+		byID[o.ID] = o.Cache
+	}
+	if len(byID["a"]) == 0 || len(byID["b"]) == 0 {
+		t.Error("per-experiment cache totals missing on introspected outcomes")
+	}
+	if len(byID["plain"]) != 0 {
+		t.Errorf("uninstrumented outcome emitted cache totals: %s", byID["plain"])
+	}
+
+	// Pin the helper the daemon folds from directly.
+	ct, ok := sum.Outcomes[0].CacheTotals()
+	if !ok || ct.Misses() != 240 {
+		t.Errorf("CacheTotals = %+v ok=%v, want 240 misses", ct, ok)
+	}
+	if _, ok := sum.Outcomes[2].CacheTotals(); ok {
+		t.Error("CacheTotals ok on an uninstrumented outcome")
+	}
+}

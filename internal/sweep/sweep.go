@@ -141,6 +141,48 @@ func RunConv(ctx context.Context, cacheBytes int, mcfg mem.Config) (*stats.Sim, 
 	return runPoint(ctx, cfg, img)
 }
 
+// runPipeIntro is RunPipe with cache introspection enabled: the figure
+// experiments run their points introspected so sweep summaries can report
+// the 3C miss-class breakdown. Kept separate from RunPipe — introspection
+// keys differently in the run cache, and the benchmark baselines
+// (BenchmarkSingleRun) measure the uninstrumented path.
+func runPipeIntro(ctx context.Context, v PipeVariant, cacheBytes int, mcfg mem.Config, truePrefetch bool) (*stats.Sim, error) {
+	img, err := BenchmarkImage()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Fetch:           core.FetchPIPE,
+		CacheBytes:      cacheBytes,
+		LineBytes:       v.Line,
+		IQBytes:         v.IQ,
+		IQBBytes:        v.IQB,
+		TruePrefetch:    truePrefetch,
+		Mem:             mcfg,
+		CPU:             core.DefaultConfig().CPU,
+		CacheIntrospect: true,
+	}
+	return runPoint(ctx, cfg, img)
+}
+
+// runConvIntro is RunConv with cache introspection enabled (see
+// runPipeIntro).
+func runConvIntro(ctx context.Context, cacheBytes int, mcfg mem.Config) (*stats.Sim, error) {
+	img, err := BenchmarkImage()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Fetch:           core.FetchConventional,
+		CacheBytes:      cacheBytes,
+		LineBytes:       ConvLineBytes,
+		Mem:             mcfg,
+		CPU:             core.DefaultConfig().CPU,
+		CacheIntrospect: true,
+	}
+	return runPoint(ctx, cfg, img)
+}
+
 // RunTIB simulates a Target Instruction Buffer point on the benchmark.
 func RunTIB(ctx context.Context, entries, lineBytes int, mcfg mem.Config) (*stats.Sim, error) {
 	img, err := BenchmarkImage()
@@ -226,7 +268,7 @@ func figure(ctx context.Context, id, title string, accessTime, busWidth int, pip
 			conv.Points = append(conv.Points, Point{CacheBytes: size})
 			continue
 		}
-		st, err := RunConv(ctx, size, mcfg)
+		st, err := runConvIntro(ctx, size, mcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +282,7 @@ func figure(ctx context.Context, id, title string, accessTime, busWidth int, pip
 				s.Points = append(s.Points, Point{CacheBytes: size})
 				continue
 			}
-			st, err := RunPipe(ctx, v, size, mcfg, true)
+			st, err := runPipeIntro(ctx, v, size, mcfg, true)
 			if err != nil {
 				return nil, err
 			}
@@ -697,14 +739,15 @@ func runSlots(ctx context.Context) (*Result, error) {
 				return nil, err
 			}
 			cfg := core.Config{
-				Fetch:        core.FetchPIPE,
-				CacheBytes:   128,
-				LineBytes:    16,
-				IQBytes:      16,
-				IQBBytes:     16,
-				TruePrefetch: true,
-				Mem:          memConfig(T, 8, false),
-				CPU:          core.DefaultConfig().CPU,
+				Fetch:           core.FetchPIPE,
+				CacheBytes:      128,
+				LineBytes:       16,
+				IQBytes:         16,
+				IQBBytes:        16,
+				TruePrefetch:    true,
+				CacheIntrospect: true,
+				Mem:             memConfig(T, 8, false),
+				CPU:             core.DefaultConfig().CPU,
 			}
 			st, err := runPoint(ctx, cfg, img)
 			if err != nil {

@@ -164,6 +164,25 @@ type Config struct {
 	// always-on cost is ~3% of an unobserved run (see
 	// BenchmarkFlightRecorderOverhead).
 	FlightRecorderDepth int
+
+	// CacheStats enables the cache-introspection layer: every
+	// instruction-cache miss is classified as compulsory, capacity or
+	// conflict (the standard 3C method, via an infinite shadow cache and an
+	// equal-capacity fully-associative LRU shadow), per-set
+	// access/miss/eviction heatmaps with dead-on-eviction tracking are
+	// collected, and the hottest miss PCs are tabulated. The results land
+	// in Result.CacheStats; the per-class counts sum exactly to
+	// Result.CacheMisses. Introspection is purely observational — cycle
+	// counts are bit-identical with it on or off — and off by default (the
+	// off cost is one nil check per fetch reference, see
+	// BenchmarkMissClassOverhead). Ignored with StrategyTIB, which has no
+	// cache array.
+	CacheStats bool
+
+	// CacheTopPCs bounds the hot miss-PC table when CacheStats is on:
+	// zero selects the default (10), negative keeps every missing PC.
+	// Must be left zero when CacheStats is off.
+	CacheTopPCs int
 }
 
 // DefaultConfig returns the paper's baseline presentation point: the PIPE
@@ -253,6 +272,8 @@ func (c Config) toCore() (core.Config, error) {
 		MaxCycles:       c.MaxCycles,
 		WatchdogCycles:  c.WatchdogCycles,
 		FlightRecDepth:  c.FlightRecorderDepth,
+		CacheIntrospect: c.CacheStats,
+		CacheTopPCs:     c.CacheTopPCs,
 	}, nil
 }
 
@@ -396,6 +417,60 @@ type Result struct {
 	// every loop (prologue, trailing filler, drain), followed by loops 1-14.
 	// Nil otherwise.
 	PerLoop []LoopStat
+
+	// CacheStats holds the cache-introspection report — 3C miss
+	// classification, per-set heatmap, eviction counts and hot miss PCs —
+	// when Config.CacheStats was set. Nil otherwise.
+	CacheStats *CacheStats `json:"cache_stats,omitempty"`
+}
+
+// CacheStats is the cache-introspection report of one run (see
+// Config.CacheStats). Compulsory + Capacity + Conflict equals the run's
+// Result.CacheMisses exactly: the shadow models observe the fetch engine's
+// own hit/miss accounting sites.
+type CacheStats struct {
+	// Miss classes per the standard 3C model: Compulsory misses touch a
+	// line never referenced before (no cache avoids them); Conflict misses
+	// would have hit in a fully-associative cache of the same capacity
+	// (the direct-mapped placement is at fault); Capacity misses miss in
+	// both (the working set simply exceeds the cache).
+	Compulsory uint64 `json:"compulsory"`
+	Capacity   uint64 `json:"capacity"`
+	Conflict   uint64 `json:"conflict"`
+
+	// Evictions counts tag replacements in the array; DeadEvictions the
+	// subset that displaced a line never referenced after its fill (wasted
+	// fetch bandwidth).
+	Evictions     uint64 `json:"evictions"`
+	DeadEvictions uint64 `json:"dead_evictions"`
+
+	// Sets is the per-set (cache frame) heatmap, indexed by set number.
+	Sets []CacheSetStats `json:"sets"`
+
+	// HotPCs lists the instruction addresses missing most often, sorted by
+	// miss count descending, bounded by Config.CacheTopPCs. Loop and Label
+	// are filled when the program carries Livermore loop symbols.
+	HotPCs []CacheHotPC `json:"hot_pcs,omitempty"`
+}
+
+// Misses sums the three miss classes; by construction it equals
+// Result.CacheMisses.
+func (c *CacheStats) Misses() uint64 { return c.Compulsory + c.Capacity + c.Conflict }
+
+// CacheSetStats is one cache set's row of the introspection heatmap.
+type CacheSetStats struct {
+	Accesses      uint64 `json:"accesses"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	DeadEvictions uint64 `json:"dead_evictions"`
+}
+
+// CacheHotPC is one entry of the hot miss-PC table.
+type CacheHotPC struct {
+	PC     uint32 `json:"pc"`
+	Misses uint64 `json:"misses"`
+	Loop   int    `json:"loop,omitempty"`  // Livermore loop number, 0 when unresolved
+	Label  string `json:"label,omitempty"` // kernel name, empty when unresolved
 }
 
 // Attribution classifies every cycle of a run by what the issue stage did.
@@ -466,7 +541,36 @@ func resultFrom(st *stats.Sim) *Result {
 		StoreWords:      st.Mem.StoreWords,
 		FPUOps:          st.Mem.FPUOps,
 		Attribution:     attributionFrom(st.CPU.CycleBuckets),
+		CacheStats:      cacheStatsFrom(st.Cache),
 	}
+}
+
+// cacheStatsFrom converts the internal introspection block to the public
+// mirror (nil in, nil out: introspection off).
+func cacheStatsFrom(cs *stats.CacheStats) *CacheStats {
+	if cs == nil {
+		return nil
+	}
+	out := &CacheStats{
+		Compulsory:    cs.Compulsory,
+		Capacity:      cs.Capacity,
+		Conflict:      cs.Conflict,
+		Evictions:     cs.Evictions,
+		DeadEvictions: cs.DeadEvictions,
+		Sets:          make([]CacheSetStats, len(cs.Sets)),
+	}
+	for i, s := range cs.Sets {
+		out.Sets[i] = CacheSetStats{
+			Accesses:      s.Accesses,
+			Misses:        s.Misses,
+			Evictions:     s.Evictions,
+			DeadEvictions: s.DeadEvictions,
+		}
+	}
+	for _, h := range cs.HotPCs {
+		out.HotPCs = append(out.HotPCs, CacheHotPC{PC: h.PC, Misses: h.Misses})
+	}
+	return out
 }
 
 // Run executes the program under the configuration and returns the
@@ -515,6 +619,7 @@ const (
 	EventRetire           = obs.KindRetire
 	EventLoopEnter        = obs.KindLoopEnter
 	EventLoopExit         = obs.KindLoopExit
+	EventCacheEvict       = obs.KindCacheEvict
 )
 
 // Timeline is a Probe rendering the event stream as a Chrome-trace /
@@ -633,8 +738,32 @@ func (s *Simulation) Run() (*Result, error) {
 	if s.perloop != nil {
 		res.PerLoop = s.perloop.Stats()
 	}
+	s.resolveHotPCs(res)
 	fireRunHook(s.cfg, res, nil, time.Since(start))
 	return res, nil
+}
+
+// resolveHotPCs labels the hot miss-PC table with Livermore loop numbers
+// and kernel names. Programs without the benchmark's loop symbols keep the
+// raw addresses (the resolution error is deliberately ignored).
+func (s *Simulation) resolveHotPCs(res *Result) {
+	if res.CacheStats == nil || len(res.CacheStats.HotPCs) == 0 {
+		return
+	}
+	ranges, err := kernels.LoopRanges(s.inner.Image())
+	if err != nil {
+		return
+	}
+	for i := range res.CacheStats.HotPCs {
+		pc := res.CacheStats.HotPCs[i].PC
+		for _, r := range ranges {
+			if pc >= r.Start && pc < r.End {
+				res.CacheStats.HotPCs[i].Loop = r.Loop
+				res.CacheStats.HotPCs[i].Label = r.Name
+				break
+			}
+		}
+	}
 }
 
 // RecentEvents returns a snapshot of the flight recorder's retained events,

@@ -25,6 +25,8 @@ const (
 	MaxQueueDepth = 1 << 16
 	// MaxTIBEntries bounds TIBEntries.
 	MaxTIBEntries = 4096
+	// MaxCacheTopPCs bounds CacheTopPCs.
+	MaxCacheTopPCs = 1 << 16
 )
 
 // ErrInvalidConfig tags every error returned by Config.Validate, so callers
@@ -146,6 +148,14 @@ func (c Config) Validate() error {
 		}
 	} else if c.DCacheLineBytes != 0 {
 		bad("DCacheLineBytes", "set without DCacheBytes")
+	}
+
+	if c.CacheStats {
+		if c.CacheTopPCs > MaxCacheTopPCs {
+			bad("CacheTopPCs", "%d must be at most %d", c.CacheTopPCs, MaxCacheTopPCs)
+		}
+	} else if c.CacheTopPCs != 0 {
+		bad("CacheTopPCs", "set without CacheStats")
 	}
 
 	if c.InterruptAt != 0 {

@@ -192,6 +192,44 @@ func BenchmarkSingleRun(b *testing.B) {
 	b.ReportMetric(float64(cycles), "sim_cycles")
 }
 
+// BenchmarkSkipAhead is the skip-vs-step A/B ladder behind DESIGN §16's
+// speedup table: the benchmark machine (16-16, T=6, 8-byte bus) at the
+// paper's cache sizes around the knee, with the event-driven skip-ahead on
+// (the default) and off. The ratio between the step and skip variants at
+// each size is the fold win; the absolute skip numbers track
+// BenchmarkSingleRun.
+func BenchmarkSkipAhead(b *testing.B) {
+	uncached(b)
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 128, 256} {
+		for _, mode := range []struct {
+			name   string
+			noSkip bool
+		}{{"skip", false}, {"step", true}} {
+			b.Run(fmt.Sprintf("%dB/%s", size, mode.name), func(b *testing.B) {
+				cfg := pipesim.DefaultConfig()
+				cfg.CacheBytes = size
+				cfg.MemAccessTime = 6
+				cfg.BusWidthBytes = 8
+				cfg.FPULatency = 4
+				cfg.NoSkipAhead = mode.noSkip
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					res, err := pipesim.Run(cfg, prog)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Cycles
+				}
+				b.ReportMetric(float64(cycles), "sim_cycles")
+			})
+		}
+	}
+}
+
 // nullProbe receives the full event stream and discards it — the cheapest
 // possible attached probe, isolating the event-emission cost itself.
 type nullProbe struct{ n uint64 }

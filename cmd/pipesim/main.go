@@ -52,6 +52,7 @@ func main() {
 		timeline  = flag.String("timeline", "", "write a Chrome-trace timeline of the run to this file")
 		frDump    = flag.String("flightrec-dump", "", "write the flight recorder's recent-event tail to this file as Chrome-trace JSON (written on failure too)")
 		frDepth   = flag.Int("flightrec-depth", 0, "flight recorder depth in events (0 = default 256, negative disables)")
+		noSkip    = flag.Bool("no-skip-ahead", false, "step every cycle instead of event-driven skip-ahead (results are bit-identical; for A/B timing)")
 		cstats    = flag.Bool("cachestats", false, "classify every cache miss (compulsory/capacity/conflict) and print the per-set heatmap and hot miss PCs")
 		ctop      = flag.Int("cache-top", 0, "hot miss-PC table size with -cachestats (0 = default 10, negative keeps every PC)")
 		showVer   = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
@@ -79,6 +80,7 @@ func main() {
 	cfg.PipelinedMemory = *pipelined
 	cfg.InstrPriority = !*dataPrio
 	cfg.FlightRecorderDepth = *frDepth
+	cfg.NoSkipAhead = *noSkip
 	cfg.CacheStats = *cstats
 	cfg.CacheTopPCs = *ctop
 

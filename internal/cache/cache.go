@@ -26,6 +26,17 @@ type Cache struct {
 	tagValid    []bool
 	valid       []bool // nLines * subsPerLine
 
+	// Precomputed shift/mask forms of the geometry divisions. Every
+	// field is a power of two (enforced by New), and index/tag/sub sit
+	// on the per-word hot path of both fetch engines, where a hardware
+	// divide per probe is measurable.
+	lineShift uint32 // log2(lineBytes)
+	indexMask uint32 // nLines - 1
+	tagShift  uint32 // log2(lineBytes * nLines)
+	subShift  uint32 // log2(subBlockBytes)
+	lineMask  uint32 // lineBytes - 1
+	subsShift uint32 // log2(subsPerLine)
+
 	// Hits and Misses count Lookup results since the last Reset.
 	Hits   uint64
 	Misses uint64
@@ -62,7 +73,23 @@ func New(sizeBytes, lineBytes, subBlockBytes int) (*Cache, error) {
 	c.tags = make([]uint32, c.nLines)
 	c.tagValid = make([]bool, c.nLines)
 	c.valid = make([]bool, c.nLines*c.subsPerLine)
+	c.lineShift = log2u(uint32(lineBytes))
+	c.indexMask = uint32(c.nLines - 1)
+	c.tagShift = c.lineShift + log2u(uint32(c.nLines))
+	c.subShift = log2u(uint32(subBlockBytes))
+	c.lineMask = uint32(lineBytes - 1)
+	c.subsShift = log2u(uint32(c.subsPerLine))
 	return c, nil
+}
+
+// log2u returns log2 of a power of two.
+func log2u(v uint32) uint32 {
+	var n uint32
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // SizeBytes returns the cache capacity.
@@ -89,15 +116,15 @@ func (c *Cache) residentLine(i int) uint32 {
 }
 
 func (c *Cache) index(addr uint32) int {
-	return int(addr/uint32(c.lineBytes)) % c.nLines
+	return int((addr >> c.lineShift) & c.indexMask)
 }
 
 func (c *Cache) tag(addr uint32) uint32 {
-	return addr / uint32(c.lineBytes) / uint32(c.nLines)
+	return addr >> c.tagShift
 }
 
 func (c *Cache) sub(addr uint32) int {
-	return int(addr%uint32(c.lineBytes)) / c.subBlockBytes
+	return int((addr & c.lineMask) >> c.subShift)
 }
 
 // Present reports whether the sub-block containing addr is valid, without

@@ -112,6 +112,18 @@ type Config struct {
 	// CacheTopPCs bounds the hot miss-PC table when introspection is on.
 	// Zero selects DefaultCacheTopPCs; negative keeps every PC.
 	CacheTopPCs int
+
+	// NoSkipAhead disables the event-driven fast path: with it set, Run
+	// steps every cycle unconditionally instead of jumping over spans in
+	// which every unit is provably quiescent. Results are bit-identical
+	// either way — the skipped cycles are folded into the same attribution
+	// buckets and stall counters the stepped path would have incremented —
+	// so the knob exists only for differential testing and debugging, and
+	// runcache deliberately excludes it from its keys. Skip-ahead also
+	// turns itself off while a probe is attached, keeping the per-cycle
+	// event stream (KindCycle, queue depths) exact for timeline and
+	// per-loop collectors.
+	NoSkipAhead bool
 }
 
 // DefaultCacheTopPCs is the hot miss-PC table size used when
@@ -169,6 +181,8 @@ type Simulator struct {
 
 	flight *obs.FlightRecorder // always-on post-mortem ring, nil when disabled
 	intr   *cache.Introspector // cache introspection, nil when disabled
+
+	skipped uint64 // cycles elided by skip-ahead (diagnostics/tests only)
 }
 
 // New builds a simulator for the image.
@@ -273,16 +287,26 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 		s.sys.SetFlightRecorder(s.flight)
 		s.eng.SetFlightRecorder(s.flight)
 	}
-	// The diagnostic ring always observes retirements; a user tracer
-	// installed with SetRetireTracer rides along.
+	// The diagnostic ring and flight recorder always observe retirements.
+	// The CPU writes them directly — they are the common configuration,
+	// and an OnRetire closure per retirement is measurable — while a user
+	// tracer or probe installs the full hook lazily at Run.
+	s.cpu.SetRetireSinks(s.ring, s.flight)
+	return s, nil
+}
+
+// installRetireHook attaches the OnRetire closure serving the optional
+// observers (user tracer, probe with loop tracking). Called at the top of
+// Run, once both are finally known; left nil when neither is attached so
+// retirement stays on the direct-sink fast path.
+func (s *Simulator) installRetireHook() {
+	if s.userRec == nil && s.probe == nil {
+		s.cpu.OnRetire = nil
+		return
+	}
 	s.cpu.OnRetire = func(cycle uint64, pc uint32, in isa.Inst) {
-		e := trace.Event{Cycle: cycle, PC: pc, Inst: in}
-		s.ring.Record(e)
-		if s.flight != nil {
-			s.flight.Record(obs.KindRetire, pc, 0, 0)
-		}
 		if s.userRec != nil {
-			s.userRec.Record(e)
+			s.userRec.Record(trace.Event{Cycle: cycle, PC: pc, Inst: in})
 		}
 		if s.probe != nil {
 			if s.loops != nil {
@@ -291,7 +315,6 @@ func New(cfg Config, img *program.Image) (*Simulator, error) {
 			s.probe.Event(obs.Event{Kind: obs.KindRetire, Addr: pc})
 		}
 	}
-	return s, nil
 }
 
 // SetProbe attaches p to every instrumented component — memory system,
@@ -391,6 +414,7 @@ func (s *Simulator) Run() (st *stats.Sim, err error) {
 			st, err = nil, s.machineCheck(p, debug.Stack())
 		}
 	}()
+	s.installRetireHook()
 	watchdog := s.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = DefaultWatchdogCycles
@@ -399,6 +423,10 @@ func (s *Simulator) Run() (st *stats.Sim, err error) {
 		lastRetired  uint64 // retirement count at the last progress cycle
 		lastProgress uint64 // most recent cycle that retired an instruction
 	)
+	// Skip-ahead turns itself off while a probe is attached: collectors
+	// consuming the per-cycle event stream (KindCycle, queue depths) need
+	// every cycle replayed exactly, not folded.
+	skip := !s.cfg.NoSkipAhead && s.probe == nil
 	for cycle := uint64(1); ; cycle++ {
 		s.cycle = cycle
 		s.sys.BeginCycle(cycle)
@@ -425,6 +453,46 @@ func (s *Simulator) Run() (st *stats.Sim, err error) {
 			return nil, fmt.Errorf("core: no completion within %d cycles (instructions retired: %d)",
 				s.cfg.MaxCycles, s.st.CPU.Instructions)
 		}
+		if !skip {
+			continue
+		}
+		// Event-driven skip-ahead: when the CPU is in a foldable stall and
+		// the fetch engine is quiescent, the whole machine's state until
+		// the memory system's next event is a pure function of counter
+		// arithmetic. Jump the clock there directly, folding the skipped
+		// span into exactly the counters the stepped path would have
+		// incremented. The jump target is clamped to the interrupt cycle,
+		// the watchdog deadline and MaxCycles so those paths fire at
+		// identical cycle numbers with identical diagnostics.
+		if !s.cpu.MaybeStalled() {
+			continue // the ticked cycle was active: next one cannot fold
+		}
+		prof := s.cpu.StallProfile()
+		if prof == cpu.StallNone {
+			continue
+		}
+		if s.eng.NextEvent() == 0 {
+			continue
+		}
+		target := s.sys.NextEvent()
+		if s.cfg.InterruptAt > cycle && s.cfg.InterruptAt < target {
+			target = s.cfg.InterruptAt
+		}
+		if !s.cpu.Halted() {
+			if deadline := lastProgress + watchdog; deadline > cycle && deadline < target {
+				target = deadline
+			}
+		}
+		if s.cfg.MaxCycles < target {
+			target = s.cfg.MaxCycles
+		}
+		if target <= cycle+1 {
+			continue // the next cycle has an event anyway: nothing to elide
+		}
+		n := target - cycle - 1
+		s.cpu.FoldStall(prof, n)
+		s.skipped += n
+		cycle = target - 1
 	}
 	s.st.Fetch = *s.eng.Stats()
 	if s.intr != nil {
@@ -432,6 +500,13 @@ func (s *Simulator) Run() (st *stats.Sim, err error) {
 	}
 	return &s.st, nil
 }
+
+// SkippedCycles reports how many cycles the run elided via event-driven
+// skip-ahead: Result cycle counts include them (they are folded into the
+// attribution buckets), wall-clock work does not. Zero when skip-ahead was
+// disabled, a probe was attached, or no fold opportunity arose. Diagnostic
+// only — call after Run.
+func (s *Simulator) SkippedCycles() uint64 { return s.skipped }
 
 // SetRetireTracer installs a recorder observing every retired instruction.
 // Call before Run.

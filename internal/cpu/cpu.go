@@ -36,6 +36,7 @@ import (
 	"pipesim/internal/program"
 	"pipesim/internal/queue"
 	"pipesim/internal/stats"
+	"pipesim/internal/trace"
 )
 
 // Config sizes the architectural queues and the optional on-chip data
@@ -164,7 +165,8 @@ type CPU struct {
 	halted      bool // HALT has retired
 	execErr     error
 
-	cycle uint64 // local cycle counter (Tick calls)
+	cycle      uint64            // local cycle counter (Tick calls)
+	lastBucket stats.CycleBucket // attribution of the last ticked cycle
 
 	// Optional data cache: presence bits only; values come from the
 	// memory image, which is exact because loads dispatch only after
@@ -175,6 +177,14 @@ type CPU struct {
 	// OnRetire, when set, observes every retired instruction (used by the
 	// tracing facility). It must not mutate simulator state.
 	OnRetire func(cycle uint64, pc uint32, in isa.Inst)
+
+	// retireRing and flight receive every retirement directly when set.
+	// They cover the standard observability configuration (diagnostic
+	// trace ring + flight recorder) without paying for an OnRetire
+	// closure, which the core installs only when a user tracer or probe
+	// needs the full event.
+	retireRing *trace.Ring
+	flight     *obs.FlightRecorder
 
 	// probe, when set, receives typed observability events; the per-cycle
 	// attribution event (obs.KindCycle) is emitted exactly once per Tick.
@@ -268,6 +278,14 @@ func (c *CPU) SetProbe(p obs.Probe) {
 	}
 }
 
+// SetRetireSinks attaches the direct retirement observers: the diagnostic
+// trace ring and the flight recorder (either may be nil). They fire before
+// OnRetire for every retired instruction.
+func (c *CPU) SetRetireSinks(ring *trace.Ring, fr *obs.FlightRecorder) {
+	c.retireRing = ring
+	c.flight = fr
+}
+
 // Halted reports whether the HALT instruction has retired.
 func (c *CPU) Halted() bool { return c.halted }
 
@@ -347,12 +365,160 @@ func (c *CPU) Tick() {
 	}
 }
 
+// StallProfile classifies what the next Tick would do, for the core's
+// skip-ahead machinery. StallNone means Tick can change machine state and
+// must run; every other value names a foldable stall: a Tick that would
+// only bump the cycle counter and a fixed set of per-cycle counters,
+// leaving all other state untouched. While the fetch engine and memory
+// system are also quiescent, the core may replace n such Ticks with one
+// FoldStall(profile, n) call and produce bit-identical results.
+type StallProfile uint8
+
+// Foldable stall profiles. Each names the per-cycle counter set a folded
+// Tick of that kind would have incremented.
+const (
+	StallNone      StallProfile = iota // active: Tick must run
+	StallDrain                         // post-HALT drain (CycleDrain)
+	StallStarved                       // supply empty (CycleFetchStarved + starvation counters)
+	StallQueueFull                     // full LAQ/SAQ/SDQ (CycleQueueFull + StallQueueFull)
+	StallLDQWait                       // empty LDQ (CycleLDQWait + StallLDQEmpty)
+)
+
+// StallProfile classifies the CPU's current state read-only, mirroring the
+// decision structure of Tick exactly. Conservative: anything it cannot
+// prove to be a pure counter fold is StallNone.
+func (c *CPU) StallProfile() StallProfile {
+	if c.halted || c.execErr != nil {
+		if c.dispatchQuiescent() {
+			return StallDrain
+		}
+		return StallNone
+	}
+	if c.ex2.valid || c.ex1.valid {
+		return StallNone // retire/execute would act
+	}
+	var p StallProfile
+	if c.is.valid {
+		// Mirror issue()'s stall checks; the EX1 pending adjustments are
+		// zero because ex1 is invalid here.
+		in := c.is.in
+		switch {
+		case in.Op == isa.OpLD && c.laq.Len() >= c.laq.Cap(),
+			in.Op == isa.OpST && c.saq.Len() >= c.saq.Cap(),
+			in.WritesSDQ() && c.sdq.Len() >= c.sdq.Cap():
+			p = StallQueueFull
+		default:
+			need := 0
+			readsA, readsB := c.operandReads(in)
+			if readsA && in.Ra == isa.QueueReg {
+				need++
+			}
+			if readsB && in.Rb == isa.QueueReg {
+				need++
+			}
+			if c.ldq.Len() >= need {
+				return StallNone // would issue
+			}
+			p = StallLDQWait
+		}
+	} else {
+		// Front-end bubble: decodeAndFetch would run. Anything that moves
+		// a latch, begins interrupt entry, or consumes an instruction is
+		// active; only true starvation (engine has nothing) folds.
+		if c.id.valid || c.irqDraining || c.fetchHalted {
+			return StallNone
+		}
+		if c.irqPending && c.windowOpen == 0 && c.pbrInFlight == 0 {
+			return StallNone // interrupt entry would begin draining
+		}
+		if _, _, ok := c.eng.Head(); ok {
+			return StallNone // an instruction would be consumed
+		}
+		p = StallStarved
+	}
+	if !c.dispatchQuiescent() {
+		return StallNone
+	}
+	return p
+}
+
+// dispatchQuiescent mirrors dispatchMemory read-only: true when the next
+// call provably submits nothing and delivers nothing. The data-cache probe
+// deliberately stays off this path — Lookup counts hits/misses, and a
+// dispatchable load head is active regardless of where its value comes
+// from.
+func (c *CPU) dispatchQuiescent() bool {
+	if len(c.dhits) > 0 {
+		return false // a one-cycle data-cache hit is due next cycle
+	}
+	if c.lastData.Queued() {
+		return true // waiting on the interface: acceptance is a memory event
+	}
+	la, laOK := c.laq.Peek()
+	sa, saOK := c.saq.Peek()
+	if laOK && saOK {
+		if la.seq < sa.seq {
+			saOK = false
+		} else {
+			laOK = false
+		}
+	}
+	switch {
+	case saOK:
+		if c.sdq.Empty() {
+			return true // the datum has not reached the SDQ head yet
+		}
+		if mem.IsFPUTrigger(sa.addr) && c.ldq.Len()+c.inflightLoads >= c.ldq.Cap() {
+			return true // result needs an LDQ slot; the store holds
+		}
+		return false
+	case laOK:
+		return c.ldq.Len()+c.inflightLoads >= c.ldq.Cap()
+	}
+	return true
+}
+
+// FoldStall applies n cycles of a foldable stall profile at once: exactly
+// the counter increments n consecutive Ticks in that state would have
+// performed, with no other state change. The caller (the core's skip-ahead)
+// guarantees the profile was just reported by StallProfile and that no
+// external event lands inside the folded span.
+func (c *CPU) FoldStall(p StallProfile, n uint64) {
+	c.cycle += n
+	switch p {
+	case StallDrain:
+		c.st.CycleBuckets[stats.CycleDrain] += n
+	case StallStarved:
+		c.st.CycleBuckets[stats.CycleFetchStarved] += n
+		c.st.StallFetchEmpty += n
+		c.fst.StarvedCycles += n
+	case StallQueueFull:
+		c.st.CycleBuckets[stats.CycleQueueFull] += n
+		c.st.StallQueueFull += n
+	case StallLDQWait:
+		c.st.CycleBuckets[stats.CycleLDQWait] += n
+		c.st.StallLDQEmpty += n
+	}
+}
+
 // account classifies the current cycle.
 func (c *CPU) account(bucket stats.CycleBucket) {
 	c.st.CycleBuckets[bucket]++
+	c.lastBucket = bucket
 	if c.probe != nil {
 		c.probe.Event(obs.Event{Kind: obs.KindCycle, Arg: uint32(bucket)})
 	}
+}
+
+// MaybeStalled reports whether the cycle just ticked was attributed to a
+// stall or drain bucket. A false return proves StallProfile would answer
+// StallNone (a successful issue leaves EX1 occupied; CycleOther covers
+// interrupt drains and front-end halt bubbles, which never fold), so the
+// core's skip-ahead uses this one-comparison gate to bypass the full
+// quiescence analysis on active cycles. The converse does not hold: a
+// stall bucket only makes folding worth checking, not certain.
+func (c *CPU) MaybeStalled() bool {
+	return c.lastBucket != stats.CycleIssue && c.lastBucket != stats.CycleOther
 }
 
 // sampleQueues emits occupancy events for the architectural queues that
@@ -396,6 +562,12 @@ func (c *CPU) retire() {
 	}
 	in := c.ex2.in
 	c.st.Instructions++
+	if c.retireRing != nil {
+		c.retireRing.Record(trace.Event{Cycle: c.cycle, PC: c.ex2.pc, Inst: in})
+	}
+	if c.flight != nil {
+		c.flight.Record(obs.KindRetire, c.ex2.pc, 0, 0)
+	}
 	if c.OnRetire != nil {
 		c.OnRetire(c.cycle, c.ex2.pc, in)
 	}

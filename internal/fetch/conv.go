@@ -265,6 +265,61 @@ func (c *Conv) Tick() {
 	}
 }
 
+// NextEvent reports whether the next Tick can change state (see
+// Engine.NextEvent). It mirrors Tick read-only: presence probes never touch
+// the hit/miss counters, and the cancel-and-reissue decision is predicted
+// with Handle.Queued instead of the mutating Cancel.
+func (c *Conv) NextEvent() uint64 {
+	if c.str.halted {
+		return mem.NoEvent
+	}
+	pc, ok := c.str.pc()
+	_, n := c.instAt(pc)
+	if ok && !c.present(pc, n) {
+		// Tick would latch a split first parcel the cycle the latch
+		// actually changes.
+		if c.img.Native && n > uint32(c.cache.SubBlockBytes()) &&
+			c.cache.Present(pc) && !c.cache.Present(pc+isa.ParcelBytes) &&
+			!(c.capValid && c.capAddr == pc) {
+			return 0
+		}
+		if !c.outstanding {
+			return 0 // demand would issue
+		}
+		// Mirror demand(): the chunk holding the first missing sub-block.
+		missing := pc
+		step := uint32(c.cache.SubBlockBytes())
+		for off := uint32(0); off < n; off += step {
+			a := pc + off
+			if c.capValid && c.capAddr == a {
+				continue
+			}
+			if !c.cache.Present(a) {
+				missing = a
+				break
+			}
+		}
+		chunk := missing &^ uint32(c.cfg.ChunkBytes-1)
+		if c.outDemand || c.outChunk == chunk {
+			return mem.NoEvent // already on its way
+		}
+		if c.outHandle.Queued() {
+			return 0 // Tick would cancel the queued prefetch and reissue
+		}
+		return mem.NoEvent // prefetch in service; must finish first
+	}
+	// Hit (or blocked on a branch outcome): Tick would prefetch the next
+	// sequential location iff it is absent and the engine is idle.
+	next := pc + n
+	if !ok {
+		next = c.str.nextPC
+	}
+	if !c.cache.Present(next) && !c.outstanding {
+		return 0
+	}
+	return mem.NoEvent
+}
+
 // demand requests the chunk containing the missing stream PC. A queued
 // (not yet accepted) prefetch is canceled in its favour; an accepted one
 // must finish first.

@@ -414,6 +414,80 @@ func (p *Pipe) Tick() {
 	}
 }
 
+// NextEvent reports whether the next Tick can change state (see
+// Engine.NextEvent): 0 when the IQB fill or IQ refill would act, mem.NoEvent
+// when both are provably no-ops until a line-fill callback or CPU call
+// arrives. Read-only: presence probes use LinePresent/Present, never the
+// counting LookupLine/Lookup.
+func (p *Pipe) NextEvent() uint64 {
+	if p.str.halted {
+		return mem.NoEvent
+	}
+	if p.fillActive() || p.refillActive() {
+		return 0
+	}
+	return mem.NoEvent
+}
+
+// fillActive mirrors fillIQBFromCache read-only: would it mutate anything?
+func (p *Pipe) fillActive() bool {
+	if p.cfg.DeepPrefetch {
+		if p.iqb.Cap()-p.iqb.Len() < p.cfg.LineBytes/isa.WordBytes {
+			return false
+		}
+	} else if !p.iqb.Empty() {
+		return false
+	}
+	if p.inflight && p.inflightInsert {
+		return false
+	}
+	if p.img.Native {
+		return p.fillNativeActive()
+	}
+	lineAddr := p.cache.LineAddr(p.fetchAddr)
+	if p.inflight && p.inflightLine == lineAddr {
+		return false
+	}
+	if p.cache.LinePresent(p.fetchAddr) {
+		return true // a hit would queue words and advance the cursor
+	}
+	// Miss: requestLine either issues a request or counts a blocked
+	// prefetch — both mutate state every cycle. Only an already
+	// outstanding request makes the whole path a pure no-op.
+	return !p.inflight
+}
+
+// fillNativeActive mirrors fillNative read-only.
+func (p *Pipe) fillNativeActive() bool {
+	if p.iqb.Full() {
+		return false
+	}
+	_, n := p.instAt(p.fetchAddr)
+	if p.parcelsPresent(p.fetchAddr, n) {
+		return true // drainNative would insert
+	}
+	// drainNative's split-instruction latch: active only the cycle it
+	// would actually change (setting it again is idempotent).
+	if n > isa.ParcelBytes && p.cache.Present(p.fetchAddr) && !p.cache.Present(p.fetchAddr+isa.ParcelBytes) &&
+		!(p.capValid && p.capAddr == p.fetchAddr) {
+		return true
+	}
+	return !p.inflight // as in fillNative: requestLine, or wait for the fill
+}
+
+// refillActive mirrors refillIQ read-only.
+func (p *Pipe) refillActive() bool {
+	if !p.iq.Empty() || p.iqb.Empty() {
+		return false
+	}
+	pc, ok := p.str.pc()
+	if !ok {
+		return false
+	}
+	head, _ := p.iqb.Peek()
+	return head.addr == pc
+}
+
 // sampleQueues emits occupancy events for queues whose depth changed since
 // the last sample.
 func (p *Pipe) sampleQueues() {

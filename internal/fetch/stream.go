@@ -38,6 +38,16 @@ type Engine interface {
 	// Tick advances internal state by one cycle and may issue memory
 	// requests. Call after the CPU's cycle work.
 	Tick()
+	// NextEvent reports whether the next Tick can change machine state:
+	// 0 when it can (the core must keep stepping cycle by cycle), or
+	// mem.NoEvent when the engine is provably idle — its state cannot
+	// change until one of its memory callbacks (line-fill word or
+	// completion) or CPU calls (Consume, Resolve, Redirect) mutates it.
+	// The classification mirrors Tick exactly but is strictly read-only:
+	// it never touches the hit/miss counters or emits events, so calling
+	// it any number of times leaves results bit-identical. The core's
+	// skip-ahead machinery uses it to jump over quiescent stall spans.
+	NextEvent() uint64
 	// Redirect abandons the current stream and restarts supply at pc.
 	// Used for interrupt entry and return; the caller guarantees no PBR
 	// is pending (the pipeline has drained).

@@ -297,6 +297,20 @@ func (t *TIB) Tick() {
 	t.sys.Submit(r)
 }
 
+// NextEvent reports whether the next Tick can change state (see
+// Engine.NextEvent): the TIB issues a fetch whenever no request is in
+// flight and the buffer has a line of room; otherwise it waits for the
+// fill callbacks.
+func (t *TIB) NextEvent() uint64 {
+	if t.str.halted || t.inflight {
+		return mem.NoEvent
+	}
+	if t.buf.Cap()-t.buf.Len() < t.cfg.LineBytes/isa.WordBytes {
+		return mem.NoEvent
+	}
+	return 0
+}
+
 // wordAt fetches an instruction word from the program image; addresses past
 // the text segment read as NOP (zero).
 func (t *TIB) wordAt(addr uint32) uint32 {

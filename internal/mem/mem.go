@@ -182,6 +182,13 @@ type System struct {
 	memFreeAt      uint64 // non-pipelined: earliest next acceptance
 	inputBusFreeAt uint64 // watermark of the next free input-bus cycle
 
+	// Cached earliest-action cycles, so the per-cycle BeginCycle phases
+	// and NextEvent are O(1) instead of scanning transaction lists. Both
+	// are conservative: they may be earlier than the true next action
+	// (the scan then runs and re-tightens them) but never later.
+	nextInflightAt uint64 // min over inflight of next transfer/completion
+	nextFPUAt      uint64 // min readyAt over fpuOps
+
 	prio    [numClasses]int // arbitration order, fixed by the config
 	pending int             // queued requests across all classes (arbiter fast path)
 
@@ -224,7 +231,8 @@ func New(cfg Config, img *program.Image, st *stats.Mem) (*System, error) {
 	if st == nil {
 		st = &stats.Mem{}
 	}
-	s := &System{cfg: cfg, st: st, ram: make([]uint32, (program.AddrMask+1)/4)}
+	s := &System{cfg: cfg, st: st, ram: make([]uint32, (program.AddrMask+1)/4),
+		nextInflightAt: NoEvent, nextFPUAt: NoEvent}
 	for i, w := range img.RAMWords() {
 		s.ram[(program.TextBase/4)+uint32(i)] = w
 	}
@@ -267,9 +275,23 @@ func (s *System) releaseRequest(r *Request) {
 	if !r.pooled {
 		return
 	}
-	gen := r.gen + 1
-	data := r.Data[:0]
-	*r = Request{pooled: true, gen: gen, Data: data}
+	// Field-by-field reset instead of a struct literal: this is one of the
+	// hottest pool paths and the literal form re-zeroes and re-stores the
+	// whole struct including the Data slice header. Callbacks MUST go nil
+	// (several requesters rely on a fresh request having none) and Store
+	// must clear (read sites leave it at the zero value).
+	r.Kind = 0
+	r.Addr = 0
+	r.Size = 0
+	r.Store = false
+	r.Data = r.Data[:0]
+	r.Seq = 0
+	r.OnWord = nil
+	r.OnComplete = nil
+	r.canceled = false
+	r.accepted = false
+	r.gen++
+	r.fpuResult = 0
 	s.freeReq = append(s.freeReq, r)
 }
 
@@ -364,10 +386,11 @@ func (s *System) EndCycle() {
 // The result value rides in the request itself and is delivered straight to
 // FPUSink, so no per-operation closure is allocated.
 func (s *System) fpuComplete() {
-	if len(s.fpuOps) == 0 {
-		return
+	if s.cycle < s.nextFPUAt {
+		return // no operation finishes this early (covers the empty case)
 	}
 	rest := s.fpuOps[:0]
+	next := NoEvent
 	for _, op := range s.fpuOps {
 		if op.readyAt <= s.cycle {
 			r := s.AllocRequest()
@@ -378,17 +401,22 @@ func (s *System) fpuComplete() {
 			r.fpuResult = op.result
 			s.Submit(r)
 		} else {
+			if op.readyAt < next {
+				next = op.readyAt
+			}
 			rest = append(rest, op)
 		}
 	}
 	s.fpuOps = rest
+	s.nextFPUAt = next
 }
 
 // deliver performs this cycle's input-bus transfers and completions.
 func (s *System) deliver() {
-	if len(s.inflight) == 0 {
-		return
+	if s.cycle < s.nextInflightAt {
+		return // nothing transfers or completes this early (covers empty)
 	}
+	next := NoEvent
 	kept := s.inflight[:0]
 	for _, f := range s.inflight {
 		if !f.req.Store && f.transfers > 0 {
@@ -434,9 +462,23 @@ func (s *System) deliver() {
 			s.releaseInflight(f)
 			continue
 		}
+		// Next action for a kept entry: its completion, or the next
+		// input-bus transfer (cycle+1 once inside the transfer window).
+		na := f.done
+		if !f.req.Store && f.transfers > 0 && f.firstTransfer < na {
+			if s.cycle+1 >= f.firstTransfer {
+				na = s.cycle + 1
+			} else {
+				na = f.firstTransfer
+			}
+		}
+		if na < next {
+			next = na
+		}
 		kept = append(kept, f)
 	}
 	s.inflight = kept
+	s.nextInflightAt = next
 }
 
 // allocInflight draws a transaction record from the pool.
@@ -452,11 +494,16 @@ func (s *System) allocInflight() *inflight {
 // releaseInflight recycles a completed transaction record, keeping the
 // multi-word data buffer's capacity.
 func (s *System) releaseInflight(f *inflight) {
-	data := f.data
-	if data != nil {
-		data = data[:0]
+	f.req = nil
+	f.firstTransfer = 0
+	f.transfers = 0
+	f.done = 0
+	f.delivered = 0
+	f.word0 = 0
+	if f.data != nil {
+		f.data = f.data[:0]
 	}
-	*f = inflight{data: data}
+	f.hasData = false
 	s.freeInf = append(s.freeInf, f)
 }
 
@@ -464,6 +511,14 @@ func (s *System) releaseInflight(f *inflight) {
 func (s *System) accept() {
 	if s.pending == 0 {
 		return // nothing queued anywhere: the common idle cycle
+	}
+	if !s.cfg.Pipelined && s.cycle < s.memFreeAt && s.queues[classFPUResult].Len() == 0 {
+		// The memory is busy and nothing bus-only is waiting: the scan
+		// below could not accept anything, so skip it. (Canceled heads
+		// stay queued a little longer; the arbiter drops them at the
+		// next cycle it could actually accept, which changes nothing
+		// observable — they occupy no memory resources.)
+		return
 	}
 	for _, class := range s.prio {
 		q := s.queues[class]
@@ -520,6 +575,9 @@ func (s *System) start(r *Request) {
 		f.req = r
 		f.done = done
 		s.inflight = append(s.inflight, f)
+		if done < s.nextInflightAt {
+			s.nextInflightAt = done
+		}
 		return
 	}
 	n := (r.Size + s.cfg.BusWidthBytes - 1) / s.cfg.BusWidthBytes
@@ -561,6 +619,9 @@ func (s *System) start(r *Request) {
 		}
 	}
 	s.inflight = append(s.inflight, f)
+	if first < s.nextInflightAt {
+		s.nextInflightAt = first
+	}
 }
 
 // applyStore writes store data into memory or the FPU. Writes become
@@ -608,6 +669,46 @@ func (s *System) fpuStore(addr, w uint32, seq uint64) {
 	readyAt := startAt + uint64(s.cfg.FPULatency)
 	s.fpuLastReady = readyAt
 	s.fpuOps = append(s.fpuOps, fpuOp{readyAt: readyAt, result: math.Float32bits(r), seq: seq})
+	if readyAt < s.nextFPUAt {
+		s.nextFPUAt = readyAt
+	}
+}
+
+// NoEvent is the NextEvent value meaning "no self-scheduled event": the
+// unit's state cannot change until an external call mutates it. It compares
+// greater than every real cycle number.
+const NoEvent = ^uint64(0)
+
+// NextEvent returns the earliest future cycle at which the memory system
+// can act on its own — deliver an input-bus transfer, fire a completion
+// callback, turn a finished FPU operation into a result request, or accept
+// a queued request — or NoEvent when nothing is pending anywhere. Callers
+// may advance the simulation clock to the returned cycle without running
+// the intermediate BeginCycle/EndCycle pairs: every skipped cycle is
+// provably a no-op for the System. Call after EndCycle; strictly read-only.
+func (s *System) NextEvent() uint64 {
+	next := NoEvent
+	if s.pending > 0 {
+		// A queued request is accepted by the first EndCycle the memory
+		// can take it: immediately when pipelined or when a bus-only FPU
+		// result is waiting (it bypasses the memory-busy gate), otherwise
+		// once the non-pipelined memory frees up. Canceled requests also
+		// count (conservatively): the arbiter drops them at the head scan.
+		if s.cfg.Pipelined || s.queues[classFPUResult].Len() > 0 {
+			return s.cycle + 1
+		}
+		next = max64(s.cycle+1, s.memFreeAt)
+	}
+	if s.nextInflightAt < next {
+		next = s.nextInflightAt
+	}
+	if s.nextFPUAt < next {
+		next = s.nextFPUAt
+	}
+	if next <= s.cycle {
+		return s.cycle + 1
+	}
+	return next
 }
 
 // Drained reports whether no requests are queued or in flight and the FPU

@@ -45,8 +45,10 @@ func KeyFor(cfg core.Config, imageFP [sha256.Size]byte) Key {
 		cfg.WatchdogCycles = core.DefaultWatchdogCycles
 	}
 	// Introspection never changes cycle counts, but it adds the Cache block
-	// to the result, so it is part of the key (unlike FlightRecDepth). The
-	// top-PC bound only matters when introspection is on.
+	// to the result, so it is part of the key (unlike FlightRecDepth, or
+	// NoSkipAhead — skip-ahead is bit-identical by construction, so a
+	// stepped and a skipping run share one cache entry). The top-PC bound
+	// only matters when introspection is on.
 	if !cfg.CacheIntrospect {
 		cfg.CacheTopPCs = 0
 	} else if cfg.CacheTopPCs == 0 {

@@ -51,7 +51,9 @@ func (r *Ring) Record(e Event) {
 		r.buf = append(r.buf, e)
 	} else {
 		r.buf[r.next] = e
-		r.next = (r.next + 1) % cap(r.buf)
+		if r.next++; r.next == cap(r.buf) {
+			r.next = 0
+		}
 	}
 	r.total++
 }

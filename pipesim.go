@@ -183,6 +183,15 @@ type Config struct {
 	// zero selects the default (10), negative keeps every missing PC.
 	// Must be left zero when CacheStats is off.
 	CacheTopPCs int
+
+	// NoSkipAhead disables the event-driven cycle skip-ahead and steps
+	// every cycle individually. Skip-ahead elides only cycles proven to
+	// be pure counter arithmetic, so results are bit-identical either
+	// way (the differential suite asserts this across the full kernel
+	// catalog); the switch exists for A/B timing measurements and as a
+	// belt-and-braces escape hatch. Attaching a probe (Run*WithProbe)
+	// disables skip-ahead automatically, with or without this flag.
+	NoSkipAhead bool
 }
 
 // DefaultConfig returns the paper's baseline presentation point: the PIPE
@@ -274,6 +283,7 @@ func (c Config) toCore() (core.Config, error) {
 		FlightRecDepth:  c.FlightRecorderDepth,
 		CacheIntrospect: c.CacheStats,
 		CacheTopPCs:     c.CacheTopPCs,
+		NoSkipAhead:     c.NoSkipAhead,
 	}, nil
 }
 

@@ -1,0 +1,131 @@
+package pipesim_test
+
+// Public-API half of the skip-vs-step differential suite (the
+// strategy/geometry matrix lives in internal/core). These tests pin the
+// contract Config.NoSkipAhead documents: the complete Result — including
+// per-loop statistics and the cache-introspection block — is bit-identical
+// whether the core skips or steps, and an arbitrary validated Config keeps
+// that property (the fuzz target shares FuzzConfig's corpus).
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pipesim"
+)
+
+// TestSkipAheadResultIdentical runs the Livermore benchmark through the
+// public API with everything optional switched on — per-loop collection
+// and cache introspection — and compares the full Result.
+func TestSkipAheadResultIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark runs")
+	}
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noSkip bool) *pipesim.Result {
+		cfg := pipesim.DefaultConfig()
+		cfg.MemAccessTime = 6
+		cfg.BusWidthBytes = 8
+		cfg.CacheStats = true
+		cfg.NoSkipAhead = noSkip
+		sim, err := pipesim.NewSimulation(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.CollectPerLoop(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	step, skip := run(true), run(false)
+	if !reflect.DeepEqual(step, skip) {
+		t.Errorf("NoSkipAhead changed the Result:\nstep %+v\nskip %+v", step, skip)
+	}
+}
+
+// FuzzSkipDiff fuzzes machine configurations (FuzzConfig's corpus shape)
+// and asserts every validated one produces identical Results skipped and
+// stepped on the architectural smoke kernel.
+func FuzzSkipDiff(f *testing.F) {
+	seed := func(c pipesim.Config) {
+		f.Add(string(c.Strategy), c.CacheBytes, c.LineBytes, c.IQBytes, c.IQBBytes,
+			c.TIBEntries, c.TIBLineBytes, c.MemAccessTime, c.BusWidthBytes, c.FPULatency,
+			c.LAQDepth, c.LDQDepth, c.SAQDepth, c.SDQDepth, c.DCacheBytes, c.DCacheLineBytes,
+			c.TruePrefetch, c.DeepPrefetch, c.NativeFormat, c.PipelinedMemory, c.InstrPriority)
+	}
+	seed(pipesim.DefaultConfig())
+	for _, name := range []string{"8-8", "16-16", "16-32", "32-32"} {
+		cfg, err := pipesim.TableIIConfig(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed(cfg)
+	}
+	conv := pipesim.DefaultConfig()
+	conv.Strategy = pipesim.StrategyConventional
+	conv.MemAccessTime, conv.BusWidthBytes = 6, 8
+	seed(conv)
+	tib := pipesim.DefaultConfig()
+	tib.Strategy = pipesim.StrategyTIB
+	seed(tib)
+
+	f.Fuzz(func(t *testing.T, strategy string, cacheBytes, lineBytes, iqBytes, iqbBytes,
+		tibEntries, tibLineBytes, memAccessTime, busWidthBytes, fpuLatency,
+		laq, ldq, saq, sdq, dcacheBytes, dcacheLineBytes int,
+		truePrefetch, deepPrefetch, nativeFormat, pipelinedMemory, instrPriority bool) {
+		cfg := pipesim.Config{
+			Strategy:        pipesim.Strategy(strategy),
+			CacheBytes:      cacheBytes,
+			LineBytes:       lineBytes,
+			IQBytes:         iqBytes,
+			IQBBytes:        iqbBytes,
+			TruePrefetch:    truePrefetch,
+			DeepPrefetch:    deepPrefetch,
+			NativeFormat:    nativeFormat,
+			TIBEntries:      tibEntries,
+			TIBLineBytes:    tibLineBytes,
+			MemAccessTime:   memAccessTime,
+			BusWidthBytes:   busWidthBytes,
+			PipelinedMemory: pipelinedMemory,
+			InstrPriority:   instrPriority,
+			FPULatency:      fpuLatency,
+			LAQDepth:        laq,
+			LDQDepth:        ldq,
+			SAQDepth:        saq,
+			SDQDepth:        sdq,
+			DCacheBytes:     dcacheBytes,
+			DCacheLineBytes: dcacheLineBytes,
+			MaxCycles:       2_000_000,
+			WatchdogCycles:  200_000,
+		}
+		if err := cfg.Validate(); err != nil {
+			if !errors.Is(err, pipesim.ErrInvalidConfig) {
+				t.Fatalf("Validate error not tagged ErrInvalidConfig: %v", err)
+			}
+			return
+		}
+		stepCfg := cfg
+		stepCfg.NoSkipAhead = true
+		step, stepErr := pipesim.Run(stepCfg, fuzzKernel(t))
+		skip, skipErr := pipesim.Run(cfg, fuzzKernel(t))
+		if (stepErr == nil) != (skipErr == nil) {
+			t.Fatalf("skip-ahead changed the outcome: step err %v, skip err %v\nconfig: %+v",
+				stepErr, skipErr, cfg)
+		}
+		if stepErr != nil {
+			return // both failed identically enough; FuzzConfig owns failure triage
+		}
+		if !reflect.DeepEqual(step, skip) {
+			t.Fatalf("skip-ahead changed the Result:\nstep %+v\nskip %+v\nconfig: %+v",
+				step, skip, cfg)
+		}
+	})
+}

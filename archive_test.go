@@ -1,0 +1,144 @@
+package pipesim_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"pipesim"
+	"pipesim/internal/runcache"
+	"pipesim/internal/runstore"
+)
+
+// storeProgram is a distinctive fixture so these tests never collide with
+// other tests' keys in the process-wide run cache.
+func storeProgram(t *testing.T) *pipesim.Program {
+	t.Helper()
+	prog, err := pipesim.Assemble(`
+        li   r1, 11
+        li   r2, 0
+        setb b0, loop
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        pbr  ne, r1, b0, 2
+        nop
+        nop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func withStore(t *testing.T, dir string) *runstore.Store {
+	t.Helper()
+	store, err := runstore.Open(dir, runstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runcache.Default.SetStore(store)
+	t.Cleanup(func() {
+		runcache.Default.SetStore(nil)
+		runcache.Default.Reset()
+	})
+	return store
+}
+
+// TestRunArchivedSurvivesRestart is the PR's acceptance path: a config run
+// once is served from the store after a "restart" (cold memory cache, the
+// store reopened from the same directory) without re-simulating, and the
+// served Result is identical to the fresh one.
+func TestRunArchivedSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	withStore(t, dir)
+	prog := storeProgram(t)
+	cfg := pipesim.DefaultConfig()
+	cfg.CacheStats = true
+	ctx := context.Background()
+
+	res1, src, err := pipesim.RunArchived(ctx, cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != pipesim.RunSimulated {
+		t.Fatalf("first run source = %q, want simulated", src)
+	}
+	if len(res1.Key) != 64 {
+		t.Fatalf("result key = %q, want 64 hex chars", res1.Key)
+	}
+
+	// "Restart": wipe the memory tier and reopen the store from disk.
+	runcache.Default.Reset()
+	withStore(t, dir)
+
+	res2, src, err := pipesim.RunArchived(ctx, cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != pipesim.RunFromStore {
+		t.Fatalf("post-restart source = %q, want store", src)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("store-served result differs from the simulated one:\n%+v\n%+v", res1, res2)
+	}
+
+	// The store hit was promoted to the memory tier.
+	_, src, err = pipesim.RunArchived(ctx, cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != pipesim.RunFromMemory {
+		t.Errorf("third run source = %q, want memory", src)
+	}
+}
+
+// TestSimulationArchivePerLoop: an observed run (which cannot go through
+// the cache) archives explicitly, per-loop table included, under the same
+// key RunArchived would use.
+func TestSimulationArchivePerLoop(t *testing.T) {
+	store := withStore(t, t.TempDir())
+	prog, _, err := pipesim.LivermoreProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipesim.DefaultConfig()
+	sim, err := pipesim.NewSimulation(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Archiving before Run is an error.
+	if err := sim.Archive(store); err == nil {
+		t.Error("Archive before Run accepted")
+	}
+
+	if err := sim.CollectPerLoop(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Archive(store); err != nil {
+		t.Fatal(err)
+	}
+
+	key, err := runcache.ParseKey(sim.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := store.Get(key)
+	if !ok {
+		t.Fatal("archived record not found")
+	}
+	if rec.Sim.Cycles != res.Cycles {
+		t.Errorf("archived cycles = %d, want %d", rec.Sim.Cycles, res.Cycles)
+	}
+	if len(rec.PerLoop) == 0 {
+		t.Error("archived record carries no per-loop table")
+	}
+	if sim.Key() != res.Key {
+		t.Errorf("Simulation.Key %q != Result.Key %q", sim.Key(), res.Key)
+	}
+}

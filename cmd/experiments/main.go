@@ -128,6 +128,10 @@ func main() {
 		// metrics and the pass/fail summary cover the whole sweep.
 		sum.Outcomes = append(replayed, sum.Outcomes...)
 	}
+	if *useCache {
+		rc := runcache.Default.Stats()
+		sum.RunCache = &rc
+	}
 	if *metrics != "" {
 		if err := writeMetrics(*metrics, sum); err != nil {
 			log.Error("writing metrics", "path", *metrics, "err", err)
@@ -149,8 +153,13 @@ func main() {
 			fmt.Println(o.Result.Format())
 		}
 	}
-	log.Info("sweep finished", "passed", sum.Passed(), "total", len(sum.Outcomes),
-		"elapsed", sum.Elapsed.Round(time.Millisecond))
+	finished := []any{"passed", sum.Passed(), "total", len(sum.Outcomes),
+		"elapsed", sum.Elapsed.Round(time.Millisecond)}
+	if sum.RunCache != nil {
+		finished = append(finished, "runcache_hits", sum.RunCache.Hits,
+			"runcache_misses", sum.RunCache.Misses, "runcache_entries", sum.RunCache.Size)
+	}
+	log.Info("sweep finished", finished...)
 	if sum.Err() != nil {
 		os.Exit(1)
 	}

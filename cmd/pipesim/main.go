@@ -24,10 +24,16 @@ import (
 	"sort"
 
 	"pipesim"
+	"pipesim/internal/compare"
+	"pipesim/internal/runstore"
 	"pipesim/internal/version"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		diffMain(os.Args[2:])
+		return
+	}
 	var (
 		strategy  = flag.String("strategy", "pipe", "fetch strategy: pipe, conventional or tib")
 		cache     = flag.Int("cache", 128, "instruction cache size in bytes")
@@ -55,6 +61,8 @@ func main() {
 		noSkip    = flag.Bool("no-skip-ahead", false, "step every cycle instead of event-driven skip-ahead (results are bit-identical; for A/B timing)")
 		cstats    = flag.Bool("cachestats", false, "classify every cache miss (compulsory/capacity/conflict) and print the per-set heatmap and hot miss PCs")
 		ctop      = flag.Int("cache-top", 0, "hot miss-PC table size with -cachestats (0 = default 10, negative keeps every PC)")
+		storeDir  = flag.String("store-dir", "", "archive the completed run into this run-store directory")
+		diffBase  = flag.String("diff-against", "", "after the run, print a compare report against this baseline (run key with -store-dir, or a result/record JSON file) instead of the normal output")
 		showVer   = flag.Bool("version", false, "print module, version, VCS revision and dirty bit, then exit")
 	)
 	flag.Parse()
@@ -145,6 +153,33 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "pipesim: wrote %d timeline events to %s\n", tl.Events(), *timeline)
+	}
+	if *storeDir != "" {
+		store, serr := runstore.Open(*storeDir, runstore.Options{})
+		if serr != nil {
+			fail(serr)
+		}
+		if serr := sim.Archive(store); serr != nil {
+			fail(serr)
+		}
+		fmt.Fprintf(os.Stderr, "pipesim: archived run %s to %s\n", res.Key[:12], *storeDir)
+	}
+	if *diffBase != "" {
+		base := loadSide(*diffBase, *storeDir)
+		if base.run == nil {
+			fail(fmt.Errorf("-diff-against %s: baseline is not a single run", *diffBase))
+		}
+		rep := compare.Compare(*base.run, resultRun("this-run", res))
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fail(err)
+			}
+		} else {
+			renderReport(rep)
+		}
+		return
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

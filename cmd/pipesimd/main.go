@@ -4,6 +4,9 @@
 // Endpoints:
 //
 //	POST /v1/run              run one simulation (JSON config overlay)
+//	GET  /v1/runs             list archived runs, newest first (needs -store-dir)
+//	GET  /v1/runs/{key}       one archived run record by content-addressed key
+//	GET  /v1/compare?a=&b=    differential report between two archived runs
 //	GET  /v1/sweep            run Table-II-style sweeps (fault-isolated runner)
 //	POST /v1/jobs             submit a durable sweep job (202 + job id; needs -jobs-dir)
 //	GET  /v1/jobs             list jobs by submit time (?state= filters)
@@ -54,6 +57,9 @@
 //	pipesimd -drain 10s            # shutdown drain deadline
 //	pipesimd -run-timeout 2m       # per-run / per-experiment deadline
 //	pipesimd -runcache=false       # disable simulation-result memoization
+//	pipesimd -store-dir /var/lib/pipesimd/runs  # persistent run archive:
+//	                               # warm starts survive restarts, /v1/runs,
+//	                               # /v1/compare and `pipesim diff` work off it
 //	pipesimd -jobs-dir /var/lib/pipesimd/jobs  # enable durable sweep jobs
 //	pipesimd -jobs-queue 16        # admitted-but-unfinished job bound (429 beyond)
 //	pipesimd -jobs-points 4        # concurrent points per job (0 = one per CPU)
@@ -92,6 +98,9 @@ func run() int {
 		maxBody    = flag.Int64("max-body", 1<<20, "maximum /v1/run request body in bytes")
 		workers    = flag.Int("parallel", 0, "default sweep worker count (0 = one per CPU)")
 		useCache   = flag.Bool("runcache", true, "memoize simulation results by (config, program) content hash")
+		storeDir   = flag.String("store-dir", "", "persistent run-archive directory: results survive restarts and feed /v1/runs and /v1/compare (empty = disabled)")
+		storeN     = flag.Int("store-entries", 0, "run-archive record bound; oldest evicted beyond it (0 = 16384)")
+		storeBytes = flag.Int64("store-bytes", 0, "run-archive byte bound; oldest evicted beyond it (0 = 256 MiB)")
 		jobsDir    = flag.String("jobs-dir", "", "directory for durable sweep-job manifests and checkpoints (empty = jobs API disabled)")
 		jobsQueue  = flag.Int("jobs-queue", 0, "admitted-but-unfinished job bound; submissions beyond it get 429 (0 = default 16)")
 		jobsPoints = flag.Int("jobs-points", 0, "concurrent experiment points per job (0 = one per CPU)")
@@ -119,6 +128,9 @@ func run() int {
 		runLimit:     *runTimeout,
 		workers:      *workers,
 		slowLimit:    time.Duration(*slowMS) * time.Millisecond,
+		storeDir:     *storeDir,
+		storeEntries: *storeN,
+		storeBytes:   *storeBytes,
 		eventsBuffer: *eventsBuf,
 		sseHeartbeat: *sseHB,
 		jobsDir:      *jobsDir,

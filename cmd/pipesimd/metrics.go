@@ -9,6 +9,7 @@ import (
 	"pipesim/internal/eventbus"
 	"pipesim/internal/metrics"
 	"pipesim/internal/runcache"
+	"pipesim/internal/runstore"
 	"pipesim/internal/sweep"
 	"pipesim/internal/tracing"
 	"pipesim/internal/version"
@@ -77,8 +78,20 @@ type daemonMetrics struct {
 	eventsDropped     *metrics.Counter // pipesimd_eventbus_dropped_total
 	eventsSubscribers *metrics.Gauge   // pipesimd_eventbus_subscribers
 
+	// Persistent run store (-store-dir), the run cache's disk tier.
+	// Scrape-time delta fold like the run cache.
+	runstoreHits      *metrics.Counter // pipesimd_runstore_hits_total
+	runstoreMisses    *metrics.Counter // pipesimd_runstore_misses_total
+	runstoreWrites    *metrics.Counter // pipesimd_runstore_writes_total
+	runstoreEvictions *metrics.Counter // pipesimd_runstore_evictions_total
+	runstoreEntries   *metrics.Gauge   // pipesimd_runstore_entries
+	runstoreBytes     *metrics.Gauge   // pipesimd_runstore_bytes
+
 	rcMu   sync.Mutex
 	rcLast runcache.Counters // counter values already folded in
+
+	rsMu   sync.Mutex
+	rsLast runstore.Counters // store counter values already folded in
 
 	ebMu                           sync.Mutex
 	ebLastPublished, ebLastDropped uint64 // bus counters already folded in
@@ -161,6 +174,18 @@ func newDaemonMetrics() *daemonMetrics {
 			"Run-cache entries evicted by the LRU bound."),
 		runcacheSize: reg.Gauge("pipesimd_runcache_entries",
 			"Simulation results currently memoized in the run cache."),
+		runstoreHits: reg.Counter("pipesimd_runstore_hits_total",
+			"Run-store lookups answered from the persistent archive (-store-dir)."),
+		runstoreMisses: reg.Counter("pipesimd_runstore_misses_total",
+			"Run-store lookups that found no archived record."),
+		runstoreWrites: reg.Counter("pipesimd_runstore_writes_total",
+			"Simulation results archived to the persistent run store."),
+		runstoreEvictions: reg.Counter("pipesimd_runstore_evictions_total",
+			"Archived records evicted by the store's count/byte bounds."),
+		runstoreEntries: reg.Gauge("pipesimd_runstore_entries",
+			"Records currently in the persistent run store."),
+		runstoreBytes: reg.Gauge("pipesimd_runstore_bytes",
+			"Bytes of records currently in the persistent run store."),
 		eventsPublished: reg.Counter("pipesimd_eventbus_published_total",
 			"Telemetry events published to the event bus."),
 		eventsDropped: reg.Counter("pipesimd_eventbus_dropped_total",
@@ -255,6 +280,26 @@ func (m *daemonMetrics) syncRunCache() {
 	m.runcacheMisses.Add(float64(cur.Misses - last.Misses))
 	m.runcacheEvictions.Add(float64(cur.Evictions - last.Evictions))
 	m.runcacheSize.Set(float64(cur.Size))
+}
+
+// syncRunStore folds the persistent run store's counter growth into the
+// exported families and refreshes the size gauges, mirroring syncRunCache's
+// scrape-time delta fold. No-op without -store-dir.
+func (m *daemonMetrics) syncRunStore(store *runstore.Store) {
+	if store == nil {
+		return
+	}
+	cur := store.Counters()
+	m.rsMu.Lock()
+	last := m.rsLast
+	m.rsLast = cur
+	m.rsMu.Unlock()
+	m.runstoreHits.Add(float64(cur.Hits - last.Hits))
+	m.runstoreMisses.Add(float64(cur.Misses - last.Misses))
+	m.runstoreWrites.Add(float64(cur.Writes - last.Writes))
+	m.runstoreEvictions.Add(float64(cur.Evictions - last.Evictions))
+	m.runstoreEntries.Set(float64(cur.Entries))
+	m.runstoreBytes.Set(float64(cur.Bytes))
 }
 
 // syncEventBus folds the event bus's publish/drop counter growth into the

@@ -1,0 +1,96 @@
+package main
+
+// The run-archive endpoints expose the persistent run store (-store-dir):
+//
+//	GET /v1/runs            list archived runs, newest first
+//	GET /v1/runs/{key}      one archived record (config + full statistics)
+//	GET /v1/compare?a=&b=   pipesim-compare/v1 differential report
+//
+// Without -store-dir all three answer 503 unavailable.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pipesim/internal/compare"
+	"pipesim/internal/runcache"
+	"pipesim/internal/runstore"
+)
+
+var errNoStore = errors.New("run archive disabled (start pipesimd with -store-dir)")
+
+// runsListResponse is the GET /v1/runs body.
+type runsListResponse struct {
+	Count   int              `json:"count"`
+	Bytes   int64            `json:"bytes"`
+	Entries []runstore.Entry `json:"entries"`
+}
+
+func (s *server) handleRunsList(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.fail(w, r, errKindUnavailable, errNoStore)
+		return
+	}
+	writeJSON(w, http.StatusOK, runsListResponse{
+		Count:   s.store.Len(),
+		Bytes:   s.store.Bytes(),
+		Entries: s.store.List(),
+	})
+}
+
+func (s *server) handleRunGet(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.fail(w, r, errKindUnavailable, errNoStore)
+		return
+	}
+	rec, kind, err := s.storedRun(r.PathValue("key"))
+	if err != nil {
+		s.fail(w, r, kind, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.fail(w, r, errKindUnavailable, errNoStore)
+		return
+	}
+	q := r.URL.Query()
+	ra, kind, err := s.storedRun(q.Get("a"))
+	if err != nil {
+		s.fail(w, r, kind, fmt.Errorf("a: %w", err))
+		return
+	}
+	rb, kind, err := s.storedRun(q.Get("b"))
+	if err != nil {
+		s.fail(w, r, kind, fmt.Errorf("b: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, compare.Compare(compareSide(ra), compareSide(rb)))
+}
+
+// storedRun resolves one run key to its archived record, with the error
+// taxonomy kind on failure.
+func (s *server) storedRun(raw string) (*runstore.Record, string, error) {
+	if raw == "" {
+		return nil, errKindBadRequest, errors.New("missing run key")
+	}
+	key, err := runcache.ParseKey(raw)
+	if err != nil {
+		return nil, errKindBadRequest, err
+	}
+	rec, ok := s.store.Get(key)
+	if !ok {
+		return nil, errKindNotFound, fmt.Errorf("run %s.. not archived", raw[:12])
+	}
+	return rec, "", nil
+}
+
+// compareSide adapts an archived record to a comparison side, labelled by
+// its strategy and cache size.
+func compareSide(rec *runstore.Record) compare.Run {
+	label := fmt.Sprintf("%s/%dB", rec.Config.Fetch, rec.Config.CacheBytes)
+	return compare.FromSim(label, rec.Key, &rec.Sim, rec.PerLoop)
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"pipesim/internal/compare"
+	"pipesim/internal/runstore"
+)
+
+func storeServer(t *testing.T, dir string) (*server, string) {
+	t.Helper()
+	s, ts := newTestServerOpts(t, serverOptions{runLimit: time.Minute, storeDir: dir})
+	return s, ts.URL
+}
+
+func postRun(t *testing.T, url, body string) runResponse {
+	t.Helper()
+	resp, raw := post(t, url+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d: %s", resp.StatusCode, raw)
+	}
+	var rr runResponse
+	if err := json.Unmarshal([]byte(raw), &rr); err != nil {
+		t.Fatalf("run response: %v", err)
+	}
+	return rr
+}
+
+// TestRunArchiveEndpoints drives the full archive surface over HTTP: runs
+// are archived with their keys, listed, retrievable, and comparable — and
+// the compare report's bucket deltas sum exactly to the cycle delta.
+func TestRunArchiveEndpoints(t *testing.T) {
+	_, url := storeServer(t, t.TempDir())
+
+	a := postRun(t, url, `{"asm": `+quote(smallLoop)+`, "config": {"CacheStats": true, "CacheBytes": 64}}`)
+	b := postRun(t, url, `{"asm": `+quote(smallLoop)+`, "config": {"CacheStats": true, "CacheBytes": 64, "Strategy": "conventional"}}`)
+	if a.Source != "simulated" || b.Source != "simulated" {
+		t.Fatalf("sources = %q/%q, want simulated", a.Source, b.Source)
+	}
+	if len(a.Key) != 64 || a.Key != a.Result.Key {
+		t.Fatalf("run key = %q (result key %q)", a.Key, a.Result.Key)
+	}
+
+	// The archive lists both runs.
+	resp, raw := get(t, url+"/v1/runs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("runs list = %d: %s", resp.StatusCode, raw)
+	}
+	var list runsListResponse
+	if err := json.Unmarshal([]byte(raw), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 2 || len(list.Entries) != 2 {
+		t.Fatalf("archive lists %d runs, want 2: %s", list.Count, raw)
+	}
+
+	// A single record round-trips with its statistics.
+	resp, raw = get(t, url+"/v1/runs/"+a.Key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run get = %d: %s", resp.StatusCode, raw)
+	}
+	var rec runstore.Record
+	if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Key != a.Key || rec.Sim.Cycles != a.Result.Cycles {
+		t.Errorf("record = key %s cycles %d, want %s/%d", rec.Key, rec.Sim.Cycles, a.Key, a.Result.Cycles)
+	}
+
+	// The compare report explains the delta exactly.
+	resp, raw = get(t, url+"/v1/compare?a="+a.Key+"&b="+b.Key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare = %d: %s", resp.StatusCode, raw)
+	}
+	var rep compare.Report
+	if err := json.Unmarshal([]byte(raw), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != compare.Schema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	wantDelta := int64(b.Result.Cycles) - int64(a.Result.Cycles)
+	if rep.CycleDelta != wantDelta {
+		t.Errorf("cycle delta = %d, want %d", rep.CycleDelta, wantDelta)
+	}
+	if got := rep.AttributionDeltaSum(); got != rep.CycleDelta {
+		t.Errorf("attribution delta sum = %d, want cycle delta %d", got, rep.CycleDelta)
+	}
+	if len(rep.MissClasses) != 3 {
+		t.Errorf("miss classes = %d, want 3", len(rep.MissClasses))
+	}
+}
+
+// TestRunArchiveErrors pins the error taxonomy of the archive endpoints.
+func TestRunArchiveErrors(t *testing.T) {
+	_, url := storeServer(t, t.TempDir())
+
+	resp, body := get(t, url+"/v1/runs/zzzz")
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusBadRequest || ae.Kind != errKindBadRequest {
+		t.Errorf("bad key = %d/%s", resp.StatusCode, ae.Kind)
+	}
+	missing := "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+	resp, body = get(t, url+"/v1/runs/"+missing)
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusNotFound || ae.Kind != errKindNotFound {
+		t.Errorf("missing key = %d/%s", resp.StatusCode, ae.Kind)
+	}
+	resp, body = get(t, url+"/v1/compare")
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusBadRequest || ae.Kind != errKindBadRequest {
+		t.Errorf("compare without keys = %d/%s", resp.StatusCode, ae.Kind)
+	}
+	resp, body = get(t, url+"/v1/compare?a="+missing+"&b="+missing)
+	if ae := decodeErr(t, body); resp.StatusCode != http.StatusNotFound || ae.Kind != errKindNotFound {
+		t.Errorf("compare unarchived = %d/%s", resp.StatusCode, ae.Kind)
+	}
+}
+
+// TestRunArchiveDisabled: without -store-dir the archive endpoints answer
+// 503 unavailable.
+func TestRunArchiveDisabled(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/v1/runs", "/v1/runs/00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff", "/v1/compare?a=x&b=y"} {
+		resp, body := get(t, ts.URL+path)
+		if ae := decodeErr(t, body); resp.StatusCode != http.StatusServiceUnavailable || ae.Kind != errKindUnavailable {
+			t.Errorf("%s = %d/%s, want 503/unavailable", path, resp.StatusCode, ae.Kind)
+		}
+	}
+}
+
+// TestStoreServesAcrossRestart is the PR's acceptance criterion: a daemon
+// restarted with the same -store-dir serves a previously-run config from
+// disk without re-simulating.
+func TestStoreServesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"asm": ` + quote(smallLoop) + `, "config": {"CacheBytes": 128, "LineBytes": 8}}`
+
+	s1, url1 := storeServer(t, dir)
+	first := postRun(t, url1, body)
+	if first.Source != "simulated" {
+		t.Fatalf("first run source = %q", first.Source)
+	}
+	if n := s1.store.Counters().Writes; n != 1 {
+		t.Fatalf("store writes = %d, want 1", n)
+	}
+	s1.drain() // the "old" daemon shuts down, detaching its store
+
+	// New daemon, cold memory cache, same directory.
+	s2, url2 := storeServer(t, dir)
+	if s2.store.Len() != 1 {
+		t.Fatalf("restarted store has %d records, want 1", s2.store.Len())
+	}
+	second := postRun(t, url2, body)
+	if second.Source != "store" {
+		t.Fatalf("post-restart source = %q, want store", second.Source)
+	}
+	if second.Key != first.Key || second.Result.Cycles != first.Result.Cycles {
+		t.Errorf("served run differs: %s/%d vs %s/%d",
+			second.Key, second.Result.Cycles, first.Key, first.Result.Cycles)
+	}
+	if hits := s2.store.Counters().Hits; hits != 1 {
+		t.Errorf("store hits = %d, want 1", hits)
+	}
+
+	// Promoted: a third request is a memory hit and touches no disk.
+	third := postRun(t, url2, body)
+	if third.Source != "memory" {
+		t.Errorf("third run source = %q, want memory", third.Source)
+	}
+}
+
+// TestPerLoopRunsArchived: per-loop runs bypass the cache but are archived
+// explicitly, with the per-loop table riding along for /v1/compare.
+func TestPerLoopRunsArchived(t *testing.T) {
+	s, url := storeServer(t, t.TempDir())
+	rr := postRun(t, url, `{"per_loop": true, "config": {"CacheBytes": 256}}`)
+	if rr.Source != "simulated" {
+		t.Fatalf("per-loop source = %q", rr.Source)
+	}
+	if len(rr.Result.PerLoop) == 0 {
+		t.Fatal("no per-loop table in the response")
+	}
+	if s.store.Len() != 1 {
+		t.Fatalf("store has %d records, want the archived per-loop run", s.store.Len())
+	}
+	resp, raw := get(t, url+"/v1/runs/"+rr.Key)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run get = %d", resp.StatusCode)
+	}
+	var rec runstore.Record
+	if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.PerLoop) == 0 {
+		t.Error("archived record carries no per-loop table")
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"pipesim/internal/eventbus"
 	"pipesim/internal/jobs"
 	"pipesim/internal/obs"
+	"pipesim/internal/runcache"
+	"pipesim/internal/runstore"
 	"pipesim/internal/sweep"
 	"pipesim/internal/tracing"
 	"pipesim/internal/version"
@@ -39,6 +41,11 @@ type server struct {
 	// jobs is the durable sweep-job manager (-jobs-dir); nil disables
 	// the /v1/jobs API.
 	jobs *jobs.Manager
+
+	// store is the persistent run archive (-store-dir): installed under
+	// the run cache as its second tier and served on /v1/runs and
+	// /v1/compare. Nil disables all three.
+	store *runstore.Store
 
 	// bus is the telemetry event bus behind GET /v1/events and
 	// GET /v1/jobs/{id}/events; the job manager and sweep handler publish
@@ -91,6 +98,19 @@ func newServer(log *slog.Logger, opts serverOptions) (*server, error) {
 	pipesim.SetRunHook(s.metrics.observeRun)
 	s.tracer.OnSpanEnd(s.metrics.observeSpan)
 
+	if opts.storeDir != "" {
+		store, err := runstore.Open(opts.storeDir, runstore.Options{
+			MaxEntries: opts.storeEntries,
+			MaxBytes:   opts.storeBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening run store: %w", err)
+		}
+		s.store = store
+		runcache.Default.SetStore(store)
+		log.Info("run store open", "dir", opts.storeDir, "entries", store.Len(), "bytes", store.Bytes())
+	}
+
 	if opts.jobsDir != "" {
 		m, err := s.newJobManager(opts)
 		if err != nil {
@@ -100,6 +120,9 @@ func newServer(log *slog.Logger, opts serverOptions) (*server, error) {
 	}
 
 	s.handle("POST /v1/run", "/v1/run", s.handleRun)
+	s.handle("GET /v1/runs", "/v1/runs", s.handleRunsList)
+	s.handle("GET /v1/runs/{key}", "/v1/runs/key", s.handleRunGet)
+	s.handle("GET /v1/compare", "/v1/compare", s.handleCompare)
 	s.handle("GET /v1/sweep", "/v1/sweep", s.handleSweep)
 	s.handle("POST /v1/jobs", "/v1/jobs", s.handleJobSubmit)
 	s.handle("GET /v1/jobs", "/v1/jobs", s.handleJobList)
@@ -131,6 +154,11 @@ type serverOptions struct {
 	runLimit  time.Duration
 	workers   int
 	slowLimit time.Duration
+
+	// Persistent run archive (empty storeDir disables it).
+	storeDir     string
+	storeEntries int   // GC bound on archived records (0 = default)
+	storeBytes   int64 // GC bound on archive bytes (0 = default)
 
 	// Telemetry streaming (GET /v1/events).
 	eventsBuffer int           // per-SSE-subscriber ring capacity (0 = 256)
@@ -167,6 +195,11 @@ func (s *server) drain() {
 	s.ready.Store(false)
 	s.draining.Store(true)
 	s.bus.Close()
+	// Detach the persistent tier so nothing writes through it while the
+	// process winds down; archived records are already safely on disk.
+	if s.store != nil {
+		runcache.Default.SetStore(nil)
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -380,10 +413,15 @@ type runRequest struct {
 	PerLoop bool `json:"per_loop,omitempty"`
 }
 
-// runResponse is the /v1/run success body.
+// runResponse is the /v1/run success body. Key is the run's
+// content-addressed identity (also in result.key) — quote it to
+// GET /v1/runs/{key} or GET /v1/compare; Source says where the result came
+// from: "simulated", "memory" (run cache) or "store" (-store-dir archive).
 type runResponse struct {
 	RequestID      string          `json:"request_id"`
 	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	Key            string          `json:"key,omitempty"`
+	Source         string          `json:"source,omitempty"`
 	Result         *pipesim.Result `json:"result"`
 }
 
@@ -394,7 +432,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, kind, err)
 		return
 	}
-	sim, cfg, kind, err := buildSimulation(ctx, req)
+	cfg, prog, kind, err := buildRunConfig(ctx, req)
 	if err != nil {
 		s.fail(w, r, kind, err)
 		return
@@ -403,7 +441,29 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		"line_bytes", cfg.LineBytes, "mem_access", cfg.MemAccessTime, "bus_bytes", cfg.BusWidthBytes)
 
 	start := time.Now()
-	res, err := s.runSim(ctx, sim)
+	var (
+		res    *pipesim.Result
+		source pipesim.RunSource
+	)
+	if req.PerLoop {
+		// Observed runs replay events, so they bypass the caches; archive
+		// the result explicitly so it is referencable for comparisons.
+		var sim *pipesim.Simulation
+		sim, kind, err = observedSimulation(ctx, cfg, prog)
+		if err != nil {
+			s.fail(w, r, kind, err)
+			return
+		}
+		res, err = s.runSim(ctx, sim)
+		source = pipesim.RunSimulated
+		if err == nil && s.store != nil {
+			if aerr := sim.Archive(s.store); aerr != nil {
+				reqLog(r).Warn("archiving run", "err", aerr)
+			}
+		}
+	} else {
+		res, source, err = s.runArchived(ctx, cfg, prog)
+	}
 	if err != nil {
 		s.fail(w, r, errorKind(err), err)
 		return
@@ -411,6 +471,8 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, runResponse{
 		RequestID:      w.Header().Get("X-Request-Id"),
 		ElapsedSeconds: time.Since(start).Seconds(),
+		Key:            res.Key,
+		Source:         string(source),
 		Result:         res,
 	})
 }
@@ -430,24 +492,24 @@ func decodeRunRequest(ctx context.Context, w http.ResponseWriter, r *http.Reques
 	return req, "", nil
 }
 
-// buildSimulation resolves the request's base configuration, overlay and
-// program, and constructs (validating) the simulation — one "build" span
-// covering everything between decode and the run itself.
-func buildSimulation(ctx context.Context, req runRequest) (*pipesim.Simulation, pipesim.Config, string, error) {
+// buildRunConfig resolves the request's base configuration, overlay and
+// program — one "build" span covering everything between decode and the
+// run itself.
+func buildRunConfig(ctx context.Context, req runRequest) (pipesim.Config, *pipesim.Program, string, error) {
 	_, span := tracing.StartSpan(ctx, "build")
 	defer span.End()
 	cfg := pipesim.DefaultConfig()
 	if req.TableII != "" {
 		var err error
 		if cfg, err = pipesim.TableIIConfig(req.TableII); err != nil {
-			return nil, cfg, errKindBadRequest, err
+			return cfg, nil, errKindBadRequest, err
 		}
 	}
 	if len(req.Config) > 0 {
 		cdec := json.NewDecoder(strings.NewReader(string(req.Config)))
 		cdec.DisallowUnknownFields()
 		if err := cdec.Decode(&cfg); err != nil {
-			return nil, cfg, errKindBadRequest, fmt.Errorf("decoding config overlay: %w", err)
+			return cfg, nil, errKindBadRequest, fmt.Errorf("decoding config overlay: %w", err)
 		}
 	}
 
@@ -457,7 +519,7 @@ func buildSimulation(ctx context.Context, req runRequest) (*pipesim.Simulation, 
 	)
 	switch {
 	case req.Asm != "" && req.Kernel != 0:
-		return nil, cfg, errKindBadRequest, errors.New("asm and kernel are mutually exclusive")
+		return cfg, nil, errKindBadRequest, errors.New("asm and kernel are mutually exclusive")
 	case req.Asm != "":
 		prog, err = pipesim.Assemble(req.Asm)
 	case req.Kernel != 0:
@@ -466,19 +528,22 @@ func buildSimulation(ctx context.Context, req runRequest) (*pipesim.Simulation, 
 		prog, _, err = pipesim.LivermoreProgram()
 	}
 	if err != nil {
-		return nil, cfg, errKindBadRequest, err
+		return cfg, nil, errKindBadRequest, err
 	}
+	return cfg, prog, "", nil
+}
 
+// observedSimulation constructs (validating) a per-loop-collecting
+// simulation for requests that need the live event stream.
+func observedSimulation(ctx context.Context, cfg pipesim.Config, prog *pipesim.Program) (*pipesim.Simulation, string, error) {
 	sim, err := pipesim.NewSimulation(cfg, prog)
 	if err != nil {
-		return nil, cfg, errorKind(err), err
+		return nil, errorKind(err), err
 	}
-	if req.PerLoop {
-		if err := sim.CollectPerLoop(); err != nil {
-			return nil, cfg, errKindBadRequest, fmt.Errorf("per_loop: %w", err)
-		}
+	if err := sim.CollectPerLoop(); err != nil {
+		return nil, errKindBadRequest, fmt.Errorf("per_loop: %w", err)
 	}
-	return sim, cfg, "", nil
+	return sim, "", nil
 }
 
 // runSim executes the simulation under a "run" span and the -run-timeout
@@ -493,6 +558,42 @@ func (s *server) runSim(ctx context.Context, sim *pipesim.Simulation) (*pipesim.
 	}
 	span.SetAttr("cycles", strconv.FormatUint(res.Cycles, 10))
 	return res, nil
+}
+
+// runArchived executes through the two-tier run cache (memory → -store-dir
+// archive → simulate) under a "run" span and the -run-timeout deadline.
+func (s *server) runArchived(ctx context.Context, cfg pipesim.Config, prog *pipesim.Program) (*pipesim.Result, pipesim.RunSource, error) {
+	_, span := tracing.StartSpan(ctx, "run")
+	defer span.End()
+	type reply struct {
+		res *pipesim.Result
+		src pipesim.RunSource
+		err error
+	}
+	var rp reply
+	if s.runLimit <= 0 {
+		rp.res, rp.src, rp.err = pipesim.RunArchived(ctx, cfg, prog)
+	} else {
+		ch := make(chan reply, 1)
+		go func() {
+			res, src, err := pipesim.RunArchived(ctx, cfg, prog)
+			ch <- reply{res, src, err}
+		}()
+		timer := time.NewTimer(s.runLimit)
+		defer timer.Stop()
+		select {
+		case rp = <-ch:
+		case <-timer.C:
+			return nil, pipesim.RunSimulated, &deadlineError{Limit: s.runLimit}
+		}
+	}
+	if rp.err != nil {
+		span.SetAttr("error", rp.err.Error())
+		return nil, rp.src, rp.err
+	}
+	span.SetAttr("cycles", strconv.FormatUint(rp.res.Cycles, 10))
+	span.SetAttr("source", string(rp.src))
+	return rp.res, rp.src, nil
 }
 
 // deadlineError reports a /v1/run simulation that exceeded the daemon's
@@ -664,6 +765,7 @@ func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.syncRunCache()
+	s.metrics.syncRunStore(s.store)
 	s.metrics.syncEventBus(s.bus)
 	if s.jobs != nil {
 		s.metrics.jobsQueued.Set(float64(s.jobs.QueueDepth()))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pipesim"
+	"pipesim/internal/runcache"
 )
 
 // smallLoop terminates in a few hundred cycles — fast enough to run for
@@ -43,11 +44,19 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 
 func newTestServerOpts(t *testing.T, opts serverOptions) (*server, *httptest.Server) {
 	t.Helper()
+	// The run cache (and its optional store tier) is process-global;
+	// start every test server against an empty one so cached results from
+	// earlier tests cannot change which runs actually simulate.
+	runcache.Default.SetStore(nil)
+	runcache.Default.Reset()
 	s, err := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), opts)
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
-	t.Cleanup(func() { pipesim.SetRunHook(nil) })
+	t.Cleanup(func() {
+		pipesim.SetRunHook(nil)
+		runcache.Default.SetStore(nil)
+	})
 	if s.jobs != nil {
 		t.Cleanup(func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

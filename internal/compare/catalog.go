@@ -1,0 +1,202 @@
+package compare
+
+// The catalog comparer diffs two pipesim-sweep/v1 metrics documents
+// (cmd/experiments -metrics) point by point. The simulator is
+// deterministic, so two runs of the same catalog on the same code must
+// produce identical cycle counts at every (experiment, series, x) point;
+// any difference is simulated-metric drift — a semantic change to the
+// simulator — as opposed to host-time noise, which lives only in the
+// elapsed_seconds fields this comparer ignores. The CI golden-catalog
+// gate runs the catalog, diffs it against the committed golden archive
+// with `pipesim diff -fail-on-drift`, and fails loudly on any drift.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CatalogSchema identifies the CatalogReport JSON layout.
+const CatalogSchema = "pipesim-compare-catalog/v1"
+
+// sweepMetricsSchema is the input schema this comparer accepts
+// (sweep.MetricsSchema, restated here to keep the package a leaf).
+const sweepMetricsSchema = "pipesim-sweep/v1"
+
+// sweepDoc is the subset of the sweep metrics file the comparer reads.
+type sweepDoc struct {
+	Schema   string `json:"schema"`
+	Outcomes []struct {
+		ID     string `json:"id"`
+		OK     bool   `json:"ok"`
+		Error  string `json:"error"`
+		Series []struct {
+			Label  string `json:"label"`
+			Points []struct {
+				X      int    `json:"x"`
+				Cycles uint64 `json:"cycles"`
+				Valid  bool   `json:"valid"`
+			} `json:"points"`
+		} `json:"series"`
+	} `json:"outcomes"`
+}
+
+// PointDelta is one catalog point whose simulated value drifted.
+type PointDelta struct {
+	Experiment string `json:"experiment"`
+	Series     string `json:"series"`
+	X          int    `json:"x"`
+	A          uint64 `json:"a"`
+	B          uint64 `json:"b"`
+	Delta      int64  `json:"delta"`
+}
+
+func (p PointDelta) String() string {
+	return fmt.Sprintf("%s/%s@%d: %d -> %d (%+d)", p.Experiment, p.Series, p.X, p.A, p.B, p.Delta)
+}
+
+// CatalogReport is the catalog-level comparison (schema
+// pipesim-compare-catalog/v1).
+type CatalogReport struct {
+	Schema string `json:"schema"`
+
+	// PointsCompared counts the (experiment, series, x) points present on
+	// both sides.
+	PointsCompared int `json:"points_compared"`
+
+	// Drift lists every compared point whose value differs, sorted by
+	// absolute delta descending.
+	Drift []PointDelta `json:"drift,omitempty"`
+
+	// MissingInB lists "experiment/series@x" points present in A (the
+	// golden archive) but absent or invalid in B — a lost experiment is
+	// drift too. MissingInA lists points new in B (an added experiment);
+	// they do not fail the gate but signal the golden needs regenerating.
+	MissingInB []string `json:"missing_in_b,omitempty"`
+	MissingInA []string `json:"missing_in_a,omitempty"`
+
+	Summary string `json:"summary"`
+}
+
+// Clean reports whether the gate should pass: no drifted points and
+// nothing lost relative to the golden side.
+func (r *CatalogReport) Clean() bool {
+	return len(r.Drift) == 0 && len(r.MissingInB) == 0
+}
+
+type catalogPoint struct {
+	exp, series string
+	x           int
+}
+
+func (p catalogPoint) String() string { return fmt.Sprintf("%s/%s@%d", p.exp, p.series, p.x) }
+
+// pointsOf flattens a sweep doc into its valid (experiment, series, x) →
+// cycles map. Failed experiments and invalid points contribute nothing:
+// a point that stopped being produced shows up as missing.
+func pointsOf(doc *sweepDoc) map[catalogPoint]uint64 {
+	out := make(map[catalogPoint]uint64)
+	for _, o := range doc.Outcomes {
+		if !o.OK {
+			continue
+		}
+		for _, s := range o.Series {
+			for _, p := range s.Points {
+				if !p.Valid {
+					continue
+				}
+				out[catalogPoint{exp: o.ID, series: s.Label, x: p.X}] = p.Cycles
+			}
+		}
+	}
+	return out
+}
+
+// CompareSweepJSON diffs two pipesim-sweep/v1 metrics documents: a is the
+// reference (golden), b the candidate.
+func CompareSweepJSON(a, b []byte) (*CatalogReport, error) {
+	da, err := decodeSweep(a, "a")
+	if err != nil {
+		return nil, err
+	}
+	db, err := decodeSweep(b, "b")
+	if err != nil {
+		return nil, err
+	}
+	pa, pb := pointsOf(da), pointsOf(db)
+
+	r := &CatalogReport{Schema: CatalogSchema}
+	var keys []catalogPoint
+	for k := range pa {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].exp != keys[j].exp {
+			return keys[i].exp < keys[j].exp
+		}
+		if keys[i].series != keys[j].series {
+			return keys[i].series < keys[j].series
+		}
+		return keys[i].x < keys[j].x
+	})
+	for _, k := range keys {
+		av := pa[k]
+		bv, ok := pb[k]
+		if !ok {
+			r.MissingInB = append(r.MissingInB, k.String())
+			continue
+		}
+		r.PointsCompared++
+		if av != bv {
+			r.Drift = append(r.Drift, PointDelta{
+				Experiment: k.exp, Series: k.series, X: k.x,
+				A: av, B: bv, Delta: int64(bv) - int64(av),
+			})
+		}
+	}
+	var newKeys []catalogPoint
+	for k := range pb {
+		if _, ok := pa[k]; !ok {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Slice(newKeys, func(i, j int) bool { return newKeys[i].String() < newKeys[j].String() })
+	for _, k := range newKeys {
+		r.MissingInA = append(r.MissingInA, k.String())
+	}
+	sort.SliceStable(r.Drift, func(i, j int) bool { return abs64(r.Drift[i].Delta) > abs64(r.Drift[j].Delta) })
+	r.Summary = summarizeCatalog(r)
+	return r, nil
+}
+
+func decodeSweep(raw []byte, side string) (*sweepDoc, error) {
+	var doc sweepDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("compare: decoding sweep document %s: %w", side, err)
+	}
+	if doc.Schema != sweepMetricsSchema {
+		return nil, fmt.Errorf("compare: sweep document %s has schema %q, want %q", side, doc.Schema, sweepMetricsSchema)
+	}
+	return &doc, nil
+}
+
+func summarizeCatalog(r *CatalogReport) string {
+	if r.Clean() && len(r.MissingInA) == 0 {
+		return fmt.Sprintf("catalogs are cycle-identical across %d points.", r.PointsCompared)
+	}
+	var parts []string
+	if len(r.Drift) > 0 {
+		parts = append(parts, fmt.Sprintf("%d of %d points drifted (worst: %s)",
+			len(r.Drift), r.PointsCompared, r.Drift[0].String()))
+	}
+	if len(r.MissingInB) > 0 {
+		parts = append(parts, fmt.Sprintf("%d golden points are missing from the candidate (first: %s)",
+			len(r.MissingInB), r.MissingInB[0]))
+	}
+	if len(r.MissingInA) > 0 {
+		parts = append(parts, fmt.Sprintf("%d points are new in the candidate (regenerate the golden to adopt them)",
+			len(r.MissingInA)))
+	}
+	return strings.Join(parts, "; ") + "."
+}

@@ -1,0 +1,355 @@
+// Package compare is the differential performance explainer: it takes two
+// finished runs and explains their cycle delta instead of just reporting
+// it. The paper's whole method is comparison — the same Livermore workload
+// under different fetch strategies and geometries, conclusions drawn from
+// the deltas — and the simulator's exact cycle attribution makes the
+// explanation exact too: every simulated cycle lands in exactly one
+// bucket, so the per-bucket deltas of two runs sum to their total cycle
+// delta by construction, with no "unexplained" remainder.
+//
+// The report (schema pipesim-compare/v1) decomposes the delta three ways:
+// per attribution bucket (where did the extra cycles go), per 3C miss
+// class when both runs were introspected (why did the memory system cost
+// more), and per Livermore loop when both runs collected per-loop stats
+// (which code is responsible). It backs `pipesim diff`, pipesimd's
+// GET /v1/compare, and the CI golden-catalog drift gate (catalog.go).
+package compare
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pipesim/internal/obs"
+	"pipesim/internal/stats"
+)
+
+// Schema identifies the Report JSON layout. Existing names, units and
+// nesting stay stable within a major version.
+const Schema = "pipesim-compare/v1"
+
+// Run is one side of a comparison: the measurements the explainer needs,
+// extracted from a stats.Sim (FromSim) or assembled by a caller holding a
+// public pipesim.Result.
+type Run struct {
+	Label        string
+	Key          string // content-addressed run identity (hex), "" if unknown
+	Cycles       uint64
+	Instructions uint64
+	Buckets      [stats.NumCycleBuckets]uint64
+	CacheHits    uint64
+	CacheMisses  uint64
+	Cache        *stats.CacheStats // nil when the run was not introspected
+	PerLoop      []obs.LoopStat    // nil when per-loop stats were not collected
+}
+
+// FromSim extracts a comparison side from raw simulation statistics.
+// perloop may be nil.
+func FromSim(label, key string, st *stats.Sim, perloop []obs.LoopStat) Run {
+	return Run{
+		Label:        label,
+		Key:          key,
+		Cycles:       st.Cycles,
+		Instructions: st.CPU.Instructions,
+		Buckets:      st.CPU.CycleBuckets,
+		CacheHits:    st.Fetch.CacheHits,
+		CacheMisses:  st.Fetch.CacheMisses,
+		Cache:        st.Cache,
+		PerLoop:      perloop,
+	}
+}
+
+// RunRef is a report's description of one compared run.
+type RunRef struct {
+	Label        string  `json:"label,omitempty"`
+	Key          string  `json:"key,omitempty"`
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	CPI          float64 `json:"cpi,omitempty"`
+	HitRatePct   float64 `json:"hit_rate_pct,omitempty"` // cache hit rate, percent
+}
+
+// BucketDelta is one attribution bucket's contribution to the cycle delta.
+type BucketDelta struct {
+	Bucket   string  `json:"bucket"`
+	A        uint64  `json:"a"`
+	B        uint64  `json:"b"`
+	Delta    int64   `json:"delta"`     // B - A
+	SharePct float64 `json:"share_pct"` // 100*Delta/CycleDelta (0 when CycleDelta is 0)
+}
+
+// ClassDelta is one 3C miss class's shift between the runs.
+type ClassDelta struct {
+	Class string `json:"class"`
+	A     uint64 `json:"a"`
+	B     uint64 `json:"b"`
+	Delta int64  `json:"delta"`
+}
+
+// LoopDelta is one Livermore loop's contribution to the cycle delta,
+// with its miss and stall shifts for the "why".
+type LoopDelta struct {
+	Loop       int     `json:"loop"`
+	Name       string  `json:"name,omitempty"`
+	A          uint64  `json:"a"`
+	B          uint64  `json:"b"`
+	Delta      int64   `json:"delta"`
+	SharePct   float64 `json:"share_pct"`
+	MissDelta  int64   `json:"miss_delta"`
+	StallDelta int64   `json:"stall_delta"`
+}
+
+// Report is the machine-readable comparison (schema pipesim-compare/v1).
+// Attribution always satisfies: sum of Delta over the buckets equals
+// CycleDelta exactly (the attribution invariant carried across runs).
+type Report struct {
+	Schema string `json:"schema"`
+	A      RunRef `json:"a"`
+	B      RunRef `json:"b"`
+
+	// CycleDelta is B.Cycles - A.Cycles: positive means B is slower.
+	CycleDelta int64 `json:"cycle_delta"`
+	// PctDelta is the delta as a percentage of A's cycles.
+	PctDelta float64 `json:"pct_delta"`
+
+	// Attribution decomposes the delta per cycle bucket, in bucket order.
+	Attribution []BucketDelta `json:"attribution"`
+
+	// MissClasses is present when both runs carried 3C introspection.
+	MissClasses []ClassDelta `json:"miss_classes,omitempty"`
+	// HitRateDeltaPct is B's cache hit rate minus A's, in percentage
+	// points (present whenever either run made cache references).
+	HitRateDeltaPct float64 `json:"hit_rate_delta_pct,omitempty"`
+
+	// PerLoop ranks the loops by absolute cycle-delta contribution,
+	// largest first, when both runs collected per-loop statistics.
+	PerLoop []LoopDelta `json:"per_loop,omitempty"`
+
+	// Summary is the one-paragraph human explanation.
+	Summary string `json:"summary"`
+}
+
+// AttributionDeltaSum sums the per-bucket deltas — by construction equal
+// to CycleDelta.
+func (r *Report) AttributionDeltaSum() int64 {
+	var sum int64
+	for _, b := range r.Attribution {
+		sum += b.Delta
+	}
+	return sum
+}
+
+func hitRatePct(hits, misses uint64) float64 {
+	total := hits + misses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(total)
+}
+
+func refOf(r Run) RunRef {
+	ref := RunRef{
+		Label:        r.Label,
+		Key:          r.Key,
+		Cycles:       r.Cycles,
+		Instructions: r.Instructions,
+		HitRatePct:   hitRatePct(r.CacheHits, r.CacheMisses),
+	}
+	if r.Instructions > 0 {
+		ref.CPI = float64(r.Cycles) / float64(r.Instructions)
+	}
+	return ref
+}
+
+// sharePct is delta's share of total, in percent (0 when total is 0).
+func sharePct(delta, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(delta) / float64(total)
+}
+
+// Compare builds the differential report for two runs: B relative to A.
+func Compare(a, b Run) *Report {
+	r := &Report{
+		Schema:     Schema,
+		A:          refOf(a),
+		B:          refOf(b),
+		CycleDelta: int64(b.Cycles) - int64(a.Cycles),
+	}
+	if a.Cycles > 0 {
+		r.PctDelta = 100 * float64(r.CycleDelta) / float64(a.Cycles)
+	}
+	for i := 0; i < int(stats.NumCycleBuckets); i++ {
+		av, bv := a.Buckets[i], b.Buckets[i]
+		r.Attribution = append(r.Attribution, BucketDelta{
+			Bucket:   stats.CycleBucket(i).String(),
+			A:        av,
+			B:        bv,
+			Delta:    int64(bv) - int64(av),
+			SharePct: sharePct(int64(bv)-int64(av), r.CycleDelta),
+		})
+	}
+	if a.CacheHits+a.CacheMisses > 0 || b.CacheHits+b.CacheMisses > 0 {
+		r.HitRateDeltaPct = hitRatePct(b.CacheHits, b.CacheMisses) - hitRatePct(a.CacheHits, a.CacheMisses)
+	}
+	if a.Cache != nil && b.Cache != nil {
+		r.MissClasses = []ClassDelta{
+			classDelta("compulsory", a.Cache.Compulsory, b.Cache.Compulsory),
+			classDelta("capacity", a.Cache.Capacity, b.Cache.Capacity),
+			classDelta("conflict", a.Cache.Conflict, b.Cache.Conflict),
+		}
+	}
+	if len(a.PerLoop) > 0 && len(b.PerLoop) > 0 {
+		r.PerLoop = loopDeltas(a.PerLoop, b.PerLoop, r.CycleDelta)
+	}
+	r.Summary = summarize(r)
+	return r
+}
+
+func classDelta(name string, a, b uint64) ClassDelta {
+	return ClassDelta{Class: name, A: a, B: b, Delta: int64(b) - int64(a)}
+}
+
+// loopDeltas joins the two per-loop tables by loop number and ranks the
+// result by absolute cycle delta, largest first. Loops present on only
+// one side (possible only with foreign workloads) count the missing side
+// as zero.
+func loopDeltas(a, b []obs.LoopStat, cycleDelta int64) []LoopDelta {
+	type side struct{ a, b *obs.LoopStat }
+	byLoop := make(map[int]*side)
+	order := make([]int, 0, len(a)+len(b))
+	for i := range a {
+		byLoop[a[i].Loop] = &side{a: &a[i]}
+		order = append(order, a[i].Loop)
+	}
+	for i := range b {
+		s, ok := byLoop[b[i].Loop]
+		if !ok {
+			s = &side{}
+			byLoop[b[i].Loop] = s
+			order = append(order, b[i].Loop)
+		}
+		s.b = &b[i]
+	}
+	var out []LoopDelta
+	for _, loop := range order {
+		s := byLoop[loop]
+		if s == nil {
+			continue // already consumed (loop listed on both sides)
+		}
+		byLoop[loop] = nil
+		var av, bv obs.LoopStat
+		if s.a != nil {
+			av = *s.a
+		}
+		if s.b != nil {
+			bv = *s.b
+		}
+		name := av.Name
+		if name == "" {
+			name = bv.Name
+		}
+		d := LoopDelta{
+			Loop:       loop,
+			Name:       name,
+			A:          av.Cycles,
+			B:          bv.Cycles,
+			Delta:      int64(bv.Cycles) - int64(av.Cycles),
+			SharePct:   sharePct(int64(bv.Cycles)-int64(av.Cycles), cycleDelta),
+			MissDelta:  int64(bv.CacheMisses) - int64(av.CacheMisses),
+			StallDelta: int64(bv.StallCycles()) - int64(av.StallCycles()),
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := out[i].Delta, out[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		return di > dj
+	})
+	return out
+}
+
+// summarize renders the one-paragraph human explanation: direction and
+// size of the delta, the dominant attribution bucket, the dominant miss
+// class shift, and the top contributing loops.
+func summarize(r *Report) string {
+	aName, bName := r.A.Label, r.B.Label
+	if aName == "" {
+		aName = "A"
+	}
+	if bName == "" {
+		bName = "B"
+	}
+	if r.CycleDelta == 0 {
+		return fmt.Sprintf("%s and %s are cycle-identical (%d cycles).", bName, aName, r.A.Cycles)
+	}
+	var sb strings.Builder
+	dir := "slower"
+	if r.CycleDelta < 0 {
+		dir = "faster"
+	}
+	fmt.Fprintf(&sb, "%s is %.1f%% %s than %s (%+d cycles)", bName, math.Abs(r.PctDelta), dir, aName, r.CycleDelta)
+
+	// Dominant bucket: the largest delta in the direction of the total.
+	var top *BucketDelta
+	for i := range r.Attribution {
+		d := &r.Attribution[i]
+		if sameSign(d.Delta, r.CycleDelta) && (top == nil || abs64(d.Delta) > abs64(top.Delta)) {
+			top = d
+		}
+	}
+	if top != nil && top.Delta != 0 {
+		fmt.Fprintf(&sb, "; %+d of that is %s time (%.1f%% of the delta)", top.Delta, top.Bucket, math.Abs(top.SharePct))
+	}
+	if len(r.MissClasses) > 0 {
+		var topC *ClassDelta
+		for i := range r.MissClasses {
+			c := &r.MissClasses[i]
+			if topC == nil || abs64(c.Delta) > abs64(topC.Delta) {
+				topC = c
+			}
+		}
+		if topC != nil && topC.Delta != 0 {
+			fmt.Fprintf(&sb, "; miss-class shift is led by %s (%+d misses)", topC.Class, topC.Delta)
+		}
+	}
+	if len(r.PerLoop) > 0 {
+		var names []string
+		for _, l := range r.PerLoop {
+			if !sameSign(l.Delta, r.CycleDelta) || l.Delta == 0 {
+				continue
+			}
+			label := fmt.Sprintf("loop %d", l.Loop)
+			if l.Loop == 0 {
+				label = "outside the loops"
+			} else if l.Name != "" {
+				label = fmt.Sprintf("loop %d (%s)", l.Loop, l.Name)
+			}
+			names = append(names, fmt.Sprintf("%s %+d", label, l.Delta))
+			if len(names) == 3 {
+				break
+			}
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(&sb, "; driven by %s", strings.Join(names, ", "))
+		}
+	}
+	sb.WriteByte('.')
+	return sb.String()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sameSign(a, b int64) bool { return (a >= 0) == (b >= 0) }

@@ -1,0 +1,148 @@
+package compare_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pipesim/internal/compare"
+	"pipesim/internal/core"
+	"pipesim/internal/obs"
+	"pipesim/internal/stats"
+	"pipesim/internal/sweep"
+)
+
+// TestAttributionInvariantSynthetic: the per-bucket deltas sum exactly to
+// the cycle delta whenever each side's buckets sum to its cycles — the
+// attribution invariant carried across runs, including sign-mixed deltas.
+func TestAttributionInvariantSynthetic(t *testing.T) {
+	a := compare.Run{
+		Label:   "a",
+		Cycles:  100,
+		Buckets: [stats.NumCycleBuckets]uint64{40, 30, 10, 10, 5, 5},
+	}
+	b := compare.Run{
+		Label:   "b",
+		Cycles:  130,
+		Buckets: [stats.NumCycleBuckets]uint64{35, 70, 5, 10, 5, 5},
+	}
+	r := compare.Compare(a, b)
+	if r.CycleDelta != 30 {
+		t.Fatalf("CycleDelta = %d, want 30", r.CycleDelta)
+	}
+	if got := r.AttributionDeltaSum(); got != r.CycleDelta {
+		t.Errorf("attribution delta sum = %d, want %d", got, r.CycleDelta)
+	}
+	if len(r.Attribution) != int(stats.NumCycleBuckets) {
+		t.Errorf("attribution rows = %d, want %d", len(r.Attribution), stats.NumCycleBuckets)
+	}
+	// fetch-starved dominates: +40 of a +30 total.
+	if !strings.Contains(r.Summary, "fetch-starved") {
+		t.Errorf("summary does not name the dominant bucket: %q", r.Summary)
+	}
+	if !strings.Contains(r.Summary, "slower") {
+		t.Errorf("summary does not state the direction: %q", r.Summary)
+	}
+}
+
+// TestCompareRealRuns diffs a real pipe-vs-conventional pair at a small
+// cache and checks the acceptance invariant end to end, plus the 3C and
+// hit-rate sections.
+func TestCompareRealRuns(t *testing.T) {
+	img, err := sweep.BenchmarkImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(strat core.FetchStrategy) compare.Run {
+		cfg := core.DefaultConfig()
+		cfg.Fetch = strat
+		cfg.CacheBytes = 128
+		cfg.CacheIntrospect = true
+		sim, err := core.New(cfg, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return compare.FromSim(strat.String(), "", st, nil)
+	}
+	a := run(core.FetchPIPE)
+	b := run(core.FetchConventional)
+	r := compare.Compare(a, b)
+	if r.CycleDelta == 0 {
+		t.Fatal("pipe and conventional are cycle-identical at 128 B; expected a delta")
+	}
+	if got := r.AttributionDeltaSum(); got != r.CycleDelta {
+		t.Errorf("attribution delta sum = %d, want cycle delta %d", got, r.CycleDelta)
+	}
+	if len(r.MissClasses) != 3 {
+		t.Errorf("miss classes = %d, want 3 (both runs introspected)", len(r.MissClasses))
+	}
+	for _, c := range r.MissClasses {
+		if int64(c.B)-int64(c.A) != c.Delta {
+			t.Errorf("class %s delta %d != b-a", c.Class, c.Delta)
+		}
+	}
+	if r.Summary == "" {
+		t.Error("empty summary")
+	}
+
+	// The report is stable JSON: schema tagged, round-trips.
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back compare.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != compare.Schema || back.CycleDelta != r.CycleDelta {
+		t.Errorf("report did not round-trip: %+v", back)
+	}
+}
+
+// TestPerLoopRanking: loops join by number, rank by |delta| desc, and the
+// summary names the top contributor.
+func TestPerLoopRanking(t *testing.T) {
+	a := compare.Run{
+		Label: "a", Cycles: 100, Buckets: [stats.NumCycleBuckets]uint64{100},
+		PerLoop: []obs.LoopStat{
+			{Loop: 1, Name: "hydro", Cycles: 50},
+			{Loop: 7, Name: "equation-of-state", Cycles: 50},
+		},
+	}
+	b := compare.Run{
+		Label: "b", Cycles: 160, Buckets: [stats.NumCycleBuckets]uint64{160},
+		PerLoop: []obs.LoopStat{
+			{Loop: 1, Name: "hydro", Cycles: 60},
+			{Loop: 7, Name: "equation-of-state", Cycles: 100, CacheMisses: 9},
+		},
+	}
+	r := compare.Compare(a, b)
+	if len(r.PerLoop) != 2 {
+		t.Fatalf("per-loop rows = %d, want 2", len(r.PerLoop))
+	}
+	if r.PerLoop[0].Loop != 7 || r.PerLoop[0].Delta != 50 {
+		t.Errorf("top loop = %+v, want loop 7 delta +50", r.PerLoop[0])
+	}
+	if r.PerLoop[0].MissDelta != 9 {
+		t.Errorf("top loop miss delta = %d, want 9", r.PerLoop[0].MissDelta)
+	}
+	if !strings.Contains(r.Summary, "loop 7 (equation-of-state)") {
+		t.Errorf("summary does not name the driving loop: %q", r.Summary)
+	}
+}
+
+// TestIdenticalRuns: a zero delta says so plainly and attributes nothing.
+func TestIdenticalRuns(t *testing.T) {
+	a := compare.Run{Label: "x", Cycles: 42, Buckets: [stats.NumCycleBuckets]uint64{42}}
+	r := compare.Compare(a, a)
+	if r.CycleDelta != 0 || r.AttributionDeltaSum() != 0 {
+		t.Fatalf("self-compare delta = %d", r.CycleDelta)
+	}
+	if !strings.Contains(r.Summary, "cycle-identical") {
+		t.Errorf("summary = %q", r.Summary)
+	}
+}

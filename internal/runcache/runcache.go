@@ -122,12 +122,48 @@ func ParseKey(s string) (Key, error) {
 	return k, nil
 }
 
-// Counters is a point-in-time snapshot of the cache's activity.
+// Counters is a point-in-time snapshot of the cache's activity. The JSON
+// names are stable: cmd/experiments embeds a snapshot in its -metrics file.
 type Counters struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Size      int
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"entries"`
+}
+
+// Tier is a persistent second-level result store under the memory cache
+// (internal/runstore implements it). Lookup is consulted on a memory miss;
+// Store is called write-through after a fresh simulation. Implementations
+// must be safe for concurrent use and must not fail the caller — a broken
+// disk is an observability problem, not a simulation error.
+type Tier interface {
+	Lookup(k Key) (stats.Sim, bool)
+	Store(k Key, cfg core.Config, st *stats.Sim)
+}
+
+// Source reports where a cached run's result came from.
+type Source int
+
+// Result sources, from slowest to fastest path.
+const (
+	// SourceSimulated: the result was computed by running the simulator.
+	SourceSimulated Source = iota
+	// SourceMemory: served from the in-process LRU.
+	SourceMemory
+	// SourceStore: served from the persistent second tier (and promoted
+	// into memory).
+	SourceStore
+)
+
+var sourceNames = [...]string{"simulated", "memory", "store"}
+
+// String returns the source's stable lower-case name, as surfaced in
+// /v1/run responses.
+func (s Source) String() string {
+	if s >= 0 && int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return fmt.Sprintf("source(%d)", int(s))
 }
 
 // entry is one cached result with its LRU bookkeeping.
@@ -145,11 +181,19 @@ type Cache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 
+	// store holds the optional persistent second tier behind a pointer
+	// box, so SetStore can atomically install, replace or clear it while
+	// runs are in flight (an interface value itself is not atomic).
+	store atomic.Pointer[tierBox]
+
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used; values are *entry
 	items map[Key]*list.Element
 }
+
+// tierBox wraps a Tier for atomic.Pointer storage.
+type tierBox struct{ t Tier }
 
 // DefaultEntries bounds the process-wide Default cache. A cached stats.Sim
 // is a few hundred bytes, so even the full bound is a fraction of one run's
@@ -179,6 +223,26 @@ func New(maxEntries int) *Cache {
 // (without counting) and Put discards; cached entries are kept for when the
 // cache is re-enabled.
 func (c *Cache) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// SetStore installs (or, with nil, removes) the persistent second tier:
+// memory LRU → store → simulate. A store hit is promoted into memory; a
+// fresh simulation is written through to both tiers. Disabling the cache
+// (SetEnabled(false)) bypasses the store too.
+func (c *Cache) SetStore(t Tier) {
+	if t == nil {
+		c.store.Store(nil)
+		return
+	}
+	c.store.Store(&tierBox{t: t})
+}
+
+// tier returns the installed second tier, or nil.
+func (c *Cache) tier() Tier {
+	if b := c.store.Load(); b != nil {
+		return b.t
+	}
+	return nil
+}
 
 // Enabled reports whether the cache is serving lookups.
 func (c *Cache) Enabled() bool { return c.enabled.Load() }
@@ -270,24 +334,45 @@ func (c *Cache) Run(cfg core.Config, img *program.Image) (*stats.Sim, error) {
 // "simulate" span. On an untraced context both spans are no-ops, so the
 // library path pays one context value lookup and nothing more.
 func (c *Cache) RunCtx(ctx context.Context, cfg core.Config, img *program.Image) (*stats.Sim, error) {
+	st, _, err := c.RunSource(ctx, cfg, img)
+	return st, err
+}
+
+// RunSource is RunCtx reporting where the result came from: the memory
+// LRU, the persistent store (SetStore), or a fresh simulation. A store hit
+// is promoted into the memory tier; a fresh result is written through to
+// both tiers, so a restarted process finds it on disk.
+func (c *Cache) RunSource(ctx context.Context, cfg core.Config, img *program.Image) (*stats.Sim, Source, error) {
 	if c == nil || !c.enabled.Load() {
-		return simulate(ctx, cfg, img)
+		st, err := simulate(ctx, cfg, img)
+		return st, SourceSimulated, err
 	}
 	_, look := tracing.StartSpan(ctx, "runcache.lookup")
 	k := KeyFor(cfg, img.Fingerprint())
 	if st, ok := c.Get(k); ok {
 		look.SetAttr("outcome", "hit")
 		look.End()
-		return &st, nil
+		return &st, SourceMemory, nil
+	}
+	if t := c.tier(); t != nil {
+		if st, ok := t.Lookup(k); ok {
+			c.Put(k, &st)
+			look.SetAttr("outcome", "store-hit")
+			look.End()
+			return &st, SourceStore, nil
+		}
 	}
 	look.SetAttr("outcome", "miss")
 	look.End()
 	st, err := simulate(ctx, cfg, img)
 	if err != nil {
-		return nil, err
+		return nil, SourceSimulated, err
 	}
 	c.Put(k, st)
-	return st, nil
+	if t := c.tier(); t != nil {
+		t.Store(k, cfg, st)
+	}
+	return st, SourceSimulated, nil
 }
 
 // simulate is one uncached simulation wrapped in a "simulate" span.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pipesim/internal/eventbus"
+	"pipesim/internal/runcache"
 	"pipesim/internal/stats"
 	"pipesim/internal/tracing"
 )
@@ -112,6 +113,12 @@ type Outcome struct {
 type Summary struct {
 	Outcomes []Outcome
 	Elapsed  time.Duration
+
+	// RunCache optionally carries the run cache's counters as of the end
+	// of the sweep (cmd/experiments sets it from runcache.Default.Stats());
+	// WriteJSON surfaces it so catalog metrics record how much simulation
+	// the cache absorbed.
+	RunCache *runcache.Counters
 }
 
 // Failed returns the outcomes that did not produce a result.
@@ -392,13 +399,14 @@ type jsonOutcome struct {
 }
 
 type jsonSummary struct {
-	Schema         string        `json:"schema"`
-	Total          int           `json:"total"`
-	Passed         int           `json:"passed"`
-	ElapsedSeconds float64       `json:"elapsed_seconds"`
-	Attribution    *BucketTotals `json:"attribution,omitempty"`
-	Cache          *CacheTotals  `json:"cache,omitempty"`
-	Outcomes       []jsonOutcome `json:"outcomes"`
+	Schema         string             `json:"schema"`
+	Total          int                `json:"total"`
+	Passed         int                `json:"passed"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Attribution    *BucketTotals      `json:"attribution,omitempty"`
+	Cache          *CacheTotals       `json:"cache,omitempty"`
+	RunCache       *runcache.Counters `json:"runcache,omitempty"`
+	Outcomes       []jsonOutcome      `json:"outcomes"`
 }
 
 // MetricsSchema identifies the WriteJSON layout. New fields may be added;
@@ -463,6 +471,7 @@ func (s *Summary) WriteJSON(w io.Writer) error {
 	if anyCache {
 		out.Cache = &sweepCache
 	}
+	out.RunCache = s.RunCache
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

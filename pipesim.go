@@ -40,6 +40,7 @@
 package pipesim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -53,6 +54,8 @@ import (
 	"pipesim/internal/minic"
 	"pipesim/internal/obs"
 	"pipesim/internal/program"
+	"pipesim/internal/runcache"
+	"pipesim/internal/runstore"
 	"pipesim/internal/stats"
 	"pipesim/internal/trace"
 )
@@ -382,6 +385,16 @@ func (p *Program) Instructions() int { return len(p.img.Text) }
 // performance metric: the total number of cycles to execute the program to
 // completion (including draining all memory traffic).
 type Result struct {
+	// Key is the run's content-addressed identity: the lowercase hex of
+	// the sha256 over the canonical configuration and the program image
+	// fingerprint (the same key the run cache, the persistent run store
+	// and the job checkpoints use). Two runs with the same key are the
+	// same machine on the same program and — the simulator being
+	// deterministic — produce identical results, so the key is the handle
+	// for `pipesim diff` and pipesimd's /v1/compare. Empty on results not
+	// produced by Simulation.Run or RunArchived.
+	Key string `json:"key,omitempty"`
+
 	Cycles       uint64
 	Instructions uint64
 
@@ -593,6 +606,69 @@ func Run(cfg Config, prog *Program) (*Result, error) {
 	return sim.Run()
 }
 
+// RunSource reports where a RunArchived result came from.
+type RunSource string
+
+// Result sources, slowest path first.
+const (
+	// RunSimulated: the simulator actually ran.
+	RunSimulated RunSource = "simulated"
+	// RunFromMemory: served from the in-process run cache.
+	RunFromMemory RunSource = "memory"
+	// RunFromStore: served from the persistent run store (-store-dir)
+	// without re-simulating.
+	RunFromStore RunSource = "store"
+)
+
+// runSourceOf translates the cache-layer source.
+func runSourceOf(src runcache.Source) RunSource {
+	switch src {
+	case runcache.SourceMemory:
+		return RunFromMemory
+	case runcache.SourceStore:
+		return RunFromStore
+	default:
+		return RunSimulated
+	}
+}
+
+// RunArchived executes the program through the process-wide run cache and
+// its persistent tier: memory LRU → run store (runcache.Default.SetStore)
+// → simulate, returning where the result came from. The simulator is
+// deterministic, so a served result is identical to a fresh run of the
+// same key. A fresh simulation is written through to both tiers (and
+// fires the run hook; served results do not — nothing ran).
+//
+// Cached results replay no events, so probes, tracers and per-loop
+// collection need NewSimulation + Run instead. Under the native-format
+// relayout the hot miss-PC table keeps raw addresses (loop labels resolve
+// against the relaid-out image only a live Simulation holds).
+func RunArchived(ctx context.Context, cfg Config, prog *Program) (*Result, RunSource, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, RunSimulated, err
+	}
+	ccfg, err := cfg.toCore()
+	if err != nil {
+		return nil, RunSimulated, err
+	}
+	start := time.Now()
+	st, src, err := runcache.Default.RunSource(ctx, ccfg, prog.img)
+	source := runSourceOf(src)
+	if err != nil {
+		fireRunHook(cfg, nil, err, time.Since(start))
+		return nil, source, err
+	}
+	res := resultFrom(st)
+	res.Key = runcache.KeyFor(ccfg, prog.img.Fingerprint()).String()
+	if !cfg.NativeFormat {
+		resolveHotPCs(res, prog.img)
+	}
+	if source == RunSimulated {
+		fireRunHook(cfg, res, nil, time.Since(start))
+	}
+	return res, source, nil
+}
+
 // Probe consumes the simulator's typed observability event stream: one
 // KindCycle event per simulated cycle carrying the attribution bucket, plus
 // cache hits/misses, fetch and prefetch issue/complete pairs, branch
@@ -652,9 +728,12 @@ type LoopStat = obs.LoopStat
 // that want to attach observability probes or inspect memory after the run.
 type Simulation struct {
 	cfg     Config
+	ccfg    core.Config
+	key     runcache.Key
 	inner   *core.Simulator
 	probes  obs.Multi
 	perloop *obs.PerLoop
+	last    *stats.Sim // raw statistics of the completed run (for Archive)
 }
 
 // NewSimulation builds a machine for the program. The configuration is
@@ -672,8 +751,17 @@ func NewSimulation(cfg Config, prog *Program) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{cfg: cfg, inner: inner}, nil
+	return &Simulation{
+		cfg:   cfg,
+		ccfg:  ccfg,
+		key:   runcache.KeyFor(ccfg, prog.img.Fingerprint()),
+		inner: inner,
+	}, nil
 }
+
+// Key returns the simulation's content-addressed identity (see Result.Key),
+// available before Run.
+func (s *Simulation) Key() string { return s.key.String() }
 
 // Observe attaches a probe to the simulation's event stream. Call before
 // Run; multiple probes may be attached and each receives every event. The
@@ -744,23 +832,42 @@ func (s *Simulation) Run() (*Result, error) {
 		fireRunHook(s.cfg, nil, err, time.Since(start))
 		return nil, err
 	}
+	s.last = st
 	res := resultFrom(st)
+	res.Key = s.key.String()
 	if s.perloop != nil {
 		res.PerLoop = s.perloop.Stats()
 	}
-	s.resolveHotPCs(res)
+	resolveHotPCs(res, s.inner.Image())
 	fireRunHook(s.cfg, res, nil, time.Since(start))
 	return res, nil
 }
 
+// Archive writes the completed run — statistics plus any collected
+// per-loop breakdown — into the persistent run store under its
+// content-addressed key, making it a referencable side for `pipesim diff`
+// and /v1/compare. Call after a successful Run.
+func (s *Simulation) Archive(store *runstore.Store) error {
+	if s.last == nil {
+		return fmt.Errorf("pipesim: Archive before a successful Run")
+	}
+	rec := &runstore.Record{Key: s.key.String(), Config: s.ccfg, Sim: *s.last}
+	if s.perloop != nil {
+		rec.PerLoop = s.perloop.Stats()
+	}
+	return store.PutRecord(rec)
+}
+
 // resolveHotPCs labels the hot miss-PC table with Livermore loop numbers
-// and kernel names. Programs without the benchmark's loop symbols keep the
-// raw addresses (the resolution error is deliberately ignored).
-func (s *Simulation) resolveHotPCs(res *Result) {
+// and kernel names, resolved against the image the simulator ran (correct
+// under the native-format relayout). Programs without the benchmark's loop
+// symbols keep the raw addresses (the resolution error is deliberately
+// ignored).
+func resolveHotPCs(res *Result, img *program.Image) {
 	if res.CacheStats == nil || len(res.CacheStats.HotPCs) == 0 {
 		return
 	}
-	ranges, err := kernels.LoopRanges(s.inner.Image())
+	ranges, err := kernels.LoopRanges(img)
 	if err != nil {
 		return
 	}
